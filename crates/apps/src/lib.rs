@@ -1,0 +1,21 @@
+//! # pqs-apps
+//!
+//! The two motivating applications of Section 1.1 of *Probabilistic Quorum
+//! Systems*, built on the workspace's quorum constructions and protocols:
+//!
+//! * [`voting`] — the Costa Rica electronic-voting scenario: voter IDs are
+//!   *locked* country-wide when presented at a voting station, using a
+//!   (b, ε)-masking quorum system so that large-scale repeat voting is
+//!   detected with near certainty even when some stations are corrupt, while
+//!   the election keeps making progress despite benign station failures.
+//! * [`location`] — the mobile-device location service: a device's current
+//!   cell is recorded in a replicated variable over an ε-intersecting quorum
+//!   system; callers may occasionally read a *stale* cell (and get forwarded)
+//!   but are overwhelmingly likely to find the device, even when many
+//!   location stores are down.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod location;
+pub mod voting;

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the analytical machinery: exact ε
+//! computations, parameter selection and failure-probability evaluation —
+//! the computations behind Tables 2–4 and Figures 1–3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqs_core::prelude::*;
+use pqs_core::probabilistic::params::{
+    exact_epsilon_dissemination, exact_epsilon_intersecting, exact_epsilon_masking,
+    smallest_quorum_intersecting,
+};
+use pqs_math::bounds::masking_threshold_k;
+
+fn bench_exact_epsilons(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_epsilon");
+    for &n in &[100u32, 900, 10_000] {
+        let q = ((n as f64).sqrt() * 2.5).round() as u32;
+        let b = (n as f64).sqrt() as u32 / 2;
+        group.bench_with_input(BenchmarkId::new("intersecting", n), &n, |bench, _| {
+            bench.iter(|| exact_epsilon_intersecting(n, q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dissemination", n), &n, |bench, _| {
+            bench.iter(|| exact_epsilon_dissemination(n, q, b).unwrap())
+        });
+        let k = masking_threshold_k(n as u64, (2 * q) as u64) as u32;
+        group.bench_with_input(BenchmarkId::new("masking", n), &n, |bench, _| {
+            bench.iter(|| exact_epsilon_masking(n, 2 * q, b, k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parameter_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parameter_selection");
+    for &n in &[100u32, 400, 900] {
+        group.bench_with_input(BenchmarkId::new("smallest_quorum", n), &n, |bench, _| {
+            bench.iter(|| smallest_quorum_intersecting(n, 1e-3).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_probability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure_probability");
+    for &n in &[100u32, 900] {
+        let prob = EpsilonIntersecting::with_target_epsilon(n, 1e-3).unwrap();
+        let majority = Majority::new(n).unwrap();
+        let grid = Grid::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("probabilistic", n), &n, |bench, _| {
+            bench.iter(|| prob.failure_probability(0.4))
+        });
+        group.bench_with_input(BenchmarkId::new("majority", n), &n, |bench, _| {
+            bench.iter(|| majority.failure_probability(0.4))
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |bench, _| {
+            bench.iter(|| grid.failure_probability(0.4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_exact_epsilons, bench_parameter_selection, bench_failure_probability
+}
+criterion_main!(benches);

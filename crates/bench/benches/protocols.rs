@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the register protocols: end-to-end
+//! read/write operations against an in-memory cluster, for the three
+//! protocols and for a strict baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqs_core::prelude::*;
+use pqs_protocols::cluster::Cluster;
+use pqs_protocols::crypto::KeyRegistry;
+use pqs_protocols::register::{DisseminationRegister, MaskingRegister, SafeRegister};
+use pqs_protocols::value::Value;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_safe_register(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safe_register");
+    for &n in &[100u32, 900] {
+        let prob = EpsilonIntersecting::with_target_epsilon(n, 1e-3).unwrap();
+        let strict = Majority::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("probabilistic_rw", n), &n, |bench, _| {
+            let mut cluster = Cluster::new(prob.universe());
+            let mut reg = SafeRegister::new(&prob, 1);
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut i = 0u64;
+            bench.iter(|| {
+                i += 1;
+                reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+                reg.read(&mut cluster, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("majority_rw", n), &n, |bench, _| {
+            let mut cluster = Cluster::new(strict.universe());
+            let mut reg = SafeRegister::new(&strict, 1);
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let mut i = 0u64;
+            bench.iter(|| {
+                i += 1;
+                reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+                reg.read(&mut cluster, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_byzantine_registers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("byzantine_registers");
+    let n = 400u32;
+    let b = 20u32;
+    let dis = ProbabilisticDissemination::with_target_epsilon(n, b, 1e-3).unwrap();
+    group.bench_function("dissemination_rw", |bench| {
+        let mut cluster = Cluster::new(dis.universe());
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, 7);
+        let mut reg = DisseminationRegister::new(&dis, key, registry);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.read(&mut cluster, &mut rng).unwrap()
+        })
+    });
+    let mask = ProbabilisticMasking::with_target_epsilon(n, b, 1e-3).unwrap();
+    group.bench_function("masking_rw", |bench| {
+        let mut cluster = Cluster::new(mask.universe());
+        let mut reg = MaskingRegister::new(&mask, mask.read_threshold(), 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut i = 0u64;
+        bench.iter(|| {
+            i += 1;
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.read(&mut cluster, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_safe_register, bench_byzantine_registers
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for quorum sampling and intersection tests —
+//! the innermost operations of every experiment and protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqs_core::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_quorum");
+    for &n in &[100u32, 900, 10_000] {
+        let epsilon = EpsilonIntersecting::with_target_epsilon(n, 1e-3).unwrap();
+        let majority = Majority::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("epsilon_intersecting", n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| epsilon.sample_quorum(&mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("majority", n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| majority.sample_quorum(&mut rng))
+        });
+    }
+    for &n in &[100u32, 900] {
+        let grid = Grid::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| grid.sample_quorum(&mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_intersection");
+    for &n in &[100u32, 900, 10_000] {
+        let sys = EpsilonIntersecting::with_target_epsilon(n, 1e-3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = sys.sample_quorum(&mut rng);
+        let b_q = sys.sample_quorum(&mut rng);
+        group.bench_with_input(BenchmarkId::new("intersects", n), &n, |bencher, _| {
+            bencher.iter(|| a.intersects(&b_q))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("intersection_size", n),
+            &n,
+            |bencher, _| bencher.iter(|| a.intersection_size(&b_q)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sampling, bench_intersection
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates Figure 3: failure probabilities of probabilistic masking
+//! quorum systems (b = √n) against the strict lower bound and the strict
+//! masking threshold construction of size ⌈(n+2b+1)/2⌉.
+
+use pqs_bench::{fmt_prob, ExperimentTable, SECTION_6_EPSILON};
+use pqs_core::prelude::*;
+use pqs_math::bounds::strict_failure_probability_floor;
+
+fn main() {
+    let configs: Vec<(u32, u32)> = vec![(100, 10), (300, 17)]; // (n, b = sqrt(n))
+    let mut probabilistic = Vec::new();
+    for &(n, b) in &configs {
+        let sys = ProbabilisticMasking::with_target_epsilon(n, b, SECTION_6_EPSILON)
+            .expect("target achievable");
+        println!(
+            "{}: quorum size {}, threshold k = {}, exact epsilon {:.2e}",
+            sys.name(),
+            sys.quorum_size(),
+            sys.read_threshold(),
+            sys.epsilon()
+        );
+        probabilistic.push(sys);
+    }
+    let strict: Vec<MaskingThreshold> = configs
+        .iter()
+        .map(|&(n, b)| MaskingThreshold::new(n, b).expect("within bound"))
+        .collect();
+
+    let mut table = ExperimentTable::new(
+        "figure3_failure_probability_masking",
+        &[
+            "p",
+            "prob(100,b=10) F_p",
+            "prob(300,b=17) F_p",
+            "strict lower bound (n<=300)",
+            "threshold(100,b=10) F_p",
+            "threshold(300,b=17) F_p",
+        ],
+    );
+    for step in 0..=50 {
+        let p = step as f64 / 50.0;
+        table.push_row(vec![
+            format!("{p:.2}"),
+            fmt_prob(probabilistic[0].failure_probability(p)),
+            fmt_prob(probabilistic[1].failure_probability(p)),
+            fmt_prob(strict_failure_probability_floor(300, p)),
+            fmt_prob(strict[0].failure_probability(p)),
+            fmt_prob(strict[1].failure_probability(p)),
+        ]);
+    }
+    table.emit();
+    println!(
+        "Shape to compare with the paper's Figure 3: the strict masking threshold uses quorums of \
+         ~(n+2b)/2 servers and its availability collapses earliest of all; the probabilistic \
+         masking construction, whose quorums stay O(sqrt(n) log-ish), keeps F_p ~ 0 past p = 1/2."
+    );
+}

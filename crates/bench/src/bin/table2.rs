@@ -1,0 +1,67 @@
+//! Regenerates Table 2: quorum size and fault tolerance of the
+//! ε-intersecting construction vs the strict threshold (majority) and grid
+//! systems, for ε ≤ 0.001.
+//!
+//! Two selections of the probabilistic quorum size are reported: the paper's
+//! published ℓ (column `paper l`) and the smallest quorum whose *exact*
+//! non-intersection probability is ≤ 0.001 (columns `q*`, `exact eps`);
+//! see EXPERIMENTS.md for the comparison.
+
+use pqs_bench::{ExperimentTable, SECTION_6_EPSILON, SECTION_6_SIZES};
+use pqs_core::prelude::*;
+use pqs_core::probabilistic::params::exact_epsilon_intersecting;
+
+/// The ℓ values published in Table 2 of the paper.
+const PAPER_ELL: [(u32, f64); 6] = [
+    (25, 1.80),
+    (100, 2.20),
+    (225, 2.40),
+    (400, 2.45),
+    (625, 2.48),
+    (900, 2.50),
+];
+
+fn main() {
+    let mut table = ExperimentTable::new(
+        "table2_epsilon_intersecting_vs_strict",
+        &[
+            "n",
+            "paper l",
+            "paper q",
+            "paper q eps",
+            "q* (exact<=1e-3)",
+            "eps-int FT",
+            "threshold q",
+            "threshold FT",
+            "grid q",
+            "grid FT",
+        ],
+    );
+    for (n, paper_ell) in PAPER_ELL {
+        assert!(SECTION_6_SIZES.contains(&n));
+        let paper_q = (paper_ell * (n as f64).sqrt()).round() as u32;
+        let paper_eps = exact_epsilon_intersecting(n, paper_q).expect("valid parameters");
+        let exact = EpsilonIntersecting::with_target_epsilon(n, SECTION_6_EPSILON)
+            .expect("target epsilon achievable");
+        let majority = Majority::new(n).expect("valid n");
+        let grid = Grid::new(n).expect("perfect square");
+        table.push_row(vec![
+            n.to_string(),
+            format!("{paper_ell:.2}"),
+            paper_q.to_string(),
+            pqs_bench::fmt_prob(paper_eps),
+            exact.quorum_size().to_string(),
+            exact.fault_tolerance().to_string(),
+            majority.min_quorum_size().to_string(),
+            majority.fault_tolerance().to_string(),
+            grid.min_quorum_size().to_string(),
+            grid.fault_tolerance().to_string(),
+        ]);
+    }
+    table.emit();
+    println!(
+        "Paper's Table 2 rows (quorum size / fault tolerance): eps-intersecting 9/17, 22/79, \
+         36/190, 49/352, 62/564, 75/826; threshold 13/13, 51/51, 113/113, 201/201, 313/313, \
+         451/451; grid 9/5, 19/10, 29/15, 39/20, 49/25, 59/30."
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates Table 4: quorum size and fault tolerance of (b, ε)-masking
+//! systems vs the strict masking threshold and grid constructions, for
+//! b = (√n − 1)/2 and ε ≤ 0.001.
+
+use pqs_bench::{
+    section_6_byzantine_threshold, ExperimentTable, SECTION_6_EPSILON, SECTION_6_SIZES,
+};
+use pqs_core::prelude::*;
+use pqs_core::probabilistic::params::exact_epsilon_masking;
+use pqs_math::bounds::masking_threshold_k;
+
+/// The ℓ values published in Table 4 of the paper (ℓ = q/√n there).
+const PAPER_ELL: [(u32, f64); 6] = [
+    (25, 3.00),
+    (100, 3.80),
+    (225, 4.27),
+    (400, 4.70),
+    (625, 4.92),
+    (900, 5.07),
+];
+
+fn main() {
+    let mut table = ExperimentTable::new(
+        "table4_masking_systems",
+        &[
+            "n",
+            "b",
+            "paper l",
+            "paper q",
+            "paper q eps",
+            "q* (exact<=1e-3)",
+            "k*",
+            "prob FT",
+            "threshold q",
+            "threshold FT",
+            "grid q",
+            "grid FT",
+        ],
+    );
+    for (n, paper_ell) in PAPER_ELL {
+        assert!(SECTION_6_SIZES.contains(&n));
+        let b = section_6_byzantine_threshold(n);
+        let paper_q = (paper_ell * (n as f64).sqrt()).round() as u32;
+        let paper_k = masking_threshold_k(n as u64, paper_q as u64) as u32;
+        let paper_eps = exact_epsilon_masking(n, paper_q, b, paper_k).expect("valid parameters");
+        let exact = ProbabilisticMasking::with_target_epsilon(n, b, SECTION_6_EPSILON)
+            .expect("target achievable");
+        let threshold = MaskingThreshold::new(n, b).expect("within resilience bound");
+        let grid = MaskingGrid::new(n, b).expect("perfect square");
+        table.push_row(vec![
+            n.to_string(),
+            b.to_string(),
+            format!("{paper_ell:.2}"),
+            paper_q.to_string(),
+            pqs_bench::fmt_prob(paper_eps),
+            exact.quorum_size().to_string(),
+            exact.read_threshold().to_string(),
+            exact.fault_tolerance().to_string(),
+            threshold.min_quorum_size().to_string(),
+            threshold.fault_tolerance().to_string(),
+            grid.min_quorum_size().to_string(),
+            grid.fault_tolerance().to_string(),
+        ]);
+    }
+    table.emit();
+    println!(
+        "Paper's Table 4 rows (quorum size / fault tolerance): (b,eps)-masking 15/11, 38/63, \
+         64/162, 94/307, 123/503, 152/749; threshold 15/11, 55/46, 120/106, 210/191, 325/301, \
+         465/436; grid 16/5, 51/10, 81/15, 144/20, 184/25, 224/30."
+    );
+}

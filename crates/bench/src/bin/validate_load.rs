@@ -1,0 +1,100 @@
+//! Experiment V5: load — measured vs analytic vs lower bounds.
+//!
+//! * Theorem 3.9 / Corollary 3.12: the load of an ε-intersecting system is
+//!   at least `(1 − √ε)/√n`; the `R(n, ℓ√n)` construction meets it within
+//!   the constant ℓ.
+//! * Theorem 5.5 and Section 5.5: for `b = ω(√n)` the masking construction's
+//!   load `ℓb/n` beats the strict masking lower bound `√((2b+1)/n)` while
+//!   respecting the probabilistic lower bound `((1−2ε)/(1−ε))·b/n`
+//!   (e.g. `b = √n`, `ℓ = n^{1/5}` gives load `O(n^{-0.3})`).
+
+use pqs_bench::{fmt_prob, ExperimentTable};
+use pqs_core::analysis::intersection::estimate_empirical_load;
+use pqs_core::analysis::lower_bounds::{
+    corollary_3_12_bound, masking_load_lower_bound, masking_probabilistic_load_lower_bound,
+    strict_load_lower_bound,
+};
+use pqs_core::prelude::*;
+use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x10ad);
+
+    let mut table = ExperimentTable::new(
+        "validate_load_epsilon_intersecting",
+        &[
+            "n",
+            "q",
+            "analytic load q/n",
+            "measured load",
+            "thm 3.9 bound",
+            "cor 3.12 bound",
+            "strict bound 1/sqrt(n)",
+        ],
+    );
+    for &n in &[100u32, 400, 900, 2500] {
+        let sys = EpsilonIntersecting::with_target_epsilon(n, 1e-3).expect("achievable");
+        let measured = estimate_empirical_load(&sys, 40_000, &mut rng).expect("trials > 0");
+        table.push_row(vec![
+            n.to_string(),
+            sys.quorum_size().to_string(),
+            format!("{:.4}", sys.load()),
+            format!("{measured:.4}"),
+            format!(
+                "{:.4}",
+                pqs_core::measures::probabilistic_load_lower_bound(
+                    n,
+                    sys.expected_quorum_size(),
+                    sys.epsilon()
+                )
+            ),
+            format!("{:.4}", corollary_3_12_bound(n, sys.epsilon())),
+            format!("{:.4}", strict_load_lower_bound(n)),
+        ]);
+    }
+    table.emit();
+
+    let mut masking_table = ExperimentTable::new(
+        "validate_load_masking_beats_strict_bound",
+        &[
+            "n",
+            "b",
+            "l",
+            "q",
+            "exact eps",
+            "load l*b/n",
+            "strict bound sqrt((2b+1)/n)",
+            "beats strict",
+            "thm 5.5 bound",
+        ],
+    );
+    for &n in &[2_500u32, 10_000, 40_000] {
+        let b = (n as f64).sqrt() as u32;
+        let ell = (n as f64).powf(0.2);
+        let sys = ProbabilisticMasking::with_ell(n, ell, b).expect("valid parameters");
+        let strict_bound = masking_load_lower_bound(n, b);
+        masking_table.push_row(vec![
+            n.to_string(),
+            b.to_string(),
+            format!("{ell:.2}"),
+            sys.quorum_size().to_string(),
+            fmt_prob(sys.epsilon()),
+            format!("{:.4}", sys.load()),
+            format!("{strict_bound:.4}"),
+            (sys.load() < strict_bound).to_string(),
+            format!(
+                "{:.5}",
+                masking_probabilistic_load_lower_bound(n, b, sys.epsilon())
+            ),
+        ]);
+    }
+    masking_table.emit();
+    println!(
+        "Expected shape: measured load matches q/n; every load sits above its probabilistic \
+         lower bound; and for b = sqrt(n), l = n^0.2 the masking construction's load falls \
+         below the strict masking bound (the 'beats strict' column is true), reproducing the \
+         O(n^-0.3) vs Omega(n^-0.25) separation of Section 5.5."
+    );
+}

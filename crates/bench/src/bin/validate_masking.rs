@@ -1,0 +1,81 @@
+//! Experiment V3: validates Lemmas 5.7 and 5.9 and Theorem 5.10.
+//!
+//! For masking parameters `q = ℓ·b`, compares the exact tail probabilities
+//! `P(X ≥ k)` and `P(Y < k)` (with `k = ⌈q²/2n⌉`) against the Chernoff
+//! bounds `exp(−ψ₁ q²/n)` and `exp(−ψ₂ q²/n)`, and the resulting exact ε
+//! against the Theorem 5.10 bound; a Monte-Carlo estimate of the full
+//! Definition 5.1 event is included as a cross-check.
+
+use pqs_bench::{fmt_prob, ExperimentTable};
+use pqs_core::analysis::intersection::estimate_masking_failure;
+use pqs_core::prelude::*;
+use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
+use pqs_math::bounds::{masking_threshold_k, masking_x_tail_bound, masking_y_tail_bound};
+use pqs_math::hypergeometric::Hypergeometric;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x3a5);
+    let mut table = ExperimentTable::new(
+        "validate_masking_lemmas_5_7_5_9",
+        &[
+            "n",
+            "b",
+            "l=q/b",
+            "q",
+            "k",
+            "P(X>=k) exact",
+            "psi1 bound",
+            "P(Z<k) exact",
+            "psi2 bound",
+            "exact eps",
+            "mc eps",
+            "thm 5.10 bound",
+        ],
+    );
+    let trials = 60_000u32;
+    for &(n, b) in &[(400u32, 20u32), (900, 30), (2500, 50)] {
+        for &ell in &[3.0f64, 4.0, 6.0, 8.0] {
+            let q = (ell * b as f64).round() as u32;
+            if q > n / 2 {
+                continue;
+            }
+            let k = masking_threshold_k(n as u64, q as u64) as u32;
+            let Ok(sys) = ProbabilisticMasking::new(n, q, b) else {
+                continue;
+            };
+            // Lemma 5.7: X = |Q ∩ B| ~ H(n, b, q).
+            let x = Hypergeometric::new(n as u64, b as u64, q as u64).expect("valid");
+            let x_tail = x.at_least(k as u64);
+            let x_bound = masking_x_tail_bound(n as u64, q as u64, ell);
+            // Lemma 5.9: Z ~ H(n, q - b, q) lower tail.
+            let z = Hypergeometric::new(n as u64, (q - b) as u64, q as u64).expect("valid");
+            let z_tail = z.less_than(k as u64);
+            let z_bound = masking_y_tail_bound(n as u64, q as u64, ell);
+            let faulty =
+                pqs_core::quorum::Quorum::from_indices(sys.universe(), 0..b).expect("b < n");
+            let est = estimate_masking_failure(&sys, &faulty, k as usize, trials, &mut rng)
+                .expect("trials > 0");
+            table.push_row(vec![
+                n.to_string(),
+                b.to_string(),
+                format!("{ell:.1}"),
+                q.to_string(),
+                k.to_string(),
+                fmt_prob(x_tail),
+                fmt_prob(x_bound),
+                fmt_prob(z_tail),
+                fmt_prob(z_bound),
+                fmt_prob(sys.epsilon()),
+                fmt_prob(est.estimate()),
+                fmt_prob(sys.epsilon_bound()),
+            ]);
+        }
+    }
+    table.emit();
+    println!(
+        "Lemmas 5.7/5.9: each exact tail must sit below its psi bound; Theorem 5.10: the exact \
+         epsilon must sit below 2 exp(-(q^2/n) min(psi1, psi2)), and it vanishes as l grows."
+    );
+}

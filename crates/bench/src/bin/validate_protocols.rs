@@ -1,0 +1,150 @@
+//! Experiment V4: protocol-level validation of Theorems 3.2, 4.2 and 5.2 by
+//! simulation, plus the effect of the Section 1.1 diffusion mechanism.
+//!
+//! Each row runs the discrete-event simulator with one protocol/system pair
+//! and compares the measured stale-read rate against the system's exact ε.
+
+use pqs_bench::{fmt_prob, ExperimentTable};
+use pqs_core::prelude::*;
+use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
+use pqs_protocols::cluster::Cluster;
+use pqs_protocols::diffusion::{diffuse_plain, DiffusionConfig};
+use pqs_protocols::register::SafeRegister;
+use pqs_protocols::value::Value;
+use pqs_sim::latency::LatencyModel;
+use pqs_sim::runner::{ProtocolKind, SimConfig, Simulation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        duration: 200.0,
+        arrival_rate: 40.0,
+        read_fraction: 0.7,
+        latency: LatencyModel::Fixed(1e-6),
+        crash_probability: 0.0,
+        byzantine: 0,
+        seed,
+    }
+}
+
+fn main() {
+    let mut table = ExperimentTable::new(
+        "validate_protocols_theorems_3_2_4_2_5_2",
+        &[
+            "protocol",
+            "system",
+            "byzantine",
+            "exact eps",
+            "measured stale rate",
+            "unavailability",
+            "empirical load",
+            "analytic load",
+        ],
+    );
+
+    // Theorem 3.2 — safe register, crash model, two quorum sizes.
+    for &(n, q) in &[(64u32, 8u32), (100, 15), (400, 49)] {
+        let sys = EpsilonIntersecting::new(n, q).expect("valid");
+        let report = Simulation::new(&sys, ProtocolKind::Safe, sim_config(1)).run();
+        table.push_row(vec![
+            "safe (Thm 3.2)".into(),
+            sys.name(),
+            "0".into(),
+            fmt_prob(sys.epsilon()),
+            fmt_prob(report.stale_read_rate()),
+            fmt_prob(report.unavailability()),
+            format!("{:.4}", report.empirical_load()),
+            format!("{:.4}", sys.load()),
+        ]);
+    }
+
+    // Theorem 4.2 — dissemination register with Byzantine servers.
+    for &(n, b) in &[(100u32, 20u32), (300, 100)] {
+        let sys = ProbabilisticDissemination::with_target_epsilon(n, b, 1e-3).expect("valid");
+        let mut config = sim_config(2);
+        config.byzantine = b;
+        let report = Simulation::new(&sys, ProtocolKind::Dissemination, config).run();
+        table.push_row(vec![
+            "dissemination (Thm 4.2)".into(),
+            sys.name(),
+            b.to_string(),
+            fmt_prob(sys.epsilon()),
+            fmt_prob(report.stale_read_rate()),
+            fmt_prob(report.unavailability()),
+            format!("{:.4}", report.empirical_load()),
+            format!("{:.4}", sys.load()),
+        ]);
+    }
+
+    // Theorem 5.2 — masking register with colluding forgers.
+    for &(n, b) in &[(100u32, 5u32), (400, 20)] {
+        let sys = ProbabilisticMasking::with_target_epsilon(n, b, 1e-3).expect("valid");
+        let mut config = sim_config(3);
+        config.byzantine = b;
+        let report = Simulation::new(
+            &sys,
+            ProtocolKind::Masking {
+                threshold: sys.read_threshold(),
+            },
+            config,
+        )
+        .run();
+        table.push_row(vec![
+            "masking (Thm 5.2)".into(),
+            sys.name(),
+            b.to_string(),
+            fmt_prob(sys.epsilon()),
+            fmt_prob(report.stale_read_rate()),
+            fmt_prob(report.unavailability()),
+            format!("{:.4}", report.empirical_load()),
+            format!("{:.4}", sys.load()),
+        ]);
+    }
+    table.emit();
+
+    // Diffusion (Section 1.1): write, gossip, read — staleness collapses.
+    let mut diffusion_table = ExperimentTable::new(
+        "validate_protocols_diffusion_effect",
+        &["system", "rounds", "stale rate without", "stale rate with"],
+    );
+    let sys = EpsilonIntersecting::new(64, 8).expect("valid");
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for &rounds in &[1usize, 3, 5] {
+        let mut cluster = Cluster::new(sys.universe());
+        let mut register = SafeRegister::new(&sys, 1);
+        let trials = 3000u64;
+        let mut stale_without = 0u64;
+        let mut stale_with = 0u64;
+        for i in 1..=trials {
+            register
+                .write(&mut cluster, &mut rng, Value::from_u64(i))
+                .expect("servers up");
+            match register.read(&mut cluster, &mut rng).expect("servers up") {
+                Some(tv) if tv.value == Value::from_u64(i) => {}
+                _ => stale_without += 1,
+            }
+            diffuse_plain(
+                &mut cluster,
+                0,
+                DiffusionConfig { fanout: 2, rounds },
+                &mut rng,
+            );
+            match register.read(&mut cluster, &mut rng).expect("servers up") {
+                Some(tv) if tv.value == Value::from_u64(i) => {}
+                _ => stale_with += 1,
+            }
+        }
+        diffusion_table.push_row(vec![
+            sys.name(),
+            rounds.to_string(),
+            fmt_prob(stale_without as f64 / trials as f64),
+            fmt_prob(stale_with as f64 / trials as f64),
+        ]);
+    }
+    diffusion_table.emit();
+    println!(
+        "Expected shape: each measured stale rate tracks (and does not exceed by more than \
+         sampling noise) the system's exact epsilon; diffusion drives it further toward zero."
+    );
+}

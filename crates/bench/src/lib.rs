@@ -1,0 +1,207 @@
+//! # pqs-bench
+//!
+//! The reproduction harness for the evaluation section of *Probabilistic
+//! Quorum Systems*.  Each binary in `src/bin/` regenerates one table or
+//! figure of the paper (or validates one analytical bound); the Criterion
+//! benches in `benches/` measure the library's own performance.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table I — load lower bounds and resilience caps |
+//! | `table2` | Table 2 — ε-intersecting vs threshold vs grid |
+//! | `table3` | Table 3 — dissemination systems |
+//! | `table4` | Table 4 — masking systems |
+//! | `figure1`–`figure3` | Figures 1–3 — failure-probability curves |
+//! | `validate_epsilon` | Lemma 3.15 / Theorem 3.16 |
+//! | `validate_dissemination` | Lemma 4.3 / Theorems 4.4, 4.6 |
+//! | `validate_masking` | Lemmas 5.7, 5.9 / Theorem 5.10 |
+//! | `validate_protocols` | Theorems 3.2, 4.2, 5.2 (simulation) |
+//! | `validate_load` | Theorems 3.9, 5.5 and Table I load bounds |
+//!
+//! All binaries print an aligned text table to stdout and write the same
+//! rows as CSV under `target/experiments/`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The universe sizes used throughout Section 6 (perfect squares so the grid
+/// constructions apply).
+pub const SECTION_6_SIZES: [u32; 6] = [25, 100, 225, 400, 625, 900];
+
+/// The Byzantine threshold used by Tables 3 and 4: `b = (√n − 1)/2`, "the
+/// largest b for which all the constructions in the table work".
+pub fn section_6_byzantine_threshold(n: u32) -> u32 {
+    (((n as f64).sqrt() as u32).saturating_sub(1)) / 2
+}
+
+/// The consistency target used throughout Section 6: ε ≤ 0.001.
+pub const SECTION_6_EPSILON: f64 = 1e-3;
+
+/// A simple experiment table: named columns plus rows of cells, printed
+/// aligned to stdout and exported as CSV.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table with the given experiment name and columns.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        ExperimentTable {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the number of columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the number of columns.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.name));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout and writes it as CSV under
+    /// `target/experiments/<name>.csv`.  IO errors are reported on stderr
+    /// but do not abort the experiment.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let dir = output_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.csv", self.name.replace([' ', '/'], "_")));
+        match fs::File::create(&path).and_then(|mut f| f.write_all(self.to_csv().as_bytes())) {
+            Ok(()) => println!("(csv written to {})\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Directory experiment CSVs are written to.
+pub fn output_dir() -> PathBuf {
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+        .join("experiments")
+}
+
+/// Formats a probability compactly for table cells.
+pub fn fmt_prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else if p >= 0.01 {
+        format!("{p:.4}")
+    } else {
+        format!("{p:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_6_constants() {
+        assert_eq!(section_6_byzantine_threshold(25), 2);
+        assert_eq!(section_6_byzantine_threshold(100), 4);
+        assert_eq!(section_6_byzantine_threshold(225), 7);
+        assert_eq!(section_6_byzantine_threshold(400), 9);
+        assert_eq!(section_6_byzantine_threshold(625), 12);
+        assert_eq!(section_6_byzantine_threshold(900), 14);
+    }
+
+    #[test]
+    fn table_rendering_and_csv() {
+        let mut t = ExperimentTable::new("demo", &["n", "value"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["25".into(), "1.5".into()]);
+        t.push_row(vec!["100".into(), "2.25".into()]);
+        assert_eq!(t.len(), 2);
+        let rendered = t.render();
+        assert!(rendered.contains("# demo"));
+        assert!(rendered.contains("value"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("n,value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = ExperimentTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn probability_formatting() {
+        assert_eq!(fmt_prob(0.0), "0");
+        assert_eq!(fmt_prob(0.25), "0.2500");
+        assert!(fmt_prob(1.2e-7).contains('e'));
+    }
+}

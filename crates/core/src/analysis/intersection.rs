@@ -1,0 +1,188 @@
+//! Monte-Carlo estimation of the intersection events behind the three
+//! probabilistic quorum definitions.
+//!
+//! These estimators take any [`QuorumSystem`] (they only need its sampling
+//! strategy), so they can be used both to validate the closed-form ε values
+//! of the `R(n, q)` constructions and to *measure* the ε of ad-hoc systems
+//! for which no closed form exists.
+
+use crate::quorum::Quorum;
+use crate::system::QuorumSystem;
+use crate::CoreError;
+use pqs_math::mc::BernoulliEstimator;
+use rand::RngCore;
+
+/// Estimates `P(Q ∩ Q′ = ∅)` — the complement of the Definition 3.1 event —
+/// by drawing `trials` independent pairs of quorums.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] if `trials` is zero.
+pub fn estimate_nonintersection(
+    system: &dyn QuorumSystem,
+    trials: u32,
+    rng: &mut dyn RngCore,
+) -> crate::Result<BernoulliEstimator> {
+    if trials == 0 {
+        return Err(CoreError::invalid("at least one trial is required"));
+    }
+    let mut est = BernoulliEstimator::new();
+    for _ in 0..trials {
+        let a = system.sample_quorum(rng);
+        let b = system.sample_quorum(rng);
+        est.record(!a.intersects(&b));
+    }
+    Ok(est)
+}
+
+/// Estimates `P(Q ∩ Q′ ⊆ B)` — the complement of the Definition 4.1 event —
+/// for a fixed faulty set `B`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] if `trials` is zero or `B`
+/// does not belong to the system's universe.
+pub fn estimate_contained_in_faulty(
+    system: &dyn QuorumSystem,
+    faulty: &Quorum,
+    trials: u32,
+    rng: &mut dyn RngCore,
+) -> crate::Result<BernoulliEstimator> {
+    if trials == 0 {
+        return Err(CoreError::invalid("at least one trial is required"));
+    }
+    if faulty.universe() != system.universe() {
+        return Err(CoreError::invalid(
+            "the faulty set must come from the system's universe",
+        ));
+    }
+    let mut est = BernoulliEstimator::new();
+    for _ in 0..trials {
+        let a = system.sample_quorum(rng);
+        let b = system.sample_quorum(rng);
+        est.record(a.intersection(&b).is_subset_of(faulty));
+    }
+    Ok(est)
+}
+
+/// Estimates the probability that the Definition 5.1 masking event *fails*
+/// (`|Q ∩ B| ≥ k` or `|Q ∩ Q′ ∖ B| < k`) for a fixed faulty set `B` and read
+/// threshold `k`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] if `trials` is zero or `B`
+/// does not belong to the system's universe.
+pub fn estimate_masking_failure(
+    system: &dyn QuorumSystem,
+    faulty: &Quorum,
+    threshold: usize,
+    trials: u32,
+    rng: &mut dyn RngCore,
+) -> crate::Result<BernoulliEstimator> {
+    if trials == 0 {
+        return Err(CoreError::invalid("at least one trial is required"));
+    }
+    if faulty.universe() != system.universe() {
+        return Err(CoreError::invalid(
+            "the faulty set must come from the system's universe",
+        ));
+    }
+    let mut est = BernoulliEstimator::new();
+    for _ in 0..trials {
+        let read = system.sample_quorum(rng);
+        let write = system.sample_quorum(rng);
+        let x = read.faulty_overlap(faulty);
+        let y = read.correct_overlap(&write, faulty);
+        est.record(!(x < threshold && y >= threshold));
+    }
+    Ok(est)
+}
+
+/// Estimates the *empirical load* of a system under its access strategy: it
+/// samples `trials` quorums, counts per-server accesses and reports the
+/// busiest server's access frequency.  This is the measured counterpart of
+/// [`QuorumSystem::load`] used by the V5 experiment.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] if `trials` is zero.
+pub fn estimate_empirical_load(
+    system: &dyn QuorumSystem,
+    trials: u32,
+    rng: &mut dyn RngCore,
+) -> crate::Result<f64> {
+    if trials == 0 {
+        return Err(CoreError::invalid("at least one trial is required"));
+    }
+    let n = system.universe().size() as usize;
+    let mut counts = vec![0u64; n];
+    for _ in 0..trials {
+        for s in system.sample_quorum(rng).iter() {
+            counts[s.as_usize()] += 1;
+        }
+    }
+    Ok(counts.into_iter().max().unwrap_or(0) as f64 / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probabilistic::{EpsilonIntersecting, ProbabilisticDissemination, ProbabilisticMasking};
+    use crate::strict::Majority;
+    use crate::system::ProbabilisticQuorumSystem;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn nonintersection_estimate_matches_exact_epsilon() {
+        let sys = EpsilonIntersecting::new(64, 8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let est = estimate_nonintersection(&sys, 30_000, &mut rng).unwrap();
+        assert!((est.estimate() - sys.epsilon()).abs() < 0.01);
+        // Strict systems never fail to intersect.
+        let strict = Majority::new(20).unwrap();
+        let est = estimate_nonintersection(&strict, 2000, &mut rng).unwrap();
+        assert_eq!(est.successes(), 0);
+    }
+
+    #[test]
+    fn containment_estimate_matches_exact_epsilon() {
+        let sys = ProbabilisticDissemination::new(60, 12, 20).unwrap();
+        let faulty = Quorum::from_indices(sys.universe(), 0u32..20).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let est = estimate_contained_in_faulty(&sys, &faulty, 30_000, &mut rng).unwrap();
+        assert!((est.estimate() - sys.epsilon()).abs() < 0.012);
+    }
+
+    #[test]
+    fn masking_estimate_matches_exact_epsilon() {
+        let sys = ProbabilisticMasking::new(80, 26, 8).unwrap();
+        let faulty = Quorum::from_indices(sys.universe(), 0u32..8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let est =
+            estimate_masking_failure(&sys, &faulty, sys.read_threshold(), 30_000, &mut rng)
+                .unwrap();
+        assert!((est.estimate() - sys.epsilon()).abs() < 0.012);
+    }
+
+    #[test]
+    fn empirical_load_close_to_analytic() {
+        let sys = EpsilonIntersecting::new(100, 22).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let load = estimate_empirical_load(&sys, 20_000, &mut rng).unwrap();
+        // The busiest server's frequency concentrates near q/n = 0.22.
+        assert!((load - sys.load()).abs() < 0.02, "load={load}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let sys = EpsilonIntersecting::new(30, 6).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(estimate_nonintersection(&sys, 0, &mut rng).is_err());
+        assert!(estimate_empirical_load(&sys, 0, &mut rng).is_err());
+        let wrong_universe = Quorum::from_indices(crate::universe::Universe::new(31), [0u32]).unwrap();
+        assert!(estimate_contained_in_faulty(&sys, &wrong_universe, 10, &mut rng).is_err());
+        assert!(estimate_masking_failure(&sys, &wrong_universe, 1, 10, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! A compact, fixed-capacity bitset over server indices.
+//!
+//! Quorum intersection tests are the innermost operation of every measure and
+//! protocol in this workspace (e.g. the Monte-Carlo estimates behind the
+//! Section 6 comparisons perform millions of them), so quorums are backed by
+//! a word-level bitset rather than hash sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of indices in `0..capacity`, stored one bit per index.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_core::bitset::BitSet;
+/// let mut a = BitSet::new(100);
+/// a.insert(3);
+/// a.insert(64);
+/// let mut b = BitSet::new(100);
+/// b.insert(64);
+/// assert_eq!(a.intersection_count(&b), 1);
+/// assert!(a.intersects(&b));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        let words = vec![0u64; capacity.div_ceil(WORD_BITS)];
+        BitSet { words, capacity }
+    }
+
+    /// Creates a bitset from an iterator of indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= capacity`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(capacity: usize, indices: I) -> Self {
+        let mut s = BitSet::new(capacity);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Creates a bitset containing every index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The number of indices this set can hold (`0..capacity`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `index` into the set. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(
+            index < self.capacity,
+            "index {index} out of range for capacity {}",
+            self.capacity
+        );
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        let mask = 1u64 << b;
+        let was_set = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was_set
+    }
+
+    /// Removes `index` from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        if index >= self.capacity {
+            return false;
+        }
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        let mask = 1u64 << b;
+        let was_set = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was_set
+    }
+
+    /// Returns `true` if `index` is in the set.
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.capacity {
+            return false;
+        }
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of indices present in both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.assert_same_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` if the two sets share at least one index.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.assert_same_capacity(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if every index of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.assert_same_capacity(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The set of indices in `self` but not in `other`.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        self.assert_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & !b)
+            .collect();
+        BitSet {
+            words,
+            capacity: self.capacity,
+        }
+    }
+
+    /// The set of indices in either `self` or `other`.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        self.assert_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        BitSet {
+            words,
+            capacity: self.capacity,
+        }
+    }
+
+    /// The set of indices in both `self` and `other`.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        self.assert_same_capacity(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        BitSet {
+            words,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Iterator over the indices in the set, in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn assert_same_capacity(&self, other: &BitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bitset capacities differ ({} vs {})",
+            self.capacity, other.capacity
+        );
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitSet(capacity={}, {{", self.capacity)?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}})")
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a bitset sized to the largest index seen.
+    ///
+    /// Mostly useful in tests; prefer [`BitSet::from_indices`] when the
+    /// capacity (universe size) is known.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let capacity = indices.iter().max().map_or(0, |m| m + 1);
+        BitSet::from_indices(capacity, indices)
+    }
+}
+
+/// Iterator over the indices of a [`BitSet`], produced by [`BitSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(129));
+        assert!(!s.contains(100));
+        assert!(!s.contains(500));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.remove(999));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn from_indices_and_iter_roundtrip() {
+        let indices = vec![1usize, 5, 64, 65, 99];
+        let s = BitSet::from_indices(100, indices.iter().copied());
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, indices);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn full_set() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(0));
+        assert!(s.contains(69));
+        assert_eq!(s.iter().count(), 70);
+    }
+
+    #[test]
+    fn intersection_union_difference() {
+        let a = BitSet::from_indices(128, [1usize, 2, 3, 64, 100]);
+        let b = BitSet::from_indices(128, [3usize, 64, 101]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert!(a.intersects(&b));
+        let inter = a.intersection(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![3, 64]);
+        let uni = a.union(&b);
+        assert_eq!(uni.len(), 6);
+        let diff = a.difference(&b);
+        assert_eq!(diff.iter().collect::<Vec<_>>(), vec![1, 2, 100]);
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_intersect() {
+        let a = BitSet::from_indices(200, [0usize, 10, 150]);
+        let b = BitSet::from_indices(200, [1usize, 11, 151]);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), 0);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_indices(64, [3usize, 7]);
+        let b = BitSet::from_indices(64, [1usize, 3, 7, 9]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        let empty = BitSet::new(64);
+        assert!(empty.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities differ")]
+    fn mismatched_capacity_panics() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(20);
+        let _ = a.intersects(&b);
+    }
+
+    #[test]
+    fn debug_format_lists_elements() {
+        let s = BitSet::from_indices(10, [2usize, 5]);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains('2') && dbg.contains('5'));
+        // Never empty even for an empty set (C-DEBUG-NONEMPTY).
+        let empty = BitSet::new(4);
+        assert!(!format!("{empty:?}").is_empty());
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = vec![2usize, 8, 4].into_iter().collect();
+        assert_eq!(s.capacity(), 9);
+        assert_eq!(s.len(), 3);
+        let empty: BitSet = Vec::<usize>::new().into_iter().collect();
+        assert_eq!(empty.capacity(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn capacity_not_multiple_of_word_size() {
+        let mut s = BitSet::new(65);
+        s.insert(64);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![64]);
+    }
+}

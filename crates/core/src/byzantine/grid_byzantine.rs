@@ -1,0 +1,398 @@
+//! Grid constructions of strict Byzantine quorum systems ([MRW00]).
+//!
+//! The `n = d²` servers are laid out in a `d × d` grid and a quorum is the
+//! union of `r` full rows and `r` full columns.  Two such quorums always
+//! share at least `2r²` cells (the rows of one crossed with the columns of
+//! the other), so
+//!
+//! * `r = ⌈√((b+1)/2)⌉` yields a strict b-dissemination system, and
+//! * `r = ⌈√((2b+1)/2)⌉` yields a strict b-masking system.
+//!
+//! Quorums have `2rd − r²` servers.  These are the "Grid" comparators of
+//! Tables 3 and 4 (e.g. for `n = 400`, `b = 9` the dissemination grid quorum
+//! has `2·3·20 − 9 = 111` servers and the masking grid `2·4·20 − 16 = 144`).
+
+use crate::quorum::Quorum;
+use crate::system::{ByzantineQuorumSystem, QuorumSystem};
+use crate::universe::Universe;
+use crate::CoreError;
+use pqs_math::binomial::Binomial;
+use pqs_math::sampling::sample_k_of_n;
+use rand::Rng;
+use rand::RngCore;
+use rand::SeedableRng;
+
+/// Shared implementation of the r-rows-plus-r-columns grid systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ByzantineGridCore {
+    universe: Universe,
+    side: u32,
+    rows_and_cols: u32,
+    byzantine: u32,
+}
+
+impl ByzantineGridCore {
+    fn new(n: u32, b: u32, required_overlap: u32, kind: &str) -> crate::Result<Self> {
+        if n == 0 {
+            return Err(CoreError::invalid("universe must be non-empty"));
+        }
+        let side = (n as f64).sqrt().round() as u32;
+        if side * side != n {
+            return Err(CoreError::invalid(format!(
+                "{kind} grid requires a perfect-square universe, got n={n}"
+            )));
+        }
+        // Smallest r with 2 r^2 >= required_overlap.
+        let r = (required_overlap as f64 / 2.0).sqrt().ceil() as u32;
+        let r = r.max(1);
+        if r > side {
+            return Err(CoreError::invalid(format!(
+                "{kind} grid over n={n} cannot tolerate b={b}: needs {r} rows/columns but the grid only has {side}"
+            )));
+        }
+        // The quorum must still exist after b crashes have disabled rows:
+        // resilience requires A(Q) > b, i.e. side - r + 1 > b.
+        if side - r + 1 <= b {
+            return Err(CoreError::invalid(format!(
+                "{kind} grid over n={n} has fault tolerance {} which does not exceed b={b}",
+                side - r + 1
+            )));
+        }
+        Ok(ByzantineGridCore {
+            universe: Universe::new(n),
+            side,
+            rows_and_cols: r,
+            byzantine: b,
+        })
+    }
+
+    fn quorum_size(&self) -> u32 {
+        2 * self.rows_and_cols * self.side - self.rows_and_cols * self.rows_and_cols
+    }
+
+    fn quorum_for(&self, rows: &[u32], cols: &[u32]) -> crate::Result<Quorum> {
+        let d = self.side;
+        let r = self.rows_and_cols as usize;
+        if rows.len() != r || cols.len() != r {
+            return Err(CoreError::invalid(format!(
+                "expected exactly {r} rows and {r} columns"
+            )));
+        }
+        if rows.iter().chain(cols).any(|&x| x >= d) {
+            return Err(CoreError::invalid("row/column index out of range"));
+        }
+        let mut indices = Vec::new();
+        for &row in rows {
+            for c in 0..d {
+                indices.push(row * d + c);
+            }
+        }
+        for &col in cols {
+            for row in 0..d {
+                if !rows.contains(&row) {
+                    indices.push(row * d + col);
+                }
+            }
+        }
+        Quorum::from_indices(self.universe, indices)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Quorum {
+        let r = self.rows_and_cols as u64;
+        let d = self.side as u64;
+        let rows: Vec<u32> = sample_k_of_n(rng, r, d)
+            .expect("r <= d")
+            .into_iter()
+            .map(|x| x as u32)
+            .collect();
+        let cols: Vec<u32> = sample_k_of_n(rng, r, d)
+            .expect("r <= d")
+            .into_iter()
+            .map(|x| x as u32)
+            .collect();
+        self.quorum_for(&rows, &cols).expect("sampled in range")
+    }
+
+    fn load(&self) -> f64 {
+        self.quorum_size() as f64 / self.universe.size() as f64
+    }
+
+    fn fault_tolerance(&self) -> u32 {
+        // One crash in each of d - r + 1 rows leaves fewer than r clean
+        // rows, so no quorum survives; any smaller set leaves both r clean
+        // rows and r clean columns.
+        self.side - self.rows_and_cols + 1
+    }
+
+    /// Estimated by deterministic Monte-Carlo (fixed seed, 40 000 samples):
+    /// the exact probability couples the row- and column-cleanliness events,
+    /// which have no convenient closed form for `r > 1`.
+    fn failure_probability(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p == 1.0 {
+            return 1.0;
+        }
+        let d = self.side as usize;
+        let r = self.rows_and_cols as usize;
+        const SAMPLES: usize = 40_000;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x6121_d001);
+        let mut failures = 0usize;
+        for _ in 0..SAMPLES {
+            let mut clean_rows = 0usize;
+            let mut col_hit = vec![false; d];
+            for _row in 0..d {
+                let mut row_clean = true;
+                for hit in col_hit.iter_mut() {
+                    if rng.gen_bool(p) {
+                        row_clean = false;
+                        *hit = true;
+                    }
+                }
+                if row_clean {
+                    clean_rows += 1;
+                }
+            }
+            let clean_cols = col_hit.iter().filter(|h| !**h).count();
+            if clean_rows < r || clean_cols < r {
+                failures += 1;
+            }
+        }
+        failures as f64 / SAMPLES as f64
+    }
+
+    /// A cheap analytical *upper bound* on the failure probability via the
+    /// union bound over rows and columns: `2·P(Bin(d, (1−p)^d) ≤ r − 1)`.
+    fn failure_probability_union_bound(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let d = self.side as u64;
+        let clean_row_prob = (1.0 - p).powi(self.side as i32);
+        let rows = Binomial::new(d, clean_row_prob).expect("probability");
+        let single = rows.cdf((self.rows_and_cols - 1) as u64);
+        (2.0 * single).min(1.0)
+    }
+}
+
+macro_rules! byzantine_grid_system {
+    ($name:ident, $label:literal, $overlap:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $name {
+            core: ByzantineGridCore,
+        }
+
+        impl $name {
+            /// Creates the system over `n = d²` servers tolerating `b`
+            /// Byzantine failures.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`CoreError::InvalidConstruction`] if `n` is not a
+            /// perfect square, the required number of rows/columns exceeds
+            /// the grid side, or the resulting fault tolerance would not
+            /// exceed `b`.
+            pub fn new(n: u32, b: u32) -> crate::Result<Self> {
+                let overlap: u32 = $overlap(b);
+                Ok(Self {
+                    core: ByzantineGridCore::new(n, b, overlap, $label)?,
+                })
+            }
+
+            /// Number of rows (equivalently columns) in each quorum.
+            pub fn rows_and_cols(&self) -> u32 {
+                self.core.rows_and_cols
+            }
+
+            /// The fixed quorum size `2rd − r²`.
+            pub fn quorum_size(&self) -> u32 {
+                self.core.quorum_size()
+            }
+
+            /// The quorum formed by the given rows and columns.
+            ///
+            /// # Errors
+            ///
+            /// Returns an error unless exactly `r` in-range rows and `r`
+            /// in-range columns are supplied.
+            pub fn quorum_for(&self, rows: &[u32], cols: &[u32]) -> crate::Result<Quorum> {
+                self.core.quorum_for(rows, cols)
+            }
+
+            /// Analytical upper bound on the failure probability
+            /// (union bound over "too few clean rows" / "too few clean
+            /// columns").
+            pub fn failure_probability_upper_bound(&self, p: f64) -> f64 {
+                self.core.failure_probability_union_bound(p)
+            }
+        }
+
+        impl QuorumSystem for $name {
+            fn universe(&self) -> Universe {
+                self.core.universe
+            }
+            fn sample_quorum(&self, rng: &mut dyn RngCore) -> Quorum {
+                self.core.sample(rng)
+            }
+            fn name(&self) -> String {
+                format!(
+                    concat!($label, "-grid(n={}, b={})"),
+                    self.core.universe.size(),
+                    self.core.byzantine
+                )
+            }
+            fn min_quorum_size(&self) -> usize {
+                self.core.quorum_size() as usize
+            }
+            /// Exactly `(2rd − r²)/n` under the uniform strategy.
+            fn load(&self) -> f64 {
+                self.core.load()
+            }
+            /// `d − r + 1`.
+            fn fault_tolerance(&self) -> u32 {
+                self.core.fault_tolerance()
+            }
+            /// Deterministic Monte-Carlo estimate (see
+            /// [`failure_probability_upper_bound`](Self::failure_probability_upper_bound)
+            /// for an analytical bound).
+            fn failure_probability(&self, p: f64) -> f64 {
+                self.core.failure_probability(p)
+            }
+        }
+
+        impl ByzantineQuorumSystem for $name {
+            fn byzantine_threshold(&self) -> u32 {
+                self.core.byzantine
+            }
+        }
+    };
+}
+
+byzantine_grid_system!(
+    DisseminationGrid,
+    "dissemination",
+    |b: u32| b + 1,
+    "Strict b-dissemination grid system: quorums are `⌈√((b+1)/2)⌉` rows plus as many columns, so any two quorums overlap in at least `b + 1` servers.\n\n# Examples\n\n```\nuse pqs_core::byzantine::DisseminationGrid;\nuse pqs_core::system::QuorumSystem;\nlet g = DisseminationGrid::new(400, 9).unwrap();\nassert_eq!(g.min_quorum_size(), 111); // Table 3\n```"
+);
+
+byzantine_grid_system!(
+    MaskingGrid,
+    "masking",
+    |b: u32| 2 * b + 1,
+    "Strict b-masking grid system: quorums are `⌈√((2b+1)/2)⌉` rows plus as many columns, so any two quorums overlap in at least `2b + 1` servers.\n\n# Examples\n\n```\nuse pqs_core::byzantine::MaskingGrid;\nuse pqs_core::system::QuorumSystem;\nlet g = MaskingGrid::new(400, 9).unwrap();\nassert_eq!(g.min_quorum_size(), 144); // Table 4\n```"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dissemination_grid_sizes_match_table_three() {
+        // (n, b, quorum size); n=900 entry corrected for the scanned table's
+        // obvious typo (771 -> 171 = 2*3*30 - 9).
+        let expected = [
+            (25u32, 2u32, 16u32),
+            (100, 4, 36),
+            (225, 7, 56),
+            (400, 9, 111),
+            (625, 12, 141),
+            (900, 14, 171),
+        ];
+        for (n, b, size) in expected {
+            let g = DisseminationGrid::new(n, b).unwrap();
+            assert_eq!(g.quorum_size(), size, "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn masking_grid_sizes_match_table_four() {
+        let expected = [
+            (25u32, 2u32, 16u32),
+            (100, 4, 51),
+            (225, 7, 81),
+            (400, 9, 144),
+            (625, 12, 184),
+            (900, 14, 224),
+        ];
+        for (n, b, size) in expected {
+            let g = MaskingGrid::new(n, b).unwrap();
+            assert_eq!(g.quorum_size(), size, "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DisseminationGrid::new(0, 1).is_err());
+        assert!(DisseminationGrid::new(26, 2).is_err(), "not a square");
+        // b so large that r would exceed the side.
+        assert!(DisseminationGrid::new(25, 24).is_err());
+        // b exceeding the fault tolerance d - r + 1.
+        assert!(MaskingGrid::new(25, 4).is_err());
+        assert!(MaskingGrid::new(25, 2).is_ok());
+    }
+
+    #[test]
+    fn sampled_quorums_have_expected_size_and_structure() {
+        let g = DisseminationGrid::new(100, 4).unwrap();
+        assert_eq!(g.rows_and_cols(), 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..50 {
+            let q = g.sample_quorum(&mut rng);
+            assert_eq!(q.len(), 36);
+        }
+    }
+
+    #[test]
+    fn explicit_quorum_for_overlap_requirement() {
+        let g = MaskingGrid::new(100, 4).unwrap();
+        let r = g.rows_and_cols();
+        assert_eq!(r, 3);
+        // Two quorums with disjoint rows and columns: worst-case overlap 2r².
+        let q1 = g.quorum_for(&[0, 1, 2], &[0, 1, 2]).unwrap();
+        let q2 = g.quorum_for(&[3, 4, 5], &[3, 4, 5]).unwrap();
+        assert!(q1.intersection_size(&q2) >= (2 * 4 + 1) as usize);
+        assert_eq!(q1.intersection_size(&q2), (2 * r * r) as usize);
+        // Argument validation.
+        assert!(g.quorum_for(&[0, 1], &[0, 1, 2]).is_err());
+        assert!(g.quorum_for(&[0, 1, 99], &[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_is_d_minus_r_plus_one() {
+        let g = DisseminationGrid::new(400, 9).unwrap();
+        assert_eq!(g.rows_and_cols(), 3);
+        assert_eq!(g.fault_tolerance(), 18);
+        let m = MaskingGrid::new(400, 9).unwrap();
+        assert_eq!(m.rows_and_cols(), 4);
+        assert_eq!(m.fault_tolerance(), 17);
+    }
+
+    #[test]
+    fn load_equals_quorum_fraction() {
+        let g = DisseminationGrid::new(225, 7).unwrap();
+        assert!((g.load() - 56.0 / 225.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_probability_extremes_and_bound() {
+        let g = MaskingGrid::new(100, 4).unwrap();
+        assert_eq!(g.failure_probability(0.0), 0.0);
+        assert_eq!(g.failure_probability(1.0), 1.0);
+        let p = 0.15;
+        let mc = g.failure_probability(p);
+        let ub = g.failure_probability_upper_bound(p);
+        // The Monte-Carlo estimate must not exceed the union bound by more
+        // than sampling noise.
+        assert!(mc <= ub + 0.02, "mc={mc} ub={ub}");
+    }
+
+    #[test]
+    fn byzantine_threshold_accessors() {
+        assert_eq!(DisseminationGrid::new(100, 4).unwrap().byzantine_threshold(), 4);
+        assert_eq!(MaskingGrid::new(100, 4).unwrap().byzantine_threshold(), 4);
+        assert!(DisseminationGrid::new(100, 4).unwrap().name().contains("grid"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Threshold constructions of strict Byzantine quorum systems.
+//!
+//! The quorums are all subsets of size `q`, with `q` chosen so that any two
+//! quorums overlap in enough servers:
+//!
+//! * dissemination: `q = ⌈(n + b + 1)/2⌉` gives `|Q ∩ Q′| ≥ 2q − n ≥ b + 1`;
+//! * masking: `q = ⌈(n + 2b + 1)/2⌉` gives `|Q ∩ Q′| ≥ 2b + 1`.
+//!
+//! These are the "Threshold" comparators of Tables 3 and 4 and the strict
+//! curves on the right of Figures 2 and 3.
+
+use crate::quorum::Quorum;
+use crate::system::{ByzantineQuorumSystem, QuorumSystem};
+use crate::universe::Universe;
+use crate::CoreError;
+use pqs_math::binomial::Binomial;
+use pqs_math::sampling::sample_k_of_n;
+use rand::RngCore;
+
+/// Common implementation shared by the dissemination and masking threshold
+/// systems: a uniform-strategy system over all `q`-subsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ThresholdCore {
+    universe: Universe,
+    quorum_size: u32,
+    byzantine: u32,
+}
+
+impl ThresholdCore {
+    fn sample(&self, rng: &mut dyn RngCore) -> Quorum {
+        let indices = sample_k_of_n(rng, self.quorum_size as u64, self.universe.size() as u64)
+            .expect("quorum size validated");
+        Quorum::from_indices(self.universe, indices.into_iter().map(|i| i as u32))
+            .expect("indices in range")
+    }
+
+    fn load(&self) -> f64 {
+        self.quorum_size as f64 / self.universe.size() as f64
+    }
+
+    fn fault_tolerance(&self) -> u32 {
+        self.universe.size() - self.quorum_size + 1
+    }
+
+    fn failure_probability(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        Binomial::new(self.universe.size() as u64, p)
+            .expect("p clamped")
+            .sf((self.universe.size() - self.quorum_size) as u64)
+    }
+}
+
+/// Strict b-dissemination threshold system: all subsets of size
+/// `⌈(n + b + 1)/2⌉`.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_core::byzantine::DisseminationThreshold;
+/// use pqs_core::system::{ByzantineQuorumSystem, QuorumSystem};
+/// let d = DisseminationThreshold::new(100, 4).unwrap();
+/// assert_eq!(d.min_quorum_size(), 53);           // Table 3
+/// assert_eq!(d.fault_tolerance(), 48);           // Table 3
+/// assert_eq!(d.byzantine_threshold(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisseminationThreshold {
+    core: ThresholdCore,
+}
+
+impl DisseminationThreshold {
+    /// Creates a b-dissemination threshold system over `n` servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConstruction`] if `n` is zero or
+    /// `b > ⌊(n − 1)/3⌋` (beyond the resilience bound of Table I, the
+    /// required quorums would have to overlap in more servers than they
+    /// contain).
+    pub fn new(n: u32, b: u32) -> crate::Result<Self> {
+        if n == 0 {
+            return Err(CoreError::invalid("universe must be non-empty"));
+        }
+        if b > super::max_dissemination_threshold(n) {
+            return Err(CoreError::invalid(format!(
+                "b={b} exceeds the dissemination resilience bound (n-1)/3 = {} for n={n}",
+                super::max_dissemination_threshold(n)
+            )));
+        }
+        let q = (n + b + 1).div_ceil(2).min(n);
+        Ok(DisseminationThreshold {
+            core: ThresholdCore {
+                universe: Universe::new(n),
+                quorum_size: q,
+                byzantine: b,
+            },
+        })
+    }
+
+    /// The fixed quorum size `⌈(n + b + 1)/2⌉`.
+    pub fn quorum_size(&self) -> u32 {
+        self.core.quorum_size
+    }
+}
+
+impl QuorumSystem for DisseminationThreshold {
+    fn universe(&self) -> Universe {
+        self.core.universe
+    }
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> Quorum {
+        self.core.sample(rng)
+    }
+    fn name(&self) -> String {
+        format!(
+            "dissemination-threshold(n={}, b={})",
+            self.core.universe.size(),
+            self.core.byzantine
+        )
+    }
+    fn min_quorum_size(&self) -> usize {
+        self.core.quorum_size as usize
+    }
+    /// Exactly `q/n` under the uniform strategy.
+    fn load(&self) -> f64 {
+        self.core.load()
+    }
+    /// `n − q + 1`, as for any threshold system.
+    fn fault_tolerance(&self) -> u32 {
+        self.core.fault_tolerance()
+    }
+    /// Exact binomial tail, as for any threshold system.
+    fn failure_probability(&self, p: f64) -> f64 {
+        self.core.failure_probability(p)
+    }
+}
+
+impl ByzantineQuorumSystem for DisseminationThreshold {
+    fn byzantine_threshold(&self) -> u32 {
+        self.core.byzantine
+    }
+}
+
+/// Strict b-masking threshold system: all subsets of size
+/// `⌈(n + 2b + 1)/2⌉`.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_core::byzantine::MaskingThreshold;
+/// use pqs_core::system::{ByzantineQuorumSystem, QuorumSystem};
+/// let m = MaskingThreshold::new(100, 4).unwrap();
+/// assert_eq!(m.min_quorum_size(), 55);           // Table 4
+/// assert_eq!(m.fault_tolerance(), 46);           // Table 4
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskingThreshold {
+    core: ThresholdCore,
+}
+
+impl MaskingThreshold {
+    /// Creates a b-masking threshold system over `n` servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConstruction`] if `n` is zero or
+    /// `b > ⌊(n − 1)/4⌋`.
+    pub fn new(n: u32, b: u32) -> crate::Result<Self> {
+        if n == 0 {
+            return Err(CoreError::invalid("universe must be non-empty"));
+        }
+        if b > super::max_masking_threshold(n) {
+            return Err(CoreError::invalid(format!(
+                "b={b} exceeds the masking resilience bound (n-1)/4 = {} for n={n}",
+                super::max_masking_threshold(n)
+            )));
+        }
+        let q = (n + 2 * b + 1).div_ceil(2).min(n);
+        Ok(MaskingThreshold {
+            core: ThresholdCore {
+                universe: Universe::new(n),
+                quorum_size: q,
+                byzantine: b,
+            },
+        })
+    }
+
+    /// The fixed quorum size `⌈(n + 2b + 1)/2⌉`.
+    pub fn quorum_size(&self) -> u32 {
+        self.core.quorum_size
+    }
+}
+
+impl QuorumSystem for MaskingThreshold {
+    fn universe(&self) -> Universe {
+        self.core.universe
+    }
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> Quorum {
+        self.core.sample(rng)
+    }
+    fn name(&self) -> String {
+        format!(
+            "masking-threshold(n={}, b={})",
+            self.core.universe.size(),
+            self.core.byzantine
+        )
+    }
+    fn min_quorum_size(&self) -> usize {
+        self.core.quorum_size as usize
+    }
+    /// Exactly `q/n` under the uniform strategy.
+    fn load(&self) -> f64 {
+        self.core.load()
+    }
+    /// `n − q + 1`, as for any threshold system.
+    fn fault_tolerance(&self) -> u32 {
+        self.core.fault_tolerance()
+    }
+    /// Exact binomial tail, as for any threshold system.
+    fn failure_probability(&self, p: f64) -> f64 {
+        self.core.failure_probability(p)
+    }
+}
+
+impl ByzantineQuorumSystem for MaskingThreshold {
+    fn byzantine_threshold(&self) -> u32 {
+        self.core.byzantine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dissemination_sizes_match_table_three() {
+        // Table 3 threshold quorum sizes and fault tolerances
+        // (n=225 row corrected for the obvious typo in the scanned table).
+        let expected = [
+            (25u32, 2u32, 14u32, 12u32),
+            (100, 4, 53, 48),
+            (225, 7, 117, 109),
+            (400, 9, 205, 196),
+            (625, 12, 319, 307),
+            (900, 14, 458, 443),
+        ];
+        for (n, b, size, ft) in expected {
+            let d = DisseminationThreshold::new(n, b).unwrap();
+            assert_eq!(d.quorum_size(), size, "n={n}");
+            assert_eq!(d.fault_tolerance(), ft, "n={n}");
+        }
+    }
+
+    #[test]
+    fn masking_sizes_match_table_four() {
+        let expected = [
+            (25u32, 2u32, 15u32, 11u32),
+            (100, 4, 55, 46),
+            (225, 7, 120, 106),
+            (400, 9, 210, 191),
+            (625, 12, 325, 301),
+            (900, 14, 465, 436),
+        ];
+        for (n, b, size, ft) in expected {
+            let m = MaskingThreshold::new(n, b).unwrap();
+            assert_eq!(m.quorum_size(), size, "n={n}");
+            assert_eq!(m.fault_tolerance(), ft, "n={n}");
+        }
+    }
+
+    #[test]
+    fn resilience_bounds_enforced() {
+        assert!(DisseminationThreshold::new(100, 33).is_ok());
+        assert!(DisseminationThreshold::new(100, 34).is_err());
+        assert!(MaskingThreshold::new(100, 24).is_ok());
+        assert!(MaskingThreshold::new(100, 25).is_err());
+        assert!(DisseminationThreshold::new(0, 0).is_err());
+        assert!(MaskingThreshold::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn overlap_guarantees_hold_for_worst_case_quorums() {
+        // The two "extreme" quorums 0..q and n-q..n overlap in exactly 2q-n
+        // servers, which must still meet the requirement.
+        let n = 100u32;
+        let b = 4u32;
+        let d = DisseminationThreshold::new(n, b).unwrap();
+        assert!(2 * d.quorum_size() as i64 - n as i64 >= (b + 1) as i64);
+        let m = MaskingThreshold::new(n, b).unwrap();
+        assert!(2 * m.quorum_size() as i64 - n as i64 >= (2 * b + 1) as i64);
+    }
+
+    #[test]
+    fn sampling_and_measures() {
+        let d = DisseminationThreshold::new(25, 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let q = d.sample_quorum(&mut rng);
+        assert_eq!(q.len(), 14);
+        assert!((d.load() - 14.0 / 25.0).abs() < 1e-12);
+        assert!(d.failure_probability(0.0).abs() < 1e-12);
+        assert!((d.failure_probability(1.0) - 1.0).abs() < 1e-12);
+        assert!(d.name().contains("dissemination"));
+
+        let m = MaskingThreshold::new(25, 2).unwrap();
+        let q = m.sample_quorum(&mut rng);
+        assert_eq!(q.len(), 15);
+        assert!(m.name().contains("masking"));
+    }
+
+    #[test]
+    fn byzantine_threshold_accessor() {
+        use crate::system::ByzantineQuorumSystem;
+        assert_eq!(
+            DisseminationThreshold::new(100, 7).unwrap().byzantine_threshold(),
+            7
+        );
+        assert_eq!(MaskingThreshold::new(100, 7).unwrap().byzantine_threshold(), 7);
+    }
+
+    #[test]
+    fn masking_failure_probability_worse_than_dissemination() {
+        // Larger quorums -> worse availability at the same p.
+        let d = DisseminationThreshold::new(100, 4).unwrap();
+        let m = MaskingThreshold::new(100, 4).unwrap();
+        for &p in &[0.2, 0.4] {
+            assert!(m.failure_probability(p) >= d.failure_probability(p));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quorum-system constructors and measure computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A construction was given parameters that cannot produce a valid
+    /// system (e.g. a quorum size larger than the universe, or a Byzantine
+    /// threshold beyond the construction's resilience bound).
+    InvalidConstruction(String),
+    /// A server id was outside the universe it was used with.
+    ServerOutOfRange {
+        /// The offending server index.
+        server: u64,
+        /// The size of the universe it was checked against.
+        universe: u64,
+    },
+    /// A requested exact computation is infeasible for the given system size
+    /// (e.g. exact fault tolerance of an enormous explicit system).
+    Infeasible(String),
+    /// An error bubbled up from the numerical layer.
+    Math(pqs_math::MathError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConstruction(msg) => write!(f, "invalid construction: {msg}"),
+            CoreError::ServerOutOfRange { server, universe } => write!(
+                f,
+                "server {server} is outside the universe of {universe} servers"
+            ),
+            CoreError::Infeasible(msg) => write!(f, "computation infeasible: {msg}"),
+            CoreError::Math(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pqs_math::MathError> for CoreError {
+    fn from(e: pqs_math::MathError) -> Self {
+        CoreError::Math(e)
+    }
+}
+
+impl CoreError {
+    /// Builds an [`CoreError::InvalidConstruction`] from anything printable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        CoreError::InvalidConstruction(msg.to_string())
+    }
+
+    /// Builds an [`CoreError::Infeasible`] from anything printable.
+    pub fn infeasible(msg: impl fmt::Display) -> Self {
+        CoreError::Infeasible(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::invalid("q > n").to_string().contains("q > n"));
+        assert!(CoreError::infeasible("too big").to_string().contains("too big"));
+        let e = CoreError::ServerOutOfRange {
+            server: 12,
+            universe: 10,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn from_math_error_preserves_source() {
+        let inner = pqs_math::MathError::invalid("bad p");
+        let e: CoreError = inner.clone().into();
+        assert!(e.to_string().contains("bad p"));
+        assert!(Error::source(&e).is_some());
+        assert_eq!(e, CoreError::Math(inner));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

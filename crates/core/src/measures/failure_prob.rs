@@ -1,0 +1,204 @@
+//! Failure probability (Definitions 2.6 and 3.8) for explicitly enumerated
+//! systems.
+//!
+//! The symmetric constructions have closed forms (binomial tails); for
+//! arbitrary explicit systems this module provides an exact
+//! inclusion–exclusion computation (feasible for small systems) and a
+//! Monte-Carlo estimator for larger ones.
+
+use crate::quorum::Quorum;
+use crate::CoreError;
+use rand::Rng;
+use rand::RngCore;
+
+/// Maximum number of quorums for which the exact inclusion–exclusion
+/// computation (over `2^m` subsets) is attempted.
+const EXACT_LIMIT: usize = 22;
+
+/// Exact failure probability of an explicit set system: the probability
+/// that every quorum contains at least one crashed server when servers
+/// crash independently with probability `p`.
+///
+/// Uses inclusion–exclusion over subsets of quorums:
+/// `P(some quorum alive) = Σ_{∅≠S} (−1)^{|S|+1} (1−p)^{|∪S|}`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] for an empty list or
+/// mismatched universes, and [`CoreError::Infeasible`] if there are more
+/// than 22 quorums (use [`failure_probability_monte_carlo`] instead).
+pub fn failure_probability_exact(quorums: &[Quorum], p: f64) -> crate::Result<f64> {
+    validate(quorums)?;
+    if quorums.len() > EXACT_LIMIT {
+        return Err(CoreError::infeasible(format!(
+            "exact failure probability limited to {EXACT_LIMIT} quorums; got {}",
+            quorums.len()
+        )));
+    }
+    let p = p.clamp(0.0, 1.0);
+    let alive = 1.0 - p;
+    let m = quorums.len();
+    let mut some_alive = 0.0f64;
+    // Iterate over non-empty subsets of quorums.
+    for mask in 1u32..(1u32 << m) {
+        let mut union = quorums[0].as_bitset().clone();
+        // Start from an empty set of the right capacity.
+        union = union.difference(&union);
+        let mut bits = mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            union = union.union(quorums[i].as_bitset());
+            bits &= bits - 1;
+        }
+        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        some_alive += sign * alive.powi(union.len() as i32);
+    }
+    Ok((1.0 - some_alive).clamp(0.0, 1.0))
+}
+
+/// Monte-Carlo estimate of the failure probability of an explicit set
+/// system using `trials` independent crash patterns.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] for an empty list, mismatched
+/// universes, or zero trials.
+pub fn failure_probability_monte_carlo(
+    quorums: &[Quorum],
+    p: f64,
+    trials: u32,
+    rng: &mut dyn RngCore,
+) -> crate::Result<f64> {
+    validate(quorums)?;
+    if trials == 0 {
+        return Err(CoreError::invalid("at least one trial is required"));
+    }
+    let p = p.clamp(0.0, 1.0);
+    let n = quorums[0].universe().size() as usize;
+    let mut failures = 0u32;
+    let mut crashed = vec![false; n];
+    for _ in 0..trials {
+        for c in crashed.iter_mut() {
+            *c = rng.gen_bool(p);
+        }
+        let some_alive = quorums
+            .iter()
+            .any(|q| q.iter().all(|s| !crashed[s.as_usize()]));
+        if !some_alive {
+            failures += 1;
+        }
+    }
+    Ok(failures as f64 / trials as f64)
+}
+
+fn validate(quorums: &[Quorum]) -> crate::Result<()> {
+    if quorums.is_empty() {
+        return Err(CoreError::invalid("at least one quorum is required"));
+    }
+    let n = quorums[0].universe().size();
+    if quorums.iter().any(|q| q.universe().size() != n) {
+        return Err(CoreError::invalid(
+            "all quorums must come from the same universe",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strict::Grid;
+    use crate::system::{ExplicitQuorumSystem, QuorumSystem};
+    use crate::universe::Universe;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quorum(u: Universe, ids: &[u32]) -> Quorum {
+        Quorum::from_indices(u, ids.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn single_quorum_failure_probability() {
+        let u = Universe::new(4);
+        // One quorum of two servers fails iff either crashes: 1 - (1-p)^2.
+        let q = vec![quorum(u, &[0, 1])];
+        let p = 0.3;
+        let exact = failure_probability_exact(&q, p).unwrap();
+        assert!((exact - (1.0 - 0.7f64 * 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_overlapping_quorums() {
+        let u = Universe::new(3);
+        // Quorums {0,1} and {1,2}: system alive iff {0,1} alive or {1,2}
+        // alive. By inclusion-exclusion: 2 (1-p)^2 - (1-p)^3.
+        let q = vec![quorum(u, &[0, 1]), quorum(u, &[1, 2])];
+        let p = 0.4;
+        let alive: f64 = 1.0 - p;
+        let expected = 1.0 - (2.0 * alive.powi(2) - alive.powi(3));
+        assert!((failure_probability_exact(&q, p).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes_and_validation() {
+        let u = Universe::new(3);
+        let q = vec![quorum(u, &[0, 1])];
+        assert_eq!(failure_probability_exact(&q, 0.0).unwrap(), 0.0);
+        assert_eq!(failure_probability_exact(&q, 1.0).unwrap(), 1.0);
+        assert!(failure_probability_exact(&[], 0.5).is_err());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(failure_probability_monte_carlo(&q, 0.5, 0, &mut rng).is_err());
+        let mixed = vec![quorum(u, &[0]), quorum(Universe::new(4), &[0])];
+        assert!(failure_probability_exact(&mixed, 0.5).is_err());
+    }
+
+    #[test]
+    fn too_many_quorums_for_exact() {
+        let u = Universe::new(30);
+        let quorums: Vec<Quorum> = (0..25u32).map(|i| quorum(u, &[i, i + 1])).collect();
+        assert!(matches!(
+            failure_probability_exact(&quorums, 0.5),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn exact_matches_grid_closed_form() {
+        let g = Grid::new(16).unwrap();
+        for &p in &[0.1, 0.35, 0.6] {
+            let exact = failure_probability_exact(&g.quorums(), p).unwrap();
+            assert!(
+                (exact - g.failure_probability(p)).abs() < 1e-9,
+                "p={p}: {exact} vs {}",
+                g.failure_probability(p)
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact() {
+        let g = Grid::new(16).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let p = 0.3;
+        let exact = failure_probability_exact(&g.quorums(), p).unwrap();
+        let mc = failure_probability_monte_carlo(&g.quorums(), p, 40_000, &mut rng).unwrap();
+        assert!((exact - mc).abs() < 0.01, "exact={exact} mc={mc}");
+    }
+
+    #[test]
+    fn failure_probability_is_monotone_in_p() {
+        let u = Universe::new(6);
+        let quorums = vec![
+            quorum(u, &[0, 1, 2]),
+            quorum(u, &[2, 3, 4]),
+            quorum(u, &[4, 5, 0]),
+        ];
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let f = failure_probability_exact(&quorums, p).unwrap();
+            assert!(f + 1e-12 >= prev);
+            prev = f;
+        }
+    }
+}

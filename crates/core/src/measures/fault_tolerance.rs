@@ -1,0 +1,320 @@
+//! Fault tolerance (Definitions 2.5 and 3.7) and the high-quality-quorum
+//! machinery of Definition 3.4.
+//!
+//! The fault tolerance `A(Q)` of a set system is the size of a minimum
+//! hitting set (transversal) of its quorums: the smallest number of crashes
+//! that can disable every quorum.  Computing it exactly is NP-hard in
+//! general, so [`exact_fault_tolerance`] uses a branch-and-bound search that
+//! is exact but guarded by a problem-size limit; the symmetric constructions
+//! report closed forms instead (via
+//! [`crate::system::QuorumSystem::fault_tolerance`]).
+//!
+//! For probabilistic systems the strict definition can be gamed by adding
+//! never-used quorums (Section 3.2), so Definition 3.7 restricts attention
+//! to *high-quality* quorums — those that intersect a strategy-drawn quorum
+//! with probability at least `1 − √ε`.
+
+use crate::quorum::Quorum;
+use crate::strategy::WeightedStrategy;
+use crate::CoreError;
+
+/// Upper limit on `|quorums| × universe` for the exact hitting-set search;
+/// beyond this the computation refuses rather than running for hours.
+const EXACT_SEARCH_LIMIT: usize = 1 << 22;
+
+/// Computes the exact fault tolerance `A(Q)` (minimum hitting set size) of
+/// an explicitly enumerated set system.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] if the list is empty or an
+/// empty quorum is present (an empty quorum cannot be hit, so every server
+/// set "disables" it vacuously and `A` is undefined), and
+/// [`CoreError::Infeasible`] if the instance exceeds the built-in search
+/// budget.
+pub fn exact_fault_tolerance(quorums: &[Quorum]) -> crate::Result<u32> {
+    if quorums.is_empty() {
+        return Err(CoreError::invalid("at least one quorum is required"));
+    }
+    if quorums.iter().any(|q| q.is_empty()) {
+        return Err(CoreError::invalid(
+            "empty quorums are not allowed in a fault-tolerance computation",
+        ));
+    }
+    let n = quorums[0].universe().size() as usize;
+    if quorums.iter().any(|q| q.universe().size() as usize != n) {
+        return Err(CoreError::invalid(
+            "all quorums must come from the same universe",
+        ));
+    }
+    if quorums.len() * n > EXACT_SEARCH_LIMIT {
+        return Err(CoreError::infeasible(format!(
+            "exact fault tolerance limited to |quorums| * n <= {EXACT_SEARCH_LIMIT}; got {} * {n}",
+            quorums.len()
+        )));
+    }
+    // Greedy upper bound first (pick the server covering the most
+    // still-unhit quorums), then branch and bound on the hitting-set size.
+    let greedy = greedy_hitting_set(quorums, n);
+    let mut best = greedy as u32;
+    let mut chosen = vec![false; n];
+    branch(quorums, n, &mut chosen, 0, 0, &mut best);
+    Ok(best)
+}
+
+fn greedy_hitting_set(quorums: &[Quorum], n: usize) -> usize {
+    let mut unhit: Vec<&Quorum> = quorums.iter().collect();
+    let mut count = 0usize;
+    while !unhit.is_empty() {
+        let mut cover = vec![0usize; n];
+        for q in &unhit {
+            for s in q.iter() {
+                cover[s.as_usize()] += 1;
+            }
+        }
+        let best_server = cover
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("n > 0");
+        count += 1;
+        unhit.retain(|q| !q.contains(crate::universe::ServerId::new(best_server as u32)));
+    }
+    count
+}
+
+/// Depth-first branch and bound: at each step pick the first unhit quorum
+/// and try adding each of its servers to the hitting set.
+fn branch(
+    quorums: &[Quorum],
+    n: usize,
+    chosen: &mut Vec<bool>,
+    chosen_count: u32,
+    first_unchecked: usize,
+    best: &mut u32,
+) {
+    if chosen_count >= *best {
+        return;
+    }
+    // Find an unhit quorum.
+    let mut unhit = None;
+    for (i, q) in quorums.iter().enumerate().skip(first_unchecked) {
+        if !q.iter().any(|s| chosen[s.as_usize()]) {
+            unhit = Some(i);
+            break;
+        }
+    }
+    let Some(idx) = unhit else {
+        // Every quorum is hit.
+        *best = chosen_count;
+        return;
+    };
+    let _ = n;
+    for s in quorums[idx].iter() {
+        let i = s.as_usize();
+        if chosen[i] {
+            continue;
+        }
+        chosen[i] = true;
+        branch(quorums, n, chosen, chosen_count + 1, idx, best);
+        chosen[i] = false;
+    }
+}
+
+/// Indices of the δ-high-quality quorums of `⟨Q, w⟩` (Definition 3.4): those
+/// that intersect a quorum drawn according to `w` with probability at least
+/// `1 − δ`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] if the inputs are inconsistent
+/// or `δ` is not in `[0, 1]`.
+pub fn high_quality_quorum_indices(
+    quorums: &[Quorum],
+    strategy: &WeightedStrategy,
+    delta: f64,
+) -> crate::Result<Vec<usize>> {
+    if quorums.is_empty() {
+        return Err(CoreError::invalid("at least one quorum is required"));
+    }
+    if quorums.len() != strategy.len() {
+        return Err(CoreError::invalid(format!(
+            "strategy covers {} quorums but {} were supplied",
+            strategy.len(),
+            quorums.len()
+        )));
+    }
+    if !(0.0..=1.0).contains(&delta) || delta.is_nan() {
+        return Err(CoreError::invalid(format!(
+            "delta must be in [0,1], got {delta}"
+        )));
+    }
+    let mut result = Vec::new();
+    for (i, q) in quorums.iter().enumerate() {
+        let mut intersect_prob = 0.0f64;
+        for (j, other) in quorums.iter().enumerate() {
+            if q.intersects(other) {
+                intersect_prob += strategy.probability(j);
+            }
+        }
+        if intersect_prob >= 1.0 - delta - 1e-12 {
+            result.push(i);
+        }
+    }
+    Ok(result)
+}
+
+/// The probabilistic fault tolerance `A(⟨Q, w⟩)` of Definition 3.7: the
+/// minimum number of crashes hitting every *high-quality* quorum, where high
+/// quality means `δ = √ε` (Definition 3.6).
+///
+/// # Errors
+///
+/// As for [`high_quality_quorum_indices`] and [`exact_fault_tolerance`];
+/// additionally fails if no quorum qualifies as high quality.
+pub fn probabilistic_fault_tolerance(
+    quorums: &[Quorum],
+    strategy: &WeightedStrategy,
+    epsilon: f64,
+) -> crate::Result<u32> {
+    if !(0.0..=1.0).contains(&epsilon) || epsilon.is_nan() {
+        return Err(CoreError::invalid(format!(
+            "epsilon must be in [0,1], got {epsilon}"
+        )));
+    }
+    let delta = epsilon.sqrt();
+    let indices = high_quality_quorum_indices(quorums, strategy, delta)?;
+    if indices.is_empty() {
+        return Err(CoreError::invalid(
+            "no high-quality quorums: the system is not epsilon-intersecting for this epsilon",
+        ));
+    }
+    let subset: Vec<Quorum> = indices.into_iter().map(|i| quorums[i].clone()).collect();
+    exact_fault_tolerance(&subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strict::{Grid, Majority};
+    use crate::system::{ExplicitQuorumSystem, QuorumSystem};
+    use crate::universe::Universe;
+
+    fn quorum(u: Universe, ids: &[u32]) -> Quorum {
+        Quorum::from_indices(u, ids.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn exact_fault_tolerance_simple_cases() {
+        let u = Universe::new(5);
+        // Single quorum: hit it with one server.
+        assert_eq!(exact_fault_tolerance(&[quorum(u, &[0, 1, 2])]).unwrap(), 1);
+        // Two disjoint-ish quorums sharing one server: that server hits both.
+        assert_eq!(
+            exact_fault_tolerance(&[quorum(u, &[0, 1]), quorum(u, &[1, 2])]).unwrap(),
+            1
+        );
+        // Two disjoint quorums need two crashes. (Such a system is not a
+        // strict quorum system, but A(Q) is still well defined.)
+        assert_eq!(
+            exact_fault_tolerance(&[quorum(u, &[0, 1]), quorum(u, &[2, 3])]).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn exact_fault_tolerance_validation() {
+        let u = Universe::new(5);
+        assert!(exact_fault_tolerance(&[]).is_err());
+        assert!(exact_fault_tolerance(&[quorum(u, &[])]).is_err());
+        let other = Universe::new(6);
+        assert!(exact_fault_tolerance(&[quorum(u, &[0]), quorum(other, &[0])]).is_err());
+    }
+
+    #[test]
+    fn grid_fault_tolerance_matches_closed_form() {
+        for &n in &[9u32, 16, 25] {
+            let g = Grid::new(n).unwrap();
+            assert_eq!(
+                exact_fault_tolerance(&g.quorums()).unwrap(),
+                g.fault_tolerance(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_fault_tolerance_matches_closed_form_small() {
+        // Enumerate all majority quorums of a 6-server system (C(6,4) = 15).
+        let m = Majority::new(6).unwrap();
+        let u = m.universe();
+        let mut quorums = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    for d in (c + 1)..6 {
+                        quorums.push(quorum(u, &[a, b, c, d]));
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            exact_fault_tolerance(&quorums).unwrap(),
+            m.fault_tolerance()
+        );
+    }
+
+    #[test]
+    fn infeasible_instances_are_rejected() {
+        // A synthetic instance exceeding the search budget.
+        let u = Universe::new(3000);
+        let quorums: Vec<Quorum> = (0..2000u32)
+            .map(|i| quorum(u, &[i, i + 1, i + 2]))
+            .collect();
+        assert!(matches!(
+            exact_fault_tolerance(&quorums),
+            Err(CoreError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn high_quality_selection() {
+        let u = Universe::new(6);
+        // Three mutually intersecting quorums plus one outlier that misses
+        // two of them.
+        let quorums = vec![
+            quorum(u, &[0, 1, 2]),
+            quorum(u, &[1, 2, 3]),
+            quorum(u, &[2, 3, 4]),
+            quorum(u, &[5, 0]), // intersects only the first
+        ];
+        let strategy = WeightedStrategy::uniform(4);
+        // Intersection probabilities under the uniform strategy:
+        // quorum 0 meets everything (1.0); quorums 1 and 2 miss the outlier
+        // (0.75); the outlier meets only quorum 0 and itself (0.5).
+        let hq = high_quality_quorum_indices(&quorums, &strategy, 0.1).unwrap();
+        assert_eq!(hq, vec![0]);
+        let hq = high_quality_quorum_indices(&quorums, &strategy, 0.3).unwrap();
+        assert_eq!(hq, vec![0, 1, 2]);
+        // With a permissive delta everything qualifies.
+        let all = high_quality_quorum_indices(&quorums, &strategy, 0.6).unwrap();
+        assert_eq!(all.len(), 4);
+        // Validation.
+        assert!(high_quality_quorum_indices(&quorums, &strategy, -0.1).is_err());
+        assert!(high_quality_quorum_indices(&quorums, &WeightedStrategy::uniform(3), 0.1).is_err());
+    }
+
+    #[test]
+    fn probabilistic_fault_tolerance_validation() {
+        let u = Universe::new(4);
+        let quorums = vec![quorum(u, &[0, 1]), quorum(u, &[1, 2])];
+        let strategy = WeightedStrategy::uniform(2);
+        assert!(probabilistic_fault_tolerance(&quorums, &strategy, -0.5).is_err());
+        assert!(probabilistic_fault_tolerance(&quorums, &strategy, 1.5).is_err());
+        assert_eq!(
+            probabilistic_fault_tolerance(&quorums, &strategy, 0.01).unwrap(),
+            1
+        );
+    }
+}

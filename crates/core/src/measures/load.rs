@@ -1,0 +1,170 @@
+//! Load computations (Definitions 2.4 and 3.3) and the corresponding lower
+//! bounds.
+
+use crate::quorum::Quorum;
+use crate::strategy::WeightedStrategy;
+use crate::CoreError;
+
+/// Per-server load induced by a strategy on an explicit set system:
+/// `l_w(u) = Σ_{Q ∋ u} w(Q)` for every server `u` (Definition 2.4).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConstruction`] if the number of quorums does
+/// not match the strategy, the list is empty, or the quorums come from
+/// universes of different sizes.
+pub fn per_server_load(
+    quorums: &[Quorum],
+    strategy: &WeightedStrategy,
+) -> crate::Result<Vec<f64>> {
+    if quorums.is_empty() {
+        return Err(CoreError::invalid("at least one quorum is required"));
+    }
+    if quorums.len() != strategy.len() {
+        return Err(CoreError::invalid(format!(
+            "strategy covers {} quorums but {} were supplied",
+            strategy.len(),
+            quorums.len()
+        )));
+    }
+    let n = quorums[0].universe().size();
+    if quorums.iter().any(|q| q.universe().size() != n) {
+        return Err(CoreError::invalid(
+            "all quorums must come from the same universe",
+        ));
+    }
+    let mut loads = vec![0.0f64; n as usize];
+    for (i, q) in quorums.iter().enumerate() {
+        let w = strategy.probability(i);
+        for s in q.iter() {
+            loads[s.as_usize()] += w;
+        }
+    }
+    Ok(loads)
+}
+
+/// The load induced by a strategy on an explicit set system:
+/// `L_w(Q) = max_u l_w(u)` (Definition 2.4).
+///
+/// Note this is the load *of the given strategy*, not the system load
+/// `L(Q) = min_w L_w(Q)`; for the symmetric constructions in this crate the
+/// uniform strategy is optimal so the two coincide.
+///
+/// # Errors
+///
+/// As for [`per_server_load`].
+pub fn induced_load(quorums: &[Quorum], strategy: &WeightedStrategy) -> crate::Result<f64> {
+    Ok(per_server_load(quorums, strategy)?
+        .into_iter()
+        .fold(0.0, f64::max))
+}
+
+/// The Naor–Wool lower bound on the load of any strict quorum system:
+/// `L(Q) ≥ max{1/c(Q), c(Q)/n}` where `c(Q)` is the smallest quorum size
+/// (quoted in Section 2.1); in particular `L(Q) ≥ 1/√n`.
+pub fn load_lower_bound(n: u32, min_quorum_size: u32) -> f64 {
+    if n == 0 || min_quorum_size == 0 {
+        return 0.0;
+    }
+    let c = min_quorum_size as f64;
+    (1.0 / c).max(c / n as f64)
+}
+
+/// Theorem 3.9's lower bound on the load of an ε-intersecting quorum system:
+/// `L(⟨Q, w⟩) ≥ max{E[|Q|]/n, (1 − √ε)²/E[|Q|]}`, which gives
+/// `L ≥ (1 − √ε)/√n` (Corollary 3.12).
+pub fn probabilistic_load_lower_bound(n: u32, expected_quorum_size: f64, epsilon: f64) -> f64 {
+    if n == 0 || expected_quorum_size <= 0.0 {
+        return 0.0;
+    }
+    let eps = epsilon.clamp(0.0, 1.0);
+    let first = expected_quorum_size / n as f64;
+    let second = (1.0 - eps.sqrt()).powi(2) / expected_quorum_size;
+    first.max(second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strict::Grid;
+    use crate::system::{ExplicitQuorumSystem, ProbabilisticQuorumSystem, QuorumSystem};
+    use crate::universe::Universe;
+
+    fn quorum(u: Universe, ids: &[u32]) -> Quorum {
+        Quorum::from_indices(u, ids.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn per_server_load_simple_example() {
+        let u = Universe::new(4);
+        let quorums = vec![quorum(u, &[0, 1]), quorum(u, &[1, 2]), quorum(u, &[2, 3])];
+        let strategy = WeightedStrategy::from_weights(vec![0.5, 0.25, 0.25]).unwrap();
+        let loads = per_server_load(&quorums, &strategy).unwrap();
+        assert!((loads[0] - 0.5).abs() < 1e-12);
+        assert!((loads[1] - 0.75).abs() < 1e-12);
+        assert!((loads[2] - 0.5).abs() < 1e-12);
+        assert!((loads[3] - 0.25).abs() < 1e-12);
+        assert!((induced_load(&quorums, &strategy).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let u = Universe::new(4);
+        let quorums = vec![quorum(u, &[0, 1])];
+        let wrong_strategy = WeightedStrategy::uniform(2);
+        assert!(per_server_load(&quorums, &wrong_strategy).is_err());
+        assert!(per_server_load(&[], &WeightedStrategy::uniform(1)).is_err());
+        let mixed = vec![quorum(u, &[0]), quorum(Universe::new(5), &[0])];
+        assert!(per_server_load(&mixed, &WeightedStrategy::uniform(2)).is_err());
+    }
+
+    #[test]
+    fn total_load_equals_expected_quorum_size_over_n() {
+        // Lemma 3.10's accounting identity: sum_u l_w(u) = E[|Q|].
+        let g = Grid::new(36).unwrap();
+        let loads = per_server_load(&g.quorums(), &g.strategy()).unwrap();
+        let total: f64 = loads.iter().sum();
+        assert!((total - g.expected_quorum_size()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_formulas() {
+        assert!((load_lower_bound(100, 10) - 0.1).abs() < 1e-12);
+        assert!((load_lower_bound(100, 51) - 0.51).abs() < 1e-12);
+        assert_eq!(load_lower_bound(0, 5), 0.0);
+        assert_eq!(load_lower_bound(10, 0), 0.0);
+        // Probabilistic bound reduces to the strict one at epsilon = 0.
+        let strict = load_lower_bound(100, 10);
+        let probabilistic = probabilistic_load_lower_bound(100, 10.0, 0.0);
+        assert!((strict - probabilistic).abs() < 1e-12);
+        // And never strengthens as epsilon grows; the (1-sqrt(eps))^2/E term
+        // alone does weaken.
+        assert!(probabilistic_load_lower_bound(100, 10.0, 0.25) <= strict);
+        assert!(
+            probabilistic_load_lower_bound(1000, 10.0, 0.25)
+                < probabilistic_load_lower_bound(1000, 10.0, 0.0)
+        );
+        assert_eq!(probabilistic_load_lower_bound(0, 10.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn epsilon_intersecting_load_respects_theorem_3_9() {
+        use crate::probabilistic::EpsilonIntersecting;
+        for &n in &[100u32, 400, 900] {
+            let sys = EpsilonIntersecting::with_target_epsilon(n, 1e-3).unwrap();
+            let bound = probabilistic_load_lower_bound(
+                n,
+                sys.expected_quorum_size(),
+                sys.epsilon(),
+            );
+            assert!(
+                sys.load() + 1e-12 >= bound,
+                "n={n}: load {} < bound {bound}",
+                sys.load()
+            );
+            // Corollary 3.12 form.
+            let corollary = (1.0 - sys.epsilon().sqrt()) / (n as f64).sqrt();
+            assert!(sys.load() + 1e-12 >= corollary);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The singleton quorum system: one designated server forms the only quorum.
+//!
+//! Degenerate but important: footnote 3 of the paper notes that for crash
+//! probability `p ≥ ½` the singleton is the *most available* strict quorum
+//! system, so the strict failure-probability floor plotted in Figures 1–3 is
+//! the minimum of the majority curve and the singleton's `p`.
+
+use crate::quorum::Quorum;
+use crate::strategy::WeightedStrategy;
+use crate::system::{ExplicitQuorumSystem, QuorumSystem};
+use crate::universe::{ServerId, Universe};
+use rand::RngCore;
+
+/// The strict quorum system whose only quorum is `{server}`.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_core::strict::Singleton;
+/// use pqs_core::system::QuorumSystem;
+/// let s = Singleton::new(10);
+/// assert_eq!(s.load(), 1.0);
+/// assert_eq!(s.fault_tolerance(), 1);
+/// assert_eq!(s.failure_probability(0.2), 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Singleton {
+    universe: Universe,
+    server: ServerId,
+}
+
+impl Singleton {
+    /// Creates a singleton system over `n` servers using server 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (see [`Universe::new`]).
+    pub fn new(n: u32) -> Self {
+        Singleton {
+            universe: Universe::new(n),
+            server: ServerId::new(0),
+        }
+    }
+
+    /// Creates a singleton system using a specific server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `server` is outside the universe.
+    pub fn with_server(n: u32, server: ServerId) -> crate::Result<Self> {
+        let universe = Universe::new(n);
+        if !universe.contains(server) {
+            return Err(crate::CoreError::ServerOutOfRange {
+                server: server.index() as u64,
+                universe: n as u64,
+            });
+        }
+        Ok(Singleton { universe, server })
+    }
+
+    /// The designated server.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+}
+
+impl QuorumSystem for Singleton {
+    fn universe(&self) -> Universe {
+        self.universe
+    }
+
+    fn sample_quorum(&self, _rng: &mut dyn RngCore) -> Quorum {
+        Quorum::from_servers(self.universe, [self.server]).expect("server validated")
+    }
+
+    fn name(&self) -> String {
+        format!("singleton(n={})", self.universe.size())
+    }
+
+    fn min_quorum_size(&self) -> usize {
+        1
+    }
+
+    /// The single server receives every access, so the load is 1.
+    fn load(&self) -> f64 {
+        1.0
+    }
+
+    /// Crashing the designated server disables the only quorum.
+    fn fault_tolerance(&self) -> u32 {
+        1
+    }
+
+    /// Exactly the probability that the designated server crashes.
+    fn failure_probability(&self, p: f64) -> f64 {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+impl ExplicitQuorumSystem for Singleton {
+    fn quorums(&self) -> Vec<Quorum> {
+        vec![Quorum::from_servers(self.universe, [self.server]).expect("server validated")]
+    }
+
+    fn strategy(&self) -> WeightedStrategy {
+        WeightedStrategy::uniform(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn default_uses_server_zero() {
+        let s = Singleton::new(5);
+        assert_eq!(s.server(), ServerId::new(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let q = s.sample_quorum(&mut rng);
+        assert_eq!(q.to_vec(), vec![ServerId::new(0)]);
+        assert_eq!(s.min_quorum_size(), 1);
+        assert_eq!(s.expected_quorum_size(), 1.0);
+        assert!(s.name().contains("singleton"));
+    }
+
+    #[test]
+    fn with_server_validates_range() {
+        assert!(Singleton::with_server(5, ServerId::new(4)).is_ok());
+        assert!(Singleton::with_server(5, ServerId::new(5)).is_err());
+    }
+
+    #[test]
+    fn measures_are_degenerate() {
+        let s = Singleton::new(100);
+        assert_eq!(s.load(), 1.0);
+        assert_eq!(s.fault_tolerance(), 1);
+        assert_eq!(s.failure_probability(0.0), 0.0);
+        assert_eq!(s.failure_probability(1.0), 1.0);
+        assert_eq!(s.failure_probability(0.37), 0.37);
+    }
+
+    #[test]
+    fn explicit_enumeration() {
+        let s = Singleton::with_server(6, ServerId::new(3)).unwrap();
+        let quorums = s.quorums();
+        assert_eq!(quorums.len(), 1);
+        assert!(quorums[0].contains(ServerId::new(3)));
+        assert_eq!(s.strategy().len(), 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Gifford-style weighted voting.
+//!
+//! Each server holds a number of votes; a quorum is any set of servers whose
+//! votes form a strict majority of the total ([Gif79], [GB85]).  With equal
+//! votes this degenerates to the majority system; with skewed votes it trades
+//! load concentration on heavy servers for smaller quorums.  It is included
+//! as a baseline because vote assignment is the classical knob for tuning
+//! strict systems, which the paper's probabilistic constructions make
+//! unnecessary.
+
+use crate::quorum::Quorum;
+use crate::system::QuorumSystem;
+use crate::universe::Universe;
+use crate::CoreError;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use rand::SeedableRng;
+
+/// A weighted-voting quorum system.
+///
+/// The access strategy is "visit servers in a uniformly random order and
+/// stop as soon as the accumulated votes reach a strict majority" — a simple
+/// strategy that favours no server beyond what its vote weight dictates.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_core::strict::WeightedVoting;
+/// use pqs_core::system::QuorumSystem;
+/// let wv = WeightedVoting::new(vec![3, 1, 1, 1, 1]).unwrap();
+/// // Total 7 votes, majority 4: the 3-vote server plus any other reaches it.
+/// assert_eq!(wv.min_quorum_size(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedVoting {
+    universe: Universe,
+    votes: Vec<u64>,
+    total_votes: u64,
+    threshold: u64,
+}
+
+impl WeightedVoting {
+    /// Creates a weighted-voting system from per-server vote counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConstruction`] if `votes` is empty or all
+    /// votes are zero.
+    pub fn new(votes: Vec<u64>) -> crate::Result<Self> {
+        if votes.is_empty() {
+            return Err(CoreError::invalid("votes must be non-empty"));
+        }
+        let total_votes: u64 = votes.iter().sum();
+        if total_votes == 0 {
+            return Err(CoreError::invalid("at least one server must hold a vote"));
+        }
+        let threshold = total_votes / 2 + 1;
+        Ok(WeightedVoting {
+            universe: Universe::new(votes.len() as u32),
+            votes,
+            total_votes,
+            threshold,
+        })
+    }
+
+    /// The per-server vote counts.
+    pub fn votes(&self) -> &[u64] {
+        &self.votes
+    }
+
+    /// Total number of votes in the system.
+    pub fn total_votes(&self) -> u64 {
+        self.total_votes
+    }
+
+    /// The strict-majority vote threshold a quorum must reach.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Returns `true` if the given server set holds a strict majority of
+    /// votes (i.e. forms a quorum).
+    pub fn is_quorum(&self, quorum: &Quorum) -> bool {
+        let v: u64 = quorum.iter().map(|s| self.votes[s.as_usize()]).sum();
+        v >= self.threshold
+    }
+
+    /// Probability that a specific server is included in a sampled quorum,
+    /// estimated by deterministic Monte-Carlo (fixed internal seed,
+    /// `SAMPLES` draws).  Used by [`QuorumSystem::load`].
+    fn inclusion_probabilities(&self) -> Vec<f64> {
+        const SAMPLES: usize = 20_000;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5eed_0001);
+        let n = self.universe.size() as usize;
+        let mut counts = vec![0usize; n];
+        for _ in 0..SAMPLES {
+            let q = self.sample_quorum(&mut rng);
+            for s in q.iter() {
+                counts[s.as_usize()] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / SAMPLES as f64)
+            .collect()
+    }
+}
+
+impl QuorumSystem for WeightedVoting {
+    fn universe(&self) -> Universe {
+        self.universe
+    }
+
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> Quorum {
+        let n = self.universe.size() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut chosen = Vec::new();
+        let mut votes = 0u64;
+        for idx in order {
+            // Skip servers with no votes: they never help reach the
+            // threshold and including them would only inflate the load.
+            if self.votes[idx] == 0 {
+                continue;
+            }
+            chosen.push(idx as u32);
+            votes += self.votes[idx];
+            if votes >= self.threshold {
+                break;
+            }
+        }
+        Quorum::from_indices(self.universe, chosen).expect("indices in range")
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "weighted-voting(n={}, votes={})",
+            self.universe.size(),
+            self.total_votes
+        )
+    }
+
+    /// The fewest servers that can reach the threshold: greedily take the
+    /// largest vote holders.
+    fn min_quorum_size(&self) -> usize {
+        let mut sorted = self.votes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut acc = 0u64;
+        for (i, v) in sorted.iter().enumerate() {
+            acc += v;
+            if acc >= self.threshold {
+                return i + 1;
+            }
+        }
+        self.votes.len()
+    }
+
+    /// Estimated as the largest per-server inclusion probability under the
+    /// random-order access strategy (deterministic Monte-Carlo, documented
+    /// on [`WeightedVoting`]); exact closed forms exist only for equal votes.
+    fn load(&self) -> f64 {
+        self.inclusion_probabilities()
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// The fewest servers whose removal leaves less than a majority of
+    /// votes alive: greedily remove the largest vote holders.
+    fn fault_tolerance(&self) -> u32 {
+        let mut sorted = self.votes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut remaining = self.total_votes;
+        for (i, v) in sorted.iter().enumerate() {
+            remaining -= v;
+            if remaining < self.threshold {
+                return (i + 1) as u32;
+            }
+        }
+        self.votes.len() as u32
+    }
+
+    /// Exact: dynamic programming over the distribution of the number of
+    /// votes held by the *alive* servers; the system fails iff that total is
+    /// below the threshold.
+    fn failure_probability(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let alive_prob = 1.0 - p;
+        // dp[v] = probability that alive servers hold exactly v votes.
+        let mut dp = vec![0.0f64; (self.total_votes + 1) as usize];
+        dp[0] = 1.0;
+        for &v in &self.votes {
+            if v == 0 {
+                continue;
+            }
+            let mut next = vec![0.0f64; dp.len()];
+            for (held, &prob) in dp.iter().enumerate() {
+                if prob == 0.0 {
+                    continue;
+                }
+                next[held] += prob * p; // this server crashed
+                next[held + v as usize] += prob * alive_prob; // alive
+            }
+            dp = next;
+        }
+        dp.iter().take(self.threshold as usize).sum::<f64>().clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strict::Majority;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(WeightedVoting::new(vec![]).is_err());
+        assert!(WeightedVoting::new(vec![0, 0]).is_err());
+        assert!(WeightedVoting::new(vec![1]).is_ok());
+    }
+
+    #[test]
+    fn thresholds_and_min_quorum() {
+        let wv = WeightedVoting::new(vec![3, 1, 1, 1, 1]).unwrap();
+        assert_eq!(wv.total_votes(), 7);
+        assert_eq!(wv.threshold(), 4);
+        assert_eq!(wv.min_quorum_size(), 2);
+        assert_eq!(wv.votes(), &[3, 1, 1, 1, 1]);
+        // Equal votes: reduces to majority.
+        let eq = WeightedVoting::new(vec![1; 9]).unwrap();
+        assert_eq!(eq.min_quorum_size(), 5);
+    }
+
+    #[test]
+    fn sampled_sets_are_quorums_and_intersect() {
+        let wv = WeightedVoting::new(vec![4, 3, 2, 2, 1, 1, 1]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..200 {
+            let a = wv.sample_quorum(&mut rng);
+            let b = wv.sample_quorum(&mut rng);
+            assert!(wv.is_quorum(&a));
+            assert!(wv.is_quorum(&b));
+            assert!(a.intersects(&b), "two vote majorities must share a server");
+        }
+    }
+
+    #[test]
+    fn zero_vote_servers_never_sampled() {
+        let wv = WeightedVoting::new(vec![2, 0, 2, 0, 1]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for _ in 0..100 {
+            let q = wv.sample_quorum(&mut rng);
+            assert!(!q.contains(crate::universe::ServerId::new(1)));
+            assert!(!q.contains(crate::universe::ServerId::new(3)));
+        }
+    }
+
+    #[test]
+    fn fault_tolerance_greedy() {
+        // votes 3,1,1,1,1: total 7, threshold 4. Removing the 3-vote server
+        // leaves 4 >= 4 (still a quorum), removing it plus one more leaves 3.
+        let wv = WeightedVoting::new(vec![3, 1, 1, 1, 1]).unwrap();
+        assert_eq!(wv.fault_tolerance(), 2);
+        // Equal votes over 9 servers: need to remove 5 to leave 4 < 5.
+        let eq = WeightedVoting::new(vec![1; 9]).unwrap();
+        assert_eq!(eq.fault_tolerance(), 5);
+    }
+
+    #[test]
+    fn equal_votes_failure_probability_matches_majority() {
+        let wv = WeightedVoting::new(vec![1; 11]).unwrap();
+        let m = Majority::new(11).unwrap();
+        for &p in &[0.1, 0.3, 0.5, 0.7] {
+            assert!(
+                (wv.failure_probability(p) - m.failure_probability(p)).abs() < 1e-9,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_probability_extremes() {
+        let wv = WeightedVoting::new(vec![5, 2, 2, 1]).unwrap();
+        assert_eq!(wv.failure_probability(0.0), 0.0);
+        assert!((wv.failure_probability(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_server_carries_more_load() {
+        let wv = WeightedVoting::new(vec![5, 1, 1, 1, 1, 1, 1]).unwrap();
+        let probs = wv.inclusion_probabilities();
+        // The 5-vote server is excluded only when it lands in the last
+        // position of the random visiting order: P(include) = 6/7 ~ 0.857.
+        assert!(probs[0] > 0.8, "heavy server prob {}", probs[0]);
+        assert!(probs[1] < probs[0]);
+        assert!(wv.load() >= probs[0]);
+    }
+
+    #[test]
+    fn load_of_equal_votes_close_to_majority_fraction() {
+        let wv = WeightedVoting::new(vec![1; 15]).unwrap();
+        // Majority of 15 needs 8 servers; random-order strategy includes each
+        // server with probability ~8/15.
+        assert!((wv.load() - 8.0 / 15.0).abs() < 0.03, "load={}", wv.load());
+    }
+}

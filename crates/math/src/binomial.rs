@@ -1,0 +1,268 @@
+//! The Binomial(n, p) distribution.
+//!
+//! Failure probabilities of threshold-style quorum systems reduce to binomial
+//! tails: a majority system over `n` servers with crash probability `p` fails
+//! exactly when more than `n − q` servers crash, i.e. when a
+//! `Binomial(n, p)` variable exceeds a threshold (Section 2.3 and the
+//! concrete comparisons of Section 6).  This module provides a numerically
+//! careful implementation of the pmf, cdf and survival function, plus
+//! sampling for Monte-Carlo cross-checks.
+
+use crate::comb::ln_choose;
+use crate::MathError;
+use rand::Rng;
+
+/// A binomial distribution with `n` independent trials of success
+/// probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::binomial::Binomial;
+/// let d = Binomial::new(10, 0.5).unwrap();
+/// assert!((d.pmf(5) - 0.24609375).abs() < 1e-12);
+/// assert!((d.cdf(10) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a new binomial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if `p` is not a probability
+    /// in `[0, 1]` or is NaN.
+    pub fn new(n: u64, p: f64) -> crate::Result<Self> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(MathError::invalid(format!(
+                "binomial success probability must be in [0,1], got {p}"
+            )));
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability per trial.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Expected number of successes, `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance, `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Probability mass `P(X = k)`.
+    ///
+    /// Computed in log-space; exactly `0.0` for `k > n`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Natural log of the probability mass `P(X = k)`.
+    ///
+    /// Returns `f64::NEG_INFINITY` when the mass is zero.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        // Degenerate endpoints must be handled explicitly to avoid 0·ln 0.
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln_1p_neg()
+    }
+
+    /// Cumulative distribution `P(X ≤ k)`.
+    ///
+    /// Sums the smaller tail and complements, so the result is accurate in
+    /// both tails.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        // Sum whichever tail has fewer terms.
+        if (k as f64) < self.mean() {
+            let mut acc = 0.0f64;
+            for i in 0..=k {
+                acc += self.pmf(i);
+            }
+            acc.min(1.0)
+        } else {
+            let mut acc = 0.0f64;
+            for i in (k + 1)..=self.n {
+                acc += self.pmf(i);
+            }
+            (1.0 - acc).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Survival function `P(X > k)` (strictly greater).
+    pub fn sf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 0.0;
+        }
+        if (k as f64) >= self.mean() {
+            let mut acc = 0.0f64;
+            for i in (k + 1)..=self.n {
+                acc += self.pmf(i);
+            }
+            acc.min(1.0)
+        } else {
+            (1.0 - self.cdf(k)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Probability that at least `k` successes occur, `P(X ≥ k)`.
+    pub fn at_least(&self, k: u64) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            self.sf(k - 1)
+        }
+    }
+
+    /// Draws one sample.
+    ///
+    /// Uses straightforward Bernoulli summation for small `n` and a
+    /// normal-approximation rejection-free fallback is intentionally *not*
+    /// used: the simulator only samples binomials with `n` up to a few
+    /// thousand, where direct summation is both exact and fast enough.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut count = 0u64;
+        for _ in 0..self.n {
+            if rng.gen_bool(self.p) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Extension trait: `ln(x)` written as `ln_1p` of `x − 1` for readability at
+/// call sites that operate on `1 − p`.
+trait Ln1pNeg {
+    fn ln_1p_neg(self) -> f64;
+}
+
+impl Ln1pNeg for f64 {
+    #[inline]
+    fn ln_1p_neg(self) -> f64 {
+        // `self` is already (1 - p); we just take its natural log, but keep
+        // accuracy when p is tiny by rewriting ln(1-p) = ln_1p(-p).
+        let p = 1.0 - self;
+        (-p).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(0u64, 0.3), (1, 0.7), (10, 0.5), (50, 0.05), (200, 0.9)] {
+            let d = Binomial::new(n, p).unwrap();
+            let total: f64 = (0..=n).map(|k| d.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn degenerate_p_zero_and_one() {
+        let d0 = Binomial::new(10, 0.0).unwrap();
+        assert_eq!(d0.pmf(0), 1.0);
+        assert_eq!(d0.pmf(1), 0.0);
+        assert_eq!(d0.cdf(0), 1.0);
+        let d1 = Binomial::new(10, 1.0).unwrap();
+        assert_eq!(d1.pmf(10), 1.0);
+        assert_eq!(d1.pmf(3), 0.0);
+        assert_eq!(d1.sf(9), 1.0);
+    }
+
+    #[test]
+    fn cdf_plus_sf_is_one() {
+        let d = Binomial::new(40, 0.37).unwrap();
+        for k in 0..=40 {
+            let s = d.cdf(k) + d.sf(k);
+            assert!((s - 1.0).abs() < 1e-9, "k={k} s={s}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let d = Binomial::new(60, 0.42).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=60 {
+            let c = d.cdf(k);
+            assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn at_least_matches_manual_sum() {
+        let d = Binomial::new(20, 0.3).unwrap();
+        for k in 0..=20u64 {
+            let manual: f64 = (k..=20).map(|i| d.pmf(i)).sum();
+            assert!((d.at_least(k) - manual).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let d = Binomial::new(100, 0.25).unwrap();
+        assert!((d.mean() - 25.0).abs() < 1e-12);
+        assert!((d.variance() - 18.75).abs() < 1e-12);
+        assert_eq!(d.n(), 100);
+        assert!((d.p() - 0.25).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn sampling_close_to_mean() {
+        let d = Binomial::new(100, 0.3).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let trials = 2000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            sum += d.sample(&mut rng);
+        }
+        let avg = sum as f64 / trials as f64;
+        assert!((avg - 30.0).abs() < 1.0, "avg={avg}");
+    }
+
+    #[test]
+    fn deep_tail_is_positive_and_tiny() {
+        // P(X > 90) for Binomial(100, 0.5) must be positive but < 1e-15.
+        let d = Binomial::new(100, 0.5).unwrap();
+        let tail = d.sf(90);
+        assert!(tail > 0.0);
+        assert!(tail < 1e-15);
+    }
+}

@@ -1,0 +1,402 @@
+//! The paper's closed-form ε bounds and their supporting factors.
+//!
+//! Each function corresponds to a named statement in
+//! *Probabilistic Quorum Systems*:
+//!
+//! | Function | Statement |
+//! |---|---|
+//! | [`epsilon_intersecting_bound`] | Lemma 3.15 / Theorem 3.16: `ε ≤ e^{−ℓ²}` |
+//! | [`dissemination_bound_one_third`] | Lemma 4.3 / Theorem 4.4: `ε ≤ 2·e^{−ℓ²/6}` for `b = n/3` |
+//! | [`dissemination_bound_alpha`] | Lemma 4.5 / Theorem 4.6: `ε_α = 2/(1−α) · α^{ℓ²(1−√α)/2}` |
+//! | [`psi_one`], [`psi_two`] | Lemmas 5.7 and 5.9 exponent factors |
+//! | [`masking_bound`] | Theorem 5.10: `ε ≤ 2·exp(−(q²/n)·min{ψ₁, ψ₂})` |
+//! | [`masking_threshold_k`] | Section 5.3's choice `k = q²/(2n)` |
+//!
+//! and the inverse problems ("smallest ℓ achieving a target ε") used to
+//! populate Tables 2–4 are provided as `choose_ell_*` functions.
+
+/// Lemma 3.15 / Theorem 3.16: upper bound `e^{−ℓ²}` on the probability that
+/// two independently, uniformly chosen quorums of size `ℓ√n` fail to
+/// intersect.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::bounds::epsilon_intersecting_bound;
+/// assert!(epsilon_intersecting_bound(2.63) < 0.001);
+/// ```
+pub fn epsilon_intersecting_bound(ell: f64) -> f64 {
+    (-ell * ell).exp().min(1.0)
+}
+
+/// Smallest `ℓ` such that [`epsilon_intersecting_bound`] is at most
+/// `target_epsilon`, i.e. `ℓ = √(ln(1/ε))`.
+///
+/// Returns `None` if `target_epsilon` is not in `(0, 1)`.
+pub fn choose_ell_intersecting(target_epsilon: f64) -> Option<f64> {
+    if target_epsilon <= 0.0 || target_epsilon >= 1.0 {
+        return None;
+    }
+    Some((1.0 / target_epsilon).ln().sqrt())
+}
+
+/// Lemma 4.3 / Theorem 4.4: upper bound `2·e^{−ℓ²/6}` on
+/// `P(Q ∩ Q′ ⊆ B)` when `|B| = n/3` and quorums have size `ℓ√n`.
+pub fn dissemination_bound_one_third(ell: f64) -> f64 {
+    (2.0 * (-ell * ell / 6.0).exp()).min(1.0)
+}
+
+/// Smallest `ℓ` such that [`dissemination_bound_one_third`] is at most
+/// `target_epsilon`: `ℓ = √(6 · ln(2/ε))`.
+///
+/// Returns `None` if `target_epsilon` is not in `(0, 1)`.
+pub fn choose_ell_dissemination_one_third(target_epsilon: f64) -> Option<f64> {
+    if target_epsilon <= 0.0 || target_epsilon >= 1.0 {
+        return None;
+    }
+    Some((6.0 * (2.0 / target_epsilon).ln()).sqrt())
+}
+
+/// Lemma 4.5 / Theorem 4.6: upper bound
+/// `ε_α = 2/(1−α) · α^{ℓ²(1−√α)/2}` on `P(Q ∩ Q′ ⊆ B)` when `|B| = αn`,
+/// for `1/3 < α < 1`.
+///
+/// Returns `1.0` (a vacuous bound) for `α` outside `(0, 1)`.
+pub fn dissemination_bound_alpha(ell: f64, alpha: f64) -> f64 {
+    if alpha <= 0.0 || alpha >= 1.0 {
+        return 1.0;
+    }
+    let exponent = ell * ell * (1.0 - alpha.sqrt()) / 2.0;
+    (2.0 / (1.0 - alpha) * alpha.powf(exponent)).min(1.0)
+}
+
+/// Smallest `ℓ` such that [`dissemination_bound_alpha`] is at most
+/// `target_epsilon` for Byzantine fraction `alpha`.
+///
+/// Solves `2/(1−α)·α^{ℓ²(1−√α)/2} ≤ ε` for `ℓ`:
+/// `ℓ² ≥ 2·ln(ε(1−α)/2) / ((1−√α)·ln α)`.
+///
+/// Returns `None` for out-of-range arguments.
+pub fn choose_ell_dissemination_alpha(target_epsilon: f64, alpha: f64) -> Option<f64> {
+    if target_epsilon <= 0.0 || target_epsilon >= 1.0 || alpha <= 0.0 || alpha >= 1.0 {
+        return None;
+    }
+    let numerator = 2.0 * (target_epsilon * (1.0 - alpha) / 2.0).ln();
+    let denominator = (1.0 - alpha.sqrt()) * alpha.ln();
+    if denominator == 0.0 {
+        return None;
+    }
+    let ell_sq = numerator / denominator;
+    if ell_sq <= 0.0 {
+        // The bound is already below epsilon for any positive ell.
+        return Some(0.0);
+    }
+    Some(ell_sq.sqrt())
+}
+
+/// Lemma 5.7's exponent factor
+/// `ψ₁(ℓ) = (ℓ/2 − 1)²/(4ℓ)` for `2 < ℓ ≤ 4e`, and `1/3` for `ℓ > 4e`.
+///
+/// Returns `0.0` for `ℓ ≤ 2`, where the bound degenerates.
+pub fn psi_one(ell: f64) -> f64 {
+    if ell <= 2.0 {
+        return 0.0;
+    }
+    if ell > 4.0 * std::f64::consts::E {
+        1.0 / 3.0
+    } else {
+        let t = ell / 2.0 - 1.0;
+        t * t / (4.0 * ell)
+    }
+}
+
+/// Lemma 5.9's exponent factor `ψ₂(ℓ) = (ℓ − 2)² / (8ℓ(ℓ − 1))`.
+///
+/// Returns `0.0` for `ℓ ≤ 2`.
+pub fn psi_two(ell: f64) -> f64 {
+    if ell <= 2.0 {
+        return 0.0;
+    }
+    let t = ell - 2.0;
+    t * t / (8.0 * ell * (ell - 1.0))
+}
+
+/// Theorem 5.10's ε bound for the masking construction `R_k(n, q)` with
+/// `q = ℓ·b` and `k = q²/(2n)`:
+/// `ε ≤ 2·exp(−(q²/n)·min{ψ₁(ℓ), ψ₂(ℓ)})`.
+///
+/// `n` is the universe size and `q` the quorum size; `ell = q/b`.
+///
+/// Returns `1.0` when `ℓ ≤ 2` (outside the theorem's hypothesis).
+pub fn masking_bound(n: u64, q: u64, ell: f64) -> f64 {
+    let psi = psi_one(ell).min(psi_two(ell));
+    if psi <= 0.0 {
+        return 1.0;
+    }
+    let q2_over_n = (q as f64) * (q as f64) / (n as f64);
+    (2.0 * (-q2_over_n * psi).exp()).min(1.0)
+}
+
+/// Section 5.3's read-acceptance threshold `k = q²/(2n)`, rounded up to an
+/// integer so that the acceptance test `count ≥ k` is implementable.
+///
+/// The paper uses the real-valued threshold in its analysis; rounding up only
+/// makes the "too many faulty servers" event (Lemma 5.7) less likely while
+/// leaving the "too few up-to-date servers" analysis (Lemma 5.9) intact for
+/// all practical parameters, because `E[Y]` exceeds `k` by a `Θ(q²/n)` margin.
+pub fn masking_threshold_k(n: u64, q: u64) -> u64 {
+    let k = (q as f64) * (q as f64) / (2.0 * n as f64);
+    k.ceil().max(1.0) as u64
+}
+
+/// Lemma 5.7's bound `P(X ≥ k) ≤ exp(−ψ₁(ℓ)·q²/n)` on the probability that a
+/// uniformly chosen quorum of size `q` hits at least `k = q²/2n` of the `b =
+/// q/ℓ` faulty servers.
+pub fn masking_x_tail_bound(n: u64, q: u64, ell: f64) -> f64 {
+    let psi = psi_one(ell);
+    if psi <= 0.0 {
+        return 1.0;
+    }
+    (-(q as f64) * (q as f64) / (n as f64) * psi).exp().min(1.0)
+}
+
+/// Lemma 5.9's bound `P(Y < k) ≤ exp(−ψ₂(ℓ)·q²/n)` on the probability that the
+/// correct overlap between a read quorum and the previous write quorum falls
+/// below the threshold `k = q²/2n`.
+pub fn masking_y_tail_bound(n: u64, q: u64, ell: f64) -> f64 {
+    let psi = psi_two(ell);
+    if psi <= 0.0 {
+        return 1.0;
+    }
+    (-(q as f64) * (q as f64) / (n as f64) * psi).exp().min(1.0)
+}
+
+/// Smallest integer quorum size `q = ℓ·b` (with `ℓ > 2`) such that the
+/// Theorem 5.10 bound is at most `target_epsilon`, given universe size `n`
+/// and Byzantine threshold `b`.
+///
+/// Searches integer `q` from `⌈2b⌉ + 1` up to `n`; returns `None` if no such
+/// `q ≤ n` exists (the system cannot reach the target with this `b`).
+pub fn choose_masking_quorum_size(n: u64, b: u64, target_epsilon: f64) -> Option<u64> {
+    if target_epsilon <= 0.0 || target_epsilon >= 1.0 || b == 0 {
+        return None;
+    }
+    let start = 2 * b + 1;
+    for q in start..=n {
+        let ell = q as f64 / b as f64;
+        if masking_bound(n, q, ell) <= target_epsilon {
+            return Some(q);
+        }
+    }
+    None
+}
+
+/// The paper's Section 6 lower bound on the failure probability of *any*
+/// strict quorum system over at most `n_max` servers with individual crash
+/// probability `p`: the minimum of the majority system's failure probability
+/// (optimal for `p < 1/2`) and the singleton's (`p`, optimal for `p ≥ 1/2`).
+///
+/// This is the curve plotted as "strict lower bound" in Figures 1–3.
+pub fn strict_failure_probability_floor(n_max: u64, p: f64) -> f64 {
+    use crate::binomial::Binomial;
+    let singleton = p;
+    // Majority system over n_max servers (odd sizes are the strongest).
+    let n = if n_max % 2 == 0 { n_max.saturating_sub(1) } else { n_max }.max(1);
+    let q = n / 2 + 1;
+    let majority = Binomial::new(n, p)
+        .map(|d| d.at_least(n - q + 1))
+        .unwrap_or(1.0);
+    singleton.min(majority).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergeometric::Hypergeometric;
+
+    #[test]
+    fn epsilon_bound_decreases_in_ell() {
+        let mut prev = 1.0;
+        for i in 1..=40 {
+            let ell = i as f64 * 0.1;
+            let e = epsilon_intersecting_bound(ell);
+            assert!(e <= prev + 1e-15);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn epsilon_bound_dominates_exact_nonintersection() {
+        // Lemma 3.15: exact P(Q ∩ Q' = ∅) = C(n-q, q)/C(n, q) <= e^{-l^2}.
+        for &n in &[25u64, 100, 225, 400, 900] {
+            for &ell in &[1.0f64, 1.5, 2.0, 2.5] {
+                let q = (ell * (n as f64).sqrt()).round() as u64;
+                if q == 0 || 2 * q > n {
+                    continue;
+                }
+                let exact = Hypergeometric::new(n, q, q).unwrap().pmf(0);
+                let eff_ell = q as f64 / (n as f64).sqrt();
+                let bound = epsilon_intersecting_bound(eff_ell);
+                assert!(
+                    exact <= bound + 1e-12,
+                    "n={n} ell={ell} q={q} exact={exact} bound={bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn choose_ell_intersecting_inverts_bound() {
+        for &eps in &[0.1, 0.01, 0.001, 1e-6] {
+            let ell = choose_ell_intersecting(eps).unwrap();
+            assert!(epsilon_intersecting_bound(ell) <= eps + 1e-12);
+            // And it is tight: slightly smaller ell violates the target.
+            assert!(epsilon_intersecting_bound(ell * 0.99) > eps);
+        }
+        assert!(choose_ell_intersecting(0.0).is_none());
+        assert!(choose_ell_intersecting(1.0).is_none());
+    }
+
+    #[test]
+    fn dissemination_one_third_monotone_and_invertible() {
+        let eps = 0.001;
+        let ell = choose_ell_dissemination_one_third(eps).unwrap();
+        assert!(dissemination_bound_one_third(ell) <= eps + 1e-12);
+        assert!(dissemination_bound_one_third(ell * 0.95) > eps);
+        assert!(choose_ell_dissemination_one_third(2.0).is_none());
+    }
+
+    #[test]
+    fn dissemination_alpha_bound_behaviour() {
+        // Larger alpha (more Byzantine servers) needs larger ell for the same target.
+        let eps = 0.001;
+        let ell_40 = choose_ell_dissemination_alpha(eps, 0.40).unwrap();
+        let ell_60 = choose_ell_dissemination_alpha(eps, 0.60).unwrap();
+        assert!(ell_60 > ell_40);
+        assert!(dissemination_bound_alpha(ell_40, 0.40) <= eps + 1e-12);
+        assert!(dissemination_bound_alpha(ell_60, 0.60) <= eps + 1e-12);
+        // Vacuous outside the domain.
+        assert_eq!(dissemination_bound_alpha(3.0, 1.5), 1.0);
+        assert!(choose_ell_dissemination_alpha(eps, 1.5).is_none());
+    }
+
+    #[test]
+    fn psi_factors_match_paper_examples() {
+        // "when l = 3 we have eps <= 2 e^{-q^2/48n}": min(psi1, psi2) = 1/48.
+        let ell: f64 = 3.0;
+        let min_psi = psi_one(ell).min(psi_two(ell));
+        assert!((min_psi - 1.0 / 48.0).abs() < 1e-12, "min_psi={min_psi}");
+        // "when l = 20 we have eps <= 2 e^{-q^2/10n}": min(psi) = 18^2/(8*20*19)
+        // = 81/760 ~ 0.107, which the paper rounds to ~1/10.
+        let ell = 20.0;
+        let min_psi = psi_one(ell).min(psi_two(ell));
+        assert!((min_psi - 81.0 / 760.0).abs() < 1e-12, "min_psi={min_psi}");
+        assert!((81.0f64 / 760.0 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn psi_degenerate_below_two() {
+        assert_eq!(psi_one(2.0), 0.0);
+        assert_eq!(psi_two(1.5), 0.0);
+        assert_eq!(masking_bound(100, 30, 2.0), 1.0);
+    }
+
+    #[test]
+    fn psi_one_continuous_at_4e() {
+        let at = 4.0 * std::f64::consts::E;
+        let below = psi_one(at - 1e-9);
+        let above = psi_one(at + 1e-9);
+        // psi1 at 4e from the quadratic branch: (2e-1)^2/(16e) ≈ 0.45 -> the
+        // branch switch jumps down to 1/3; the paper takes the min with 1/3
+        // implicitly via the Chernoff regime change, so we only require the
+        // bound stays valid (no continuity requirement), but document the gap.
+        assert!(below > above);
+        assert!((above - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masking_threshold_between_expectations() {
+        // q^2/(ln) < k < q^2/n (1 - q/(ln)) must hold for l > 2 (Section 5.3).
+        let n = 400u64;
+        let b = 9u64;
+        let ell = 4.7;
+        let q = (ell * b as f64).round() as u64;
+        let k = masking_threshold_k(n, q);
+        let e_x = (q as f64) * (q as f64) / (ell * n as f64);
+        let e_y = (q as f64) * (q as f64) / (n as f64) * (1.0 - q as f64 / (ell * n as f64));
+        assert!(e_x < k as f64, "E[X]={e_x} k={k}");
+        assert!((k as f64) < e_y, "k={k} E[Y]={e_y}");
+    }
+
+    #[test]
+    fn masking_bound_decreases_with_quorum_size() {
+        let n = 900u64;
+        let b = 14u64;
+        let mut prev = 1.0;
+        for q in (3 * b..=20 * b).step_by(b as usize) {
+            let ell = q as f64 / b as f64;
+            let e = masking_bound(n, q, ell);
+            assert!(e <= prev + 1e-12, "q={q}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn choose_masking_quorum_size_meets_target() {
+        let n = 400u64;
+        let b = 9u64;
+        let q = choose_masking_quorum_size(n, b, 0.001).unwrap();
+        let ell = q as f64 / b as f64;
+        assert!(masking_bound(n, q, ell) <= 0.001);
+        assert!(q > 2 * b);
+        // Impossible target.
+        assert!(choose_masking_quorum_size(20, 9, 1e-9).is_none());
+        assert!(choose_masking_quorum_size(400, 0, 0.001).is_none());
+    }
+
+    #[test]
+    fn masking_component_bounds_dominate_exact_x_tail() {
+        // X ~ H(population=n, successes=b, draws=q); Lemma 5.7 bound must
+        // dominate the exact P(X >= k).
+        let n = 400u64;
+        let b = 20u64;
+        for &ell in &[3.0f64, 5.0, 8.0] {
+            let q = (ell * b as f64).round() as u64;
+            let k = masking_threshold_k(n, q);
+            let x = Hypergeometric::new(n, b, q).unwrap();
+            let exact = x.at_least(k);
+            let bound = masking_x_tail_bound(n, q, q as f64 / b as f64);
+            assert!(
+                exact <= bound + 1e-9,
+                "ell={ell} exact={exact} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn masking_component_bounds_dominate_exact_z_tail() {
+        // Z ~ H(population=n, successes=q-b, draws=q) lower tail (Lemma 5.9).
+        let n = 625u64;
+        let b = 12u64;
+        for &ell in &[3.0f64, 4.92, 7.0] {
+            let q = (ell * b as f64).round() as u64;
+            let k = masking_threshold_k(n, q);
+            let z = Hypergeometric::new(n, q - b, q).unwrap();
+            let exact = z.less_than(k);
+            let bound = masking_y_tail_bound(n, q, q as f64 / b as f64);
+            assert!(
+                exact <= bound + 1e-9,
+                "ell={ell} exact={exact} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_floor_matches_singleton_beyond_half() {
+        assert!((strict_failure_probability_floor(300, 0.7) - 0.7).abs() < 1e-12);
+        assert!(strict_failure_probability_floor(300, 0.3) < 1e-10);
+        // At exactly 1/2 the majority system fails with probability ~1/2 too.
+        let at_half = strict_failure_probability_floor(301, 0.5);
+        assert!(at_half <= 0.5 + 1e-9);
+    }
+}

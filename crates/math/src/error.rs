@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for invalid distribution or bound parameters.
+///
+/// All constructors in this crate validate their arguments
+/// (e.g. a hypergeometric distribution cannot draw more items than the
+/// population contains) and report violations through this type instead of
+/// panicking, so callers can surface configuration errors cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// A parameter was outside its legal domain.
+    ///
+    /// The payload describes the parameter and the constraint it violated.
+    InvalidParameter(String),
+    /// A computation would not converge or lose all precision
+    /// (e.g. a confidence level of exactly 0 or 1).
+    Degenerate(String),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MathError::Degenerate(msg) => write!(f, "degenerate computation: {msg}"),
+        }
+    }
+}
+
+impl Error for MathError {}
+
+impl MathError {
+    /// Builds an [`MathError::InvalidParameter`] from anything printable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        MathError::InvalidParameter(msg.to_string())
+    }
+
+    /// Builds an [`MathError::Degenerate`] from anything printable.
+    pub fn degenerate(msg: impl fmt::Display) -> Self {
+        MathError::Degenerate(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        let e = MathError::invalid("k > n");
+        assert!(e.to_string().contains("k > n"));
+        let e = MathError::degenerate("confidence = 1");
+        assert!(e.to_string().contains("confidence = 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

@@ -1,0 +1,317 @@
+//! The Hypergeometric(N, K, n) distribution.
+//!
+//! When a quorum `Q` of size `q` is chosen uniformly at random from a
+//! universe of `N` servers that contains a distinguished subset of size `K`
+//! (another quorum, or the Byzantine set `B`), the overlap `|Q ∩ K|` is
+//! hypergeometric.  The paper leans on this fact throughout:
+//!
+//! * Lemma 3.15 — the non-intersection probability of two uniform quorums is
+//!   the hypergeometric pmf at 0;
+//! * Section 5.3 — `X = |Q ∩ B|` is `H(q = n/ℓ·…)`, written there as
+//!   `X ∼ H(q/ℓ, n, q)`;
+//! * Lemma 5.9 — `Z ∼ H(q − b, n, q)` dominates `Y = |Q ∩ Q′∖B|` from below.
+//!
+//! Parameterisation used here: population `N`, number of "successes" in the
+//! population `K`, number of draws `n`; `pmf(k) = C(K,k)·C(N−K, n−k)/C(N,n)`.
+
+use crate::comb::ln_choose;
+use crate::MathError;
+use rand::Rng;
+
+/// A hypergeometric distribution: draw `n` items without replacement from a
+/// population of `N` items of which `K` are marked; count marked items drawn.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::hypergeometric::Hypergeometric;
+/// // Two random 22-subsets of 100 servers: P(no overlap) = C(78,22)/C(100,22).
+/// let h = Hypergeometric::new(100, 22, 22).unwrap();
+/// assert!(h.pmf(0) < (-2.2f64 * 2.2).exp()); // Lemma 3.15 bound e^{-l^2}
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypergeometric {
+    population: u64,
+    successes: u64,
+    draws: u64,
+}
+
+impl Hypergeometric {
+    /// Creates a new hypergeometric distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if `successes > population` or
+    /// `draws > population`.
+    pub fn new(population: u64, successes: u64, draws: u64) -> crate::Result<Self> {
+        if successes > population {
+            return Err(MathError::invalid(format!(
+                "successes ({successes}) exceeds population ({population})"
+            )));
+        }
+        if draws > population {
+            return Err(MathError::invalid(format!(
+                "draws ({draws}) exceeds population ({population})"
+            )));
+        }
+        Ok(Self {
+            population,
+            successes,
+            draws,
+        })
+    }
+
+    /// Population size `N`.
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// Number of marked items `K` in the population.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of draws `n`.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Smallest attainable value, `max(0, n + K − N)`.
+    pub fn min_value(&self) -> u64 {
+        (self.draws + self.successes).saturating_sub(self.population)
+    }
+
+    /// Largest attainable value, `min(n, K)`.
+    pub fn max_value(&self) -> u64 {
+        self.draws.min(self.successes)
+    }
+
+    /// Expected value `n·K/N`.
+    pub fn mean(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        self.draws as f64 * self.successes as f64 / self.population as f64
+    }
+
+    /// Variance `n·(K/N)·(1 − K/N)·(N − n)/(N − 1)`.
+    pub fn variance(&self) -> f64 {
+        if self.population <= 1 {
+            return 0.0;
+        }
+        let n = self.draws as f64;
+        let frac = self.successes as f64 / self.population as f64;
+        let fpc = (self.population - self.draws) as f64 / (self.population - 1) as f64;
+        n * frac * (1.0 - frac) * fpc
+    }
+
+    /// Natural log of the probability mass `P(X = k)`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k < self.min_value() || k > self.max_value() {
+            return f64::NEG_INFINITY;
+        }
+        if self.population == 0 {
+            // Only possible outcome is k == 0.
+            return 0.0;
+        }
+        ln_choose(self.successes, k) + ln_choose(self.population - self.successes, self.draws - k)
+            - ln_choose(self.population, self.draws)
+    }
+
+    /// Probability mass `P(X = k)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative distribution `P(X ≤ k)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.max_value() {
+            return 1.0;
+        }
+        let lo = self.min_value();
+        if k < lo {
+            return 0.0;
+        }
+        // Sum the shorter side of the support for accuracy.
+        let left_terms = k - lo + 1;
+        let right_terms = self.max_value() - k;
+        if left_terms <= right_terms {
+            let mut acc = 0.0f64;
+            for i in lo..=k {
+                acc += self.pmf(i);
+            }
+            acc.min(1.0)
+        } else {
+            let mut acc = 0.0f64;
+            for i in (k + 1)..=self.max_value() {
+                acc += self.pmf(i);
+            }
+            (1.0 - acc).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Survival function `P(X > k)`.
+    pub fn sf(&self, k: u64) -> f64 {
+        (1.0 - self.cdf(k)).clamp(0.0, 1.0)
+    }
+
+    /// Probability of at least `k` marked items, `P(X ≥ k)`.
+    pub fn at_least(&self, k: u64) -> f64 {
+        if k == 0 {
+            1.0
+        } else {
+            self.sf(k - 1)
+        }
+    }
+
+    /// Probability of fewer than `k` marked items, `P(X < k)`.
+    pub fn less_than(&self, k: u64) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf(k - 1)
+        }
+    }
+
+    /// Draws one sample by simulating the draws directly.
+    ///
+    /// Runs in `O(draws)` which is ample for simulator workloads
+    /// (draws = quorum size, typically `O(√N)`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut remaining_success = self.successes;
+        let mut remaining_total = self.population;
+        let mut hits = 0u64;
+        for _ in 0..self.draws {
+            if remaining_total == 0 {
+                break;
+            }
+            let p = remaining_success as f64 / remaining_total as f64;
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                hits += 1;
+                remaining_success -= 1;
+            }
+            remaining_total -= 1;
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Hypergeometric::new(10, 11, 5).is_err());
+        assert!(Hypergeometric::new(10, 5, 11).is_err());
+        assert!(Hypergeometric::new(10, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(pop, k, n) in &[
+            (10u64, 4u64, 3u64),
+            (50, 20, 17),
+            (100, 22, 22),
+            (300, 40, 40),
+            (7, 7, 3),
+            (7, 0, 3),
+        ] {
+            let h = Hypergeometric::new(pop, k, n).unwrap();
+            let total: f64 = (h.min_value()..=h.max_value()).map(|i| h.pmf(i)).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "pop={pop} k={k} n={n} total={total}"
+            );
+        }
+    }
+
+    #[test]
+    fn support_bounds() {
+        let h = Hypergeometric::new(10, 8, 7).unwrap();
+        // min = 7 + 8 - 10 = 5, max = min(7, 8) = 7
+        assert_eq!(h.min_value(), 5);
+        assert_eq!(h.max_value(), 7);
+        assert_eq!(h.pmf(4), 0.0);
+        assert_eq!(h.pmf(8), 0.0);
+        assert!(h.pmf(5) > 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_formulas() {
+        let h = Hypergeometric::new(100, 30, 20).unwrap();
+        assert!((h.mean() - 6.0).abs() < 1e-12);
+        let expected_var = 20.0 * 0.3 * 0.7 * (80.0 / 99.0);
+        assert!((h.variance() - expected_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_matches_weighted_sum() {
+        let h = Hypergeometric::new(60, 25, 18).unwrap();
+        let weighted: f64 = (h.min_value()..=h.max_value())
+            .map(|i| i as f64 * h.pmf(i))
+            .sum();
+        assert!((weighted - h.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_sf_complementary_and_monotone() {
+        let h = Hypergeometric::new(80, 33, 21).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=21 {
+            let c = h.cdf(k);
+            assert!(c + 1e-12 >= prev, "k={k}");
+            prev = c;
+            assert!((h.cdf(k) + h.sf(k) - 1.0).abs() < 1e-9);
+        }
+        assert!((h.cdf(21) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_least_and_less_than_partition() {
+        let h = Hypergeometric::new(50, 18, 12).unwrap();
+        for k in 0..=13u64 {
+            assert!((h.at_least(k) + h.less_than(k) - 1.0).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn nonintersection_matches_closed_form() {
+        // P(X = 0) for H(N=n, K=q, draws=q) equals C(n-q, q)/C(n, q).
+        let (n, q) = (100u64, 22u64);
+        let h = Hypergeometric::new(n, q, q).unwrap();
+        let direct = (crate::comb::ln_choose(n - q, q) - crate::comb::ln_choose(n, q)).exp();
+        assert!((h.pmf(0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_population_zero() {
+        let h = Hypergeometric::new(0, 0, 0).unwrap();
+        assert_eq!(h.pmf(0), 1.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.variance(), 0.0);
+    }
+
+    #[test]
+    fn sampling_distribution_close_to_pmf() {
+        let h = Hypergeometric::new(40, 15, 10).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let trials = 20_000usize;
+        let mut counts = vec![0usize; (h.max_value() + 1) as usize];
+        for _ in 0..trials {
+            counts[h.sample(&mut rng) as usize] += 1;
+        }
+        let empirical_mean: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as f64 * c as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (empirical_mean - h.mean()).abs() < 0.1,
+            "empirical={empirical_mean} expected={}",
+            h.mean()
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Chernoff / Hoeffding tail bounds.
+//!
+//! The paper's quantitative statements are phrased as exponential tail
+//! bounds:
+//!
+//! * the failure probability of `R(n, ℓ√n)` uses the additive Chernoff
+//!   (Hoeffding) bound `P(#fail > n − ℓ√n) ≤ e^{−2n(1 − ℓ/√n − p)²}`
+//!   (Section 3.4 and Section 5.5);
+//! * Lemma 5.7 uses the multiplicative Chernoff upper-tail bounds
+//!   `P(X̂ > (1+γ)μ) ≤ e^{−μγ²/4}` for `γ ≤ 2e − 1` and `≤ 2^{−(1+γ)μ}`
+//!   beyond;
+//! * Lemma 5.9 uses the lower-tail bound `P(Ẑ < (1−δ)μ) ≤ e^{−μδ²/2}`;
+//! * Hoeffding's theorem 4 justifies transferring these bounds from sums of
+//!   independent Bernoullis to the hypergeometric variables actually at play.
+//!
+//! The functions here return the *bound values* (probabilities in `[0, 1]`)
+//! so callers can compare them against exact computations or Monte-Carlo
+//! estimates; they are pure functions of the parameters.
+
+/// Additive Hoeffding bound for the upper tail of a Binomial(n, p):
+/// `P(X/n ≥ p + t) ≤ exp(−2 n t²)` for `t ≥ 0`.
+///
+/// Returns `1.0` when `t ≤ 0` (the bound is vacuous).
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::tail::hoeffding_upper;
+/// let b = hoeffding_upper(100, 0.2);
+/// assert!(b < 1e-3);
+/// ```
+pub fn hoeffding_upper(n: u64, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 1.0;
+    }
+    (-2.0 * n as f64 * t * t).exp().min(1.0)
+}
+
+/// Additive Hoeffding bound for the lower tail:
+/// `P(X/n ≤ p − t) ≤ exp(−2 n t²)`; identical exponent by symmetry.
+pub fn hoeffding_lower(n: u64, t: f64) -> f64 {
+    hoeffding_upper(n, t)
+}
+
+/// The paper's crash-failure bound for `R(n, q)` (Sections 3.4 and 5.5):
+/// with per-server crash probability `p`, the system fails only if more than
+/// `n − q` servers crash, and
+/// `P(#fail > n − q) ≤ exp(−2 n (1 − q/n − p)²)` whenever `p ≤ 1 − q/n`.
+///
+/// Returns `1.0` if `p > 1 − q/n` (the bound does not apply).
+pub fn r_system_failure_bound(n: u64, q: u64, p: f64) -> f64 {
+    let gamma = 1.0 - q as f64 / n as f64 - p;
+    if gamma <= 0.0 {
+        return 1.0;
+    }
+    (-2.0 * n as f64 * gamma * gamma).exp().min(1.0)
+}
+
+/// Multiplicative Chernoff bound for the upper tail of a sum of independent
+/// Bernoulli variables with mean `mu`:
+///
+/// * `P(X > (1+γ)μ) ≤ exp(−μ γ² / 4)` for `0 < γ ≤ 2e − 1`;
+/// * `P(X > (1+γ)μ) ≤ 2^{−(1+γ)μ}` for `γ > 2e − 1`.
+///
+/// This is exactly the form quoted in the proof of Lemma 5.7
+/// (citing Motwani–Raghavan, p. 72).
+///
+/// Returns `1.0` for `γ ≤ 0`.
+pub fn chernoff_upper_multiplicative(mu: f64, gamma: f64) -> f64 {
+    if gamma <= 0.0 || mu <= 0.0 {
+        return 1.0;
+    }
+    let bound = if gamma <= 2.0 * std::f64::consts::E - 1.0 {
+        (-mu * gamma * gamma / 4.0).exp()
+    } else {
+        2f64.powf(-(1.0 + gamma) * mu)
+    };
+    bound.min(1.0)
+}
+
+/// Multiplicative Chernoff bound for the lower tail:
+/// `P(X < (1−δ)μ) ≤ exp(−μ δ² / 2)` for `0 ≤ δ ≤ 1`.
+///
+/// This is the form used in the proof of Lemma 5.9.
+///
+/// Returns `1.0` for `δ` outside `(0, 1]` or non-positive `μ`.
+pub fn chernoff_lower_multiplicative(mu: f64, delta: f64) -> f64 {
+    if delta <= 0.0 || delta > 1.0 || mu <= 0.0 {
+        return 1.0;
+    }
+    (-mu * delta * delta / 2.0).exp().min(1.0)
+}
+
+/// Relative-entropy (exact-exponent) Chernoff bound for Binomial(n, p):
+/// `P(X ≥ a·n) ≤ exp(−n · D(a ‖ p))` for `a > p`, where
+/// `D(a ‖ p) = a ln(a/p) + (1−a) ln((1−a)/(1−p))` is the binary KL
+/// divergence.
+///
+/// This is never weaker than [`hoeffding_upper`] and is useful for sharper
+/// failure-probability estimates in the experiment harness.
+///
+/// Returns `1.0` when `a ≤ p` or when parameters are degenerate.
+pub fn chernoff_kl_upper(n: u64, p: f64, a: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) || !(0.0..=1.0).contains(&a) || a <= p {
+        return 1.0;
+    }
+    (-(n as f64) * kl_bernoulli(a, p)).exp().min(1.0)
+}
+
+/// Relative-entropy Chernoff bound for the lower tail:
+/// `P(X ≤ a·n) ≤ exp(−n · D(a ‖ p))` for `a < p`.
+pub fn chernoff_kl_lower(n: u64, p: f64, a: f64) -> f64 {
+    if !(0.0..=1.0).contains(&p) || !(0.0..=1.0).contains(&a) || a >= p {
+        return 1.0;
+    }
+    (-(n as f64) * kl_bernoulli(a, p)).exp().min(1.0)
+}
+
+/// Binary Kullback–Leibler divergence `D(a ‖ p)` between Bernoulli(a) and
+/// Bernoulli(p), with the usual conventions at the endpoints.
+pub fn kl_bernoulli(a: f64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&a));
+    debug_assert!((0.0..=1.0).contains(&p));
+    let term = |x: f64, y: f64| -> f64 {
+        if x == 0.0 {
+            0.0
+        } else if y == 0.0 {
+            f64::INFINITY
+        } else {
+            x * (x / y).ln()
+        }
+    };
+    term(a, p) + term(1.0 - a, 1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+
+    #[test]
+    fn hoeffding_dominates_exact_binomial_tail() {
+        let n = 200u64;
+        let p = 0.3;
+        let d = Binomial::new(n, p).unwrap();
+        for &t in &[0.05, 0.1, 0.2, 0.3] {
+            let threshold = ((p + t) * n as f64).ceil() as u64;
+            let exact = d.at_least(threshold);
+            let bound = hoeffding_upper(n, t);
+            assert!(exact <= bound + 1e-12, "t={t} exact={exact} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn hoeffding_vacuous_for_nonpositive_t() {
+        assert_eq!(hoeffding_upper(100, 0.0), 1.0);
+        assert_eq!(hoeffding_upper(100, -0.5), 1.0);
+        assert_eq!(hoeffding_lower(100, -0.5), 1.0);
+    }
+
+    #[test]
+    fn kl_bound_is_tighter_than_hoeffding() {
+        let n = 300u64;
+        let p = 0.2;
+        let a = 0.45;
+        let kl = chernoff_kl_upper(n, p, a);
+        let hoeff = hoeffding_upper(n, a - p);
+        assert!(kl <= hoeff + 1e-15, "kl={kl} hoeffding={hoeff}");
+    }
+
+    #[test]
+    fn kl_bounds_dominate_exact_tails() {
+        let n = 150u64;
+        let p = 0.4;
+        let d = Binomial::new(n, p).unwrap();
+        // Upper tail.
+        for &a in &[0.5, 0.6, 0.8] {
+            let exact = d.at_least((a * n as f64).ceil() as u64);
+            assert!(exact <= chernoff_kl_upper(n, p, a) + 1e-12, "a={a}");
+        }
+        // Lower tail.
+        for &a in &[0.05, 0.2, 0.3] {
+            let exact = d.cdf((a * n as f64).floor() as u64);
+            assert!(exact <= chernoff_kl_lower(n, p, a) + 1e-12, "a={a}");
+        }
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        assert_eq!(kl_bernoulli(0.3, 0.3), 0.0);
+        assert!(kl_bernoulli(0.5, 0.1) > 0.0);
+        assert_eq!(kl_bernoulli(0.5, 0.0), f64::INFINITY);
+        assert_eq!(kl_bernoulli(0.0, 0.5), 0.5f64.ln().abs().max(0.0) * 0.0 + (1.0f64 / 0.5).ln());
+    }
+
+    #[test]
+    fn multiplicative_upper_bound_regimes() {
+        let mu = 10.0;
+        // Small gamma regime.
+        let small = chernoff_upper_multiplicative(mu, 1.0);
+        assert!((small - (-mu / 4.0).exp()).abs() < 1e-12);
+        // Large gamma regime.
+        let gamma = 2.0 * std::f64::consts::E; // > 2e-1
+        let large = chernoff_upper_multiplicative(mu, gamma);
+        assert!((large - 2f64.powf(-(1.0 + gamma) * mu)).abs() < 1e-12);
+        // Vacuous cases.
+        assert_eq!(chernoff_upper_multiplicative(mu, 0.0), 1.0);
+        assert_eq!(chernoff_upper_multiplicative(0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn multiplicative_lower_bound() {
+        let mu = 20.0;
+        let delta = 0.5;
+        let b = chernoff_lower_multiplicative(mu, delta);
+        assert!((b - (-mu * 0.25 / 2.0).exp()).abs() < 1e-12);
+        assert_eq!(chernoff_lower_multiplicative(mu, 0.0), 1.0);
+        assert_eq!(chernoff_lower_multiplicative(mu, 1.5), 1.0);
+    }
+
+    #[test]
+    fn multiplicative_upper_dominates_binomial_tail() {
+        // X ~ Binomial(q, p) with mean mu = q p. The Chernoff bound must
+        // dominate P(X > (1+gamma) mu).
+        let q = 120u64;
+        let p = 0.1;
+        let mu = q as f64 * p;
+        let d = Binomial::new(q, p).unwrap();
+        for &gamma in &[0.5, 1.0, 2.0, 6.0] {
+            let threshold = ((1.0 + gamma) * mu).floor() as u64;
+            let exact = d.sf(threshold);
+            let bound = chernoff_upper_multiplicative(mu, gamma);
+            assert!(
+                exact <= bound + 1e-12,
+                "gamma={gamma} exact={exact} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn r_system_failure_bound_behaviour() {
+        // For p well below 1 - q/n the bound is small; beyond it is vacuous.
+        let (n, q) = (400u64, 49u64);
+        assert!(r_system_failure_bound(n, q, 0.5) < 1e-20);
+        assert_eq!(r_system_failure_bound(n, q, 0.95), 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Epidemic diffusion of updates between servers.
+//!
+//! Section 1.1 notes that "a system built with probabilistic quorum systems
+//! can be strengthened by a properly designed diffusion mechanism, which
+//! propagates updates to replicated data lazily, i.e., outside the critical
+//! path of client operations", citing the classical anti-entropy / gossip
+//! literature ([DGH+87], [MMR99]).  This module implements push gossip
+//! between *correct* servers: in each round every correct server pushes its
+//! freshest record for a variable to `fanout` uniformly chosen peers, which
+//! keep it if it is newer.  Coupled with the register protocols this drives
+//! the probability that a read misses the latest write toward zero once the
+//! write has had a few rounds to spread.
+
+use crate::cluster::Cluster;
+use crate::server::{Behavior, VariableId};
+use crate::timestamp::Timestamp;
+use pqs_core::universe::ServerId;
+use rand::Rng;
+use rand::RngCore;
+
+/// Configuration of the gossip process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffusionConfig {
+    /// Number of peers each correct server pushes to per round.
+    pub fanout: usize,
+    /// Number of gossip rounds to run.
+    pub rounds: usize,
+}
+
+impl Default for DiffusionConfig {
+    /// Two peers per round for five rounds — enough for near-complete
+    /// coverage of clusters with a few hundred servers.
+    fn default() -> Self {
+        DiffusionConfig {
+            fanout: 2,
+            rounds: 5,
+        }
+    }
+}
+
+/// Runs push-gossip for one variable and returns the number of *correct*
+/// servers holding the globally freshest record after the final round.
+///
+/// Crashed servers neither push nor receive; Byzantine servers receive
+/// pushes (harmlessly) but never push, modelling the fact that correct
+/// servers cannot rely on them to help dissemination.
+pub fn diffuse_plain(
+    cluster: &mut Cluster,
+    variable: VariableId,
+    config: DiffusionConfig,
+    rng: &mut dyn RngCore,
+) -> usize {
+    let n = cluster.len();
+    for _ in 0..config.rounds {
+        // Snapshot sender states first so a round is a synchronous exchange.
+        let snapshot: Vec<_> = (0..n as u32)
+            .map(|i| {
+                let server = cluster.server(ServerId::new(i));
+                (server.behavior(), server.stored_plain(variable))
+            })
+            .collect();
+        for (i, (behavior, record)) in snapshot.iter().enumerate() {
+            if *behavior != Behavior::Correct {
+                continue;
+            }
+            for _ in 0..config.fanout {
+                let peer = rng.gen_range(0..n);
+                if peer == i {
+                    continue;
+                }
+                let peer_id = ServerId::new(peer as u32);
+                if cluster.server(peer_id).behavior() == Behavior::Correct {
+                    cluster
+                        .server_mut(peer_id)
+                        .store_plain_if_fresher(variable, record.clone());
+                }
+            }
+        }
+    }
+    count_fresh_correct(cluster, variable)
+}
+
+/// Number of correct servers holding the freshest record currently present
+/// anywhere in the cluster for `variable`.
+pub fn count_fresh_correct(cluster: &Cluster, variable: VariableId) -> usize {
+    let freshest: Timestamp = (0..cluster.len() as u32)
+        .map(|i| cluster.server(ServerId::new(i)).stored_plain(variable).timestamp)
+        .max()
+        .unwrap_or(Timestamp::ZERO);
+    if freshest == Timestamp::ZERO {
+        return 0;
+    }
+    (0..cluster.len() as u32)
+        .filter(|&i| {
+            let s = cluster.server(ServerId::new(i));
+            s.behavior() == Behavior::Correct
+                && s.stored_plain(variable).timestamp == freshest
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::SafeRegister;
+    use crate::value::Value;
+    use pqs_core::probabilistic::EpsilonIntersecting;
+    use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
+    use pqs_core::universe::Universe;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn diffusion_spreads_the_latest_write_to_almost_everyone() {
+        let sys = EpsilonIntersecting::new(100, 22).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut reg = SafeRegister::new(&sys, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(9)).unwrap();
+        let before = count_fresh_correct(&cluster, 0);
+        assert!(before <= 22);
+        let after = diffuse_plain(&mut cluster, 0, DiffusionConfig::default(), &mut rng);
+        assert!(after > 90, "only {after} servers fresh after diffusion");
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn diffusion_lowers_stale_read_rate() {
+        // Theorem 3.2 gives a stale-read rate of about epsilon without
+        // diffusion; with diffusion between write and read it collapses to
+        // (essentially) zero.
+        let sys = EpsilonIntersecting::new(64, 8).unwrap();
+        let eps = sys.epsilon();
+        assert!(eps > 0.05, "test needs a loose system to be meaningful");
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut cluster = Cluster::new(sys.universe());
+        let mut reg = SafeRegister::new(&sys, 1);
+        let trials = 500u64;
+        let mut stale = 0u64;
+        for i in 1..=trials {
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            diffuse_plain(&mut cluster, 0, DiffusionConfig { fanout: 2, rounds: 4 }, &mut rng);
+            match reg.read(&mut cluster, &mut rng).unwrap() {
+                Some(tv) if tv.value == Value::from_u64(i) => {}
+                _ => stale += 1,
+            }
+        }
+        let rate = stale as f64 / trials as f64;
+        assert!(rate < eps / 4.0, "rate {rate} not much below epsilon {eps}");
+    }
+
+    #[test]
+    fn crashed_and_byzantine_servers_do_not_push() {
+        let universe = Universe::new(20);
+        let mut cluster = Cluster::new(universe);
+        // Server 0 holds the only copy but is Byzantine; server 1 holds it
+        // and is crashed; nothing should spread.
+        use crate::server::Behavior;
+        use crate::timestamp::Timestamp;
+        use crate::value::TaggedValue;
+        let record = TaggedValue::new(Value::from_u64(5), Timestamp::new(1, 1));
+        cluster
+            .server_mut(ServerId::new(0))
+            .store_plain_if_fresher(0, record.clone());
+        cluster
+            .server_mut(ServerId::new(1))
+            .store_plain_if_fresher(0, record);
+        cluster.set_behavior(ServerId::new(0), Behavior::ByzantineStale);
+        cluster.set_behavior(ServerId::new(1), Behavior::Crashed);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let fresh = diffuse_plain(
+            &mut cluster,
+            0,
+            DiffusionConfig { fanout: 3, rounds: 5 },
+            &mut rng,
+        );
+        assert_eq!(fresh, 0, "no correct server should have received the record");
+    }
+
+    #[test]
+    fn empty_cluster_state_counts_zero_fresh() {
+        let cluster = Cluster::new(Universe::new(5));
+        assert_eq!(count_fresh_correct(&cluster, 0), 0);
+        let mut cluster = cluster;
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(
+            diffuse_plain(&mut cluster, 0, DiffusionConfig::default(), &mut rng),
+            0
+        );
+    }
+}

@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the replication protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Too few servers of the chosen quorum responded for the operation to
+    /// complete (e.g. they have crashed).
+    QuorumUnavailable {
+        /// Servers contacted.
+        contacted: usize,
+        /// Servers that answered.
+        responded: usize,
+    },
+    /// A configuration problem: mismatched universes, unknown writer key, …
+    Configuration(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::QuorumUnavailable {
+                contacted,
+                responded,
+            } => write!(
+                f,
+                "quorum unavailable: only {responded} of {contacted} servers responded"
+            ),
+            ProtocolError::Configuration(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+impl ProtocolError {
+    /// Builds a [`ProtocolError::Configuration`] from anything printable.
+    pub fn config(msg: impl fmt::Display) -> Self {
+        ProtocolError::Configuration(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ProtocolError::QuorumUnavailable {
+            contacted: 10,
+            responded: 3,
+        };
+        assert!(e.to_string().contains("3 of 10"));
+        assert!(ProtocolError::config("bad").to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

@@ -1,0 +1,229 @@
+//! The Section 4 register for self-verifying data.
+
+use crate::cluster::Cluster;
+use crate::crypto::{KeyRegistry, SignedValue, SigningKey};
+use crate::server::VariableId;
+use crate::timestamp::TimestampIssuer;
+use crate::value::{TaggedValue, Value};
+use crate::ProtocolError;
+use pqs_core::system::QuorumSystem;
+use rand::RngCore;
+
+/// A client of the dissemination protocol: values are signed by the writer,
+/// and readers discard any reply whose signature does not verify before
+/// picking the highest timestamp (the read protocol of Section 4).
+///
+/// Theorem 4.2: with a (b, ε)-dissemination quorum system, a read that is
+/// not concurrent with a write returns the last written value with
+/// probability at least `1 − ε`, despite up to `b` Byzantine servers.
+#[derive(Debug)]
+pub struct DisseminationRegister<'a, S: QuorumSystem + ?Sized> {
+    system: &'a S,
+    key: SigningKey,
+    registry: KeyRegistry,
+    issuer: TimestampIssuer,
+    variable: VariableId,
+}
+
+impl<'a, S: QuorumSystem + ?Sized> DisseminationRegister<'a, S> {
+    /// Creates a client for variable 0.
+    ///
+    /// `key` is the writer's signing key; `registry` is the verification
+    /// material readers use (in a deployment this is the PKI; here it is the
+    /// simulated [`KeyRegistry`]).
+    pub fn new(system: &'a S, key: SigningKey, registry: KeyRegistry) -> Self {
+        Self::for_variable(system, key, registry, 0)
+    }
+
+    /// Creates a client bound to a specific variable id.
+    pub fn for_variable(
+        system: &'a S,
+        key: SigningKey,
+        registry: KeyRegistry,
+        variable: VariableId,
+    ) -> Self {
+        DisseminationRegister {
+            system,
+            issuer: TimestampIssuer::new(key.owner()),
+            key,
+            registry,
+            variable,
+        }
+    }
+
+    /// The variable this client operates on.
+    pub fn variable(&self) -> VariableId {
+        self.variable
+    }
+
+    /// Write protocol: sign ⟨v, t⟩ and push it to every member of a quorum
+    /// chosen by the access strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::QuorumUnavailable`] if no server
+    /// acknowledged the write.
+    pub fn write(
+        &mut self,
+        cluster: &mut Cluster,
+        rng: &mut dyn RngCore,
+        value: Value,
+    ) -> crate::Result<super::WriteReceipt> {
+        let quorum = self.system.sample_quorum(rng);
+        let timestamp = self.issuer.next();
+        let record = SignedValue::create(&self.key, value, timestamp);
+        cluster.note_operation();
+        let acks = cluster.write_signed(&quorum, self.variable, &record);
+        if acks == 0 {
+            return Err(ProtocolError::QuorumUnavailable {
+                contacted: quorum.len(),
+                responded: 0,
+            });
+        }
+        Ok(super::WriteReceipt {
+            timestamp,
+            acks,
+            quorum_size: quorum.len(),
+        })
+    }
+
+    /// Read protocol (Section 4): query a quorum, keep only the replies that
+    /// are *verifiable*, and return the highest-timestamped one.
+    ///
+    /// Returns `Ok(None)` if no verifiable reply was received (e.g. nothing
+    /// has been written yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::QuorumUnavailable`] if no server replied at
+    /// all.
+    pub fn read(
+        &mut self,
+        cluster: &mut Cluster,
+        rng: &mut dyn RngCore,
+    ) -> crate::Result<Option<TaggedValue>> {
+        let quorum = self.system.sample_quorum(rng);
+        cluster.note_operation();
+        let replies = cluster.read_signed(&quorum, self.variable);
+        if replies.is_empty() {
+            return Err(ProtocolError::QuorumUnavailable {
+                contacted: quorum.len(),
+                responded: 0,
+            });
+        }
+        let best = replies
+            .into_iter()
+            .map(|(_, sv)| sv)
+            .filter(|sv| self.registry.verify_signed(sv))
+            .max_by(|a, b| a.tagged.timestamp.cmp(&b.tagged.timestamp));
+        Ok(best.map(|sv| sv.tagged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Behavior;
+    use pqs_core::probabilistic::ProbabilisticDissemination;
+    use pqs_core::universe::ServerId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(
+        n: u32,
+        b: u32,
+    ) -> (
+        ProbabilisticDissemination,
+        Cluster,
+        KeyRegistry,
+        SigningKey,
+    ) {
+        let sys = ProbabilisticDissemination::with_target_epsilon(n, b, 1e-3).unwrap();
+        let cluster = Cluster::new(sys.universe());
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, 11);
+        (sys, cluster, registry, key)
+    }
+
+    #[test]
+    fn read_before_write_returns_none() {
+        let (sys, mut cluster, registry, key) = setup(64, 8);
+        let mut reg = DisseminationRegister::new(&sys, key, registry);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(reg.read(&mut cluster, &mut rng).unwrap(), None);
+        assert_eq!(reg.variable(), 0);
+    }
+
+    #[test]
+    fn round_trip_with_byzantine_servers_never_returns_forgeries() {
+        let (sys, mut cluster, registry, key) = setup(100, 20);
+        // Corrupt 20 servers; they can only suppress or replay.
+        cluster.corrupt_all((0..20).map(ServerId::new), Behavior::ByzantineStale);
+        let mut reg = DisseminationRegister::new(&sys, key, registry);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut stale = 0usize;
+        let trials = 300u64;
+        for i in 1..=trials {
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            match reg.read(&mut cluster, &mut rng).unwrap() {
+                Some(tv) if tv.value == Value::from_u64(i) => {}
+                Some(tv) => {
+                    // Any non-latest reply must still be a genuinely written
+                    // (signed) earlier value, never a fabrication.
+                    assert!(tv.value.as_u64().unwrap() < i);
+                    stale += 1;
+                }
+                None => stale += 1,
+            }
+        }
+        // epsilon <= 1e-3, so a handful of stale reads at most.
+        assert!(stale <= 3, "too many stale reads: {stale}");
+    }
+
+    #[test]
+    fn forging_servers_cannot_pass_verification() {
+        let (sys, mut cluster, registry, key) = setup(64, 8);
+        cluster.corrupt_all((0..8).map(ServerId::new), Behavior::ByzantineForge);
+        let mut reg = DisseminationRegister::new(&sys, key, registry);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(5)).unwrap();
+        for _ in 0..100 {
+            if let Some(tv) = reg.read(&mut cluster, &mut rng).unwrap() {
+                assert_eq!(tv.value, Value::from_u64(5));
+            }
+        }
+    }
+
+    #[test]
+    fn unavailable_when_all_crash() {
+        let (sys, mut cluster, registry, key) = setup(64, 8);
+        cluster.crash_all((0..64).map(ServerId::new));
+        let mut reg = DisseminationRegister::new(&sys, key, registry);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(matches!(
+            reg.write(&mut cluster, &mut rng, Value::from_u64(1)),
+            Err(ProtocolError::QuorumUnavailable { .. })
+        ));
+        assert!(matches!(
+            reg.read(&mut cluster, &mut rng),
+            Err(ProtocolError::QuorumUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn reader_without_writer_key_rejects_everything() {
+        // A registry that does not know the writer treats all data as
+        // unverifiable, so reads return None — data is suppressed, never
+        // forged.
+        let sys = ProbabilisticDissemination::with_target_epsilon(64, 8, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut writer_registry = KeyRegistry::new();
+        let key = writer_registry.register(1, 11);
+        let empty_registry = KeyRegistry::new();
+        let mut writer = DisseminationRegister::new(&sys, key, writer_registry);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        writer.write(&mut cluster, &mut rng, Value::from_u64(3)).unwrap();
+        let mut reader = DisseminationRegister::new(&sys, key, empty_registry);
+        assert_eq!(reader.read(&mut cluster, &mut rng).unwrap(), None);
+    }
+}

@@ -1,0 +1,247 @@
+//! The Section 5 register for arbitrary (non-self-verifying) data.
+
+use crate::cluster::Cluster;
+use crate::server::VariableId;
+use crate::timestamp::TimestampIssuer;
+use crate::value::{TaggedValue, Value};
+use crate::{ClientId, ProtocolError};
+use pqs_core::system::QuorumSystem;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// A client of the masking protocol: a reader only accepts a value–timestamp
+/// pair reported by at least `k` servers of its quorum, then picks the
+/// highest timestamp among the accepted pairs, or `⊥` (`None`) if none
+/// qualifies (the modified read protocol of Section 5).
+///
+/// Theorem 5.2: with a (b, ε)-masking quorum system and its threshold `k`,
+/// a read not concurrent with a write returns the last written value with
+/// probability at least `1 − ε` despite up to `b` Byzantine servers storing
+/// arbitrary data.
+#[derive(Debug)]
+pub struct MaskingRegister<'a, S: QuorumSystem + ?Sized> {
+    system: &'a S,
+    threshold: usize,
+    issuer: TimestampIssuer,
+    variable: VariableId,
+}
+
+impl<'a, S: QuorumSystem + ?Sized> MaskingRegister<'a, S> {
+    /// Creates a client for variable 0 with read threshold `k`.
+    ///
+    /// For the `R_k(n, q)` construction pass
+    /// [`ProbabilisticMasking::read_threshold`](pqs_core::probabilistic::ProbabilisticMasking::read_threshold);
+    /// for a strict b-masking system pass `b + 1`.
+    pub fn new(system: &'a S, threshold: usize, writer: ClientId) -> Self {
+        Self::for_variable(system, threshold, writer, 0)
+    }
+
+    /// Creates a client bound to a specific variable id.
+    pub fn for_variable(
+        system: &'a S,
+        threshold: usize,
+        writer: ClientId,
+        variable: VariableId,
+    ) -> Self {
+        MaskingRegister {
+            system,
+            threshold: threshold.max(1),
+            issuer: TimestampIssuer::new(writer),
+            variable,
+        }
+    }
+
+    /// The read-acceptance threshold `k`.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The variable this client operates on.
+    pub fn variable(&self) -> VariableId {
+        self.variable
+    }
+
+    /// Write protocol: identical to the safe register's (Section 5 keeps
+    /// write operations "as before").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::QuorumUnavailable`] if no server
+    /// acknowledged the write.
+    pub fn write(
+        &mut self,
+        cluster: &mut Cluster,
+        rng: &mut dyn RngCore,
+        value: Value,
+    ) -> crate::Result<super::WriteReceipt> {
+        let quorum = self.system.sample_quorum(rng);
+        let timestamp = self.issuer.next();
+        cluster.note_operation();
+        let acks = cluster.write_plain(&quorum, self.variable, &TaggedValue::new(value, timestamp));
+        if acks == 0 {
+            return Err(ProtocolError::QuorumUnavailable {
+                contacted: quorum.len(),
+                responded: 0,
+            });
+        }
+        Ok(super::WriteReceipt {
+            timestamp,
+            acks,
+            quorum_size: quorum.len(),
+        })
+    }
+
+    /// Read protocol (Section 5): query a quorum, group identical
+    /// value–timestamp pairs, discard groups smaller than `k`, and return
+    /// the surviving pair with the highest timestamp (`None` ≈ ⊥ if no group
+    /// survives).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::QuorumUnavailable`] if no server replied.
+    pub fn read(
+        &mut self,
+        cluster: &mut Cluster,
+        rng: &mut dyn RngCore,
+    ) -> crate::Result<Option<TaggedValue>> {
+        let quorum = self.system.sample_quorum(rng);
+        cluster.note_operation();
+        let replies = cluster.read_plain(&quorum, self.variable);
+        if replies.is_empty() {
+            return Err(ProtocolError::QuorumUnavailable {
+                contacted: quorum.len(),
+                responded: 0,
+            });
+        }
+        let mut counts: HashMap<TaggedValue, usize> = HashMap::new();
+        for (_, tv) in replies {
+            *counts.entry(tv).or_insert(0) += 1;
+        }
+        let best = counts
+            .into_iter()
+            .filter(|(tv, count)| {
+                *count >= self.threshold && tv.timestamp != crate::timestamp::Timestamp::ZERO
+            })
+            .map(|(tv, _)| tv)
+            .max_by(|a, b| a.timestamp.cmp(&b.timestamp));
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{forged_value, Behavior};
+    use pqs_core::byzantine::MaskingThreshold;
+    use pqs_core::probabilistic::ProbabilisticMasking;
+    use pqs_core::universe::ServerId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn read_before_write_returns_bottom() {
+        let sys = ProbabilisticMasking::with_target_epsilon(64, 4, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(reg.read(&mut cluster, &mut rng).unwrap(), None);
+        assert_eq!(reg.threshold(), sys.read_threshold());
+        assert_eq!(reg.variable(), 0);
+    }
+
+    #[test]
+    fn forged_values_below_threshold_are_rejected() {
+        let n = 100u32;
+        let b = 5u32;
+        let sys = ProbabilisticMasking::with_target_epsilon(n, b, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.corrupt_all((0..b).map(ServerId::new), Behavior::ByzantineForge);
+        let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let trials = 300u64;
+        let mut wrong = 0usize;
+        for i in 1..=trials {
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            match reg.read(&mut cluster, &mut rng).unwrap() {
+                Some(tv) => {
+                    assert_ne!(tv.value, forged_value(), "forgery accepted at read {i}");
+                    if tv.value != Value::from_u64(i) {
+                        wrong += 1;
+                    }
+                }
+                None => wrong += 1,
+            }
+        }
+        // epsilon <= 1e-3: essentially every read returns the latest value.
+        assert!(wrong <= 3, "too many incorrect reads: {wrong}");
+    }
+
+    #[test]
+    fn strict_masking_system_with_threshold_b_plus_one() {
+        // The same client code runs over a strict b-masking system with
+        // k = b + 1 and is then deterministically safe.
+        let b = 3u32;
+        let sys = MaskingThreshold::new(25, b).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.corrupt_all((0..b).map(ServerId::new), Behavior::ByzantineForge);
+        let mut reg = MaskingRegister::new(&sys, (b + 1) as usize, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for i in 1..=100u64 {
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
+            assert_eq!(got.value, Value::from_u64(i));
+        }
+    }
+
+    #[test]
+    fn large_byzantine_coalition_cannot_forge_but_may_cause_bottom() {
+        // With b much larger than the design threshold the reader may return
+        // ⊥ more often, but it still never accepts the fabricated value as
+        // long as fewer than k forgers land in the read quorum.
+        let sys = ProbabilisticMasking::new(100, 40, 10).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.corrupt_all((0..10).map(ServerId::new), Behavior::ByzantineForge);
+        let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(7)).unwrap();
+        let mut forged_accepted = 0usize;
+        for _ in 0..200 {
+            if let Some(tv) = reg.read(&mut cluster, &mut rng).unwrap() {
+                if tv.value == forged_value() {
+                    forged_accepted += 1;
+                }
+            }
+        }
+        // k = ceil(40^2/200) = 8; ten forgers exist, so acceptance is
+        // *possible* but must be rare (P(|Q cap B| >= 8) is a few percent at
+        // most), far below the ~100% a threshold-free reader would suffer.
+        assert!(
+            forged_accepted < 20,
+            "forgeries accepted {forged_accepted} times out of 200"
+        );
+    }
+
+    #[test]
+    fn unavailable_when_all_crash() {
+        let sys = ProbabilisticMasking::with_target_epsilon(64, 4, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.crash_all((0..64).map(ServerId::new));
+        let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(matches!(
+            reg.write(&mut cluster, &mut rng, Value::from_u64(1)),
+            Err(ProtocolError::QuorumUnavailable { .. })
+        ));
+        assert!(matches!(
+            reg.read(&mut cluster, &mut rng),
+            Err(ProtocolError::QuorumUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn threshold_is_clamped_to_at_least_one() {
+        let sys = ProbabilisticMasking::with_target_epsilon(64, 4, 1e-3).unwrap();
+        let reg = MaskingRegister::new(&sys, 0, 1);
+        assert_eq!(reg.threshold(), 1);
+    }
+}

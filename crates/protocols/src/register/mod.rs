@@ -1,0 +1,132 @@
+//! The three replicated-register client protocols.
+//!
+//! All three share the Section 3.1 write protocol — pick a quorum by the
+//! access strategy, pick a fresh timestamp, push ⟨v, t⟩ to every quorum
+//! member — and differ in how a reader condenses the replies:
+//!
+//! * [`SafeRegister`] (Section 3.1) — pick the reply with the highest
+//!   timestamp.  Approximates a multi-reader single-writer safe variable
+//!   with probability ≥ 1 − ε under crash failures (Theorem 3.2).
+//! * [`DisseminationRegister`] (Section 4) — discard replies whose
+//!   signature does not verify, then pick the highest timestamp.  Tolerates
+//!   `b` Byzantine servers for self-verifying data (Theorem 4.2).
+//! * [`MaskingRegister`] (Section 5) — only consider value–timestamp pairs
+//!   reported by at least `k` servers, then pick the highest timestamp
+//!   (`⊥` if none qualifies).  Tolerates `b` Byzantine servers for
+//!   arbitrary data (Theorem 5.2).
+
+mod dissemination;
+mod masking;
+mod safe;
+
+pub use dissemination::DisseminationRegister;
+pub use masking::MaskingRegister;
+pub use safe::{SafeRegister, WriteReceipt};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::crypto::KeyRegistry;
+    use crate::server::Behavior;
+    use crate::value::Value;
+    use pqs_core::probabilistic::{
+        EpsilonIntersecting, ProbabilisticDissemination, ProbabilisticMasking,
+    };
+    use pqs_core::system::QuorumSystem;
+    use pqs_core::universe::ServerId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// End-to-end: all three registers return the last written value in a
+    /// failure-free run.
+    #[test]
+    fn failure_free_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+
+        // Safe register over an epsilon-intersecting system.
+        let sys = EpsilonIntersecting::with_target_epsilon(64, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut reg = SafeRegister::new(&sys, 1);
+        for i in 1..=5u64 {
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
+            assert_eq!(got.value, Value::from_u64(i));
+        }
+
+        // Dissemination register over signed data.
+        let sys = ProbabilisticDissemination::with_target_epsilon(64, 8, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(2, 7);
+        let mut reg = DisseminationRegister::new(&sys, key, registry.clone());
+        reg.write(&mut cluster, &mut rng, Value::from_u64(77)).unwrap();
+        let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
+        assert_eq!(got.value, Value::from_u64(77));
+
+        // Masking register.
+        let sys = ProbabilisticMasking::with_target_epsilon(64, 4, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 3);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(123)).unwrap();
+        let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
+        assert_eq!(got.value, Value::from_u64(123));
+    }
+
+    /// The safe register is fooled by forging servers (it has no defence);
+    /// the masking register with the same adversary is not, and the
+    /// dissemination register rejects forgeries by signature.
+    #[test]
+    fn byzantine_resistance_comparison() {
+        let mut rng = ChaCha8Rng::seed_from_u64(200);
+        let n = 64u32;
+        let b = 4u32;
+        let byz: Vec<ServerId> = (0..b).map(ServerId::new).collect();
+
+        // Safe register: a single forging reply wins because its timestamp
+        // is inflated.
+        let sys = EpsilonIntersecting::new(n, 20).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.corrupt_all(byz.clone(), Behavior::ByzantineForge);
+        let mut reg = SafeRegister::new(&sys, 1);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(1)).unwrap();
+        let mut fooled = 0;
+        for _ in 0..50 {
+            let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
+            if got.value == crate::server::forged_value() {
+                fooled += 1;
+            }
+        }
+        assert!(fooled > 0, "with 4 forgers in 64 servers and q=20, some read should see one");
+
+        // Masking register with threshold k: the forgery needs k colluders in
+        // the read quorum, which is unlikely by construction.
+        let sys = ProbabilisticMasking::with_target_epsilon(n, b, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.corrupt_all(byz.clone(), Behavior::ByzantineForge);
+        let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 3);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(1)).unwrap();
+        for _ in 0..50 {
+            let got = reg.read(&mut cluster, &mut rng).unwrap();
+            if let Some(tv) = got {
+                assert_ne!(tv.value, crate::server::forged_value());
+            }
+        }
+
+        // Dissemination register: forged signatures never verify, so reads
+        // return the genuine value even if every forger is contacted.
+        let sys = ProbabilisticDissemination::with_target_epsilon(n, b, 1e-3).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.corrupt_all(byz, Behavior::ByzantineStale);
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(9, 1);
+        let mut reg = DisseminationRegister::new(&sys, key, registry);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(5)).unwrap();
+        for _ in 0..50 {
+            let got = reg.read(&mut cluster, &mut rng).unwrap();
+            if let Some(sv) = got {
+                assert_eq!(sv.value, Value::from_u64(5));
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! A single replica server: per-variable storage plus a failure behaviour.
+//!
+//! The paper's model (Section 2) distinguishes *correct* servers, which
+//! follow their specification, from *crashed* servers (benign failures) and
+//! *Byzantine* servers, which "may deviate from [their] specification
+//! arbitrarily".  The behaviours implemented here are the canonical
+//! adversaries for the three protocols:
+//!
+//! * [`Behavior::Crashed`] — never answers; exercises the availability /
+//!   failure-probability analysis.
+//! * [`Behavior::ByzantineForge`] — answers with a fabricated value carrying
+//!   an inflated timestamp (all forging servers collude on the same value),
+//!   the worst case for the masking analysis of Section 5.
+//! * [`Behavior::ByzantineStale`] — suppresses updates and keeps answering
+//!   with stale data; the worst a Byzantine server can do against
+//!   *self-verifying* data (Section 4), since it cannot forge signatures.
+
+use crate::crypto::SignedValue;
+use crate::timestamp::Timestamp;
+use crate::value::{TaggedValue, Value};
+use pqs_core::universe::ServerId;
+use std::collections::HashMap;
+
+/// Identifier of a replicated variable (register) held by the servers.
+pub type VariableId = u64;
+
+/// How a server behaves when accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Correct,
+    /// Halted: ignores every request (benign failure model of Section 2).
+    Crashed,
+    /// Byzantine: answers reads with a fabricated value under an inflated
+    /// timestamp and acknowledges writes without storing them.  All servers
+    /// with this behaviour return the *same* fabricated value, modelling a
+    /// colluding adversary.
+    ByzantineForge,
+    /// Byzantine: acknowledges writes without storing them and answers reads
+    /// with whatever (old) state it has — i.e. it suppresses updates, which
+    /// is all it can do undetectably against self-verifying data.
+    ByzantineStale,
+}
+
+impl Behavior {
+    /// Returns `true` for the two Byzantine variants.
+    pub fn is_byzantine(self) -> bool {
+        matches!(self, Behavior::ByzantineForge | Behavior::ByzantineStale)
+    }
+}
+
+/// The value colluding [`Behavior::ByzantineForge`] servers fabricate.
+pub fn forged_value() -> Value {
+    Value::from_str_value("FORGED")
+}
+
+/// The inflated timestamp attached to the fabricated value: far ahead of any
+/// honest write in a test run, attributed to a bogus writer id.
+pub fn forged_timestamp() -> Timestamp {
+    Timestamp::new(u64::MAX / 2, u32::MAX)
+}
+
+/// A replica server.
+#[derive(Debug, Clone)]
+pub struct ReplicaServer {
+    id: ServerId,
+    behavior: Behavior,
+    plain: HashMap<VariableId, TaggedValue>,
+    signed: HashMap<VariableId, SignedValue>,
+}
+
+impl ReplicaServer {
+    /// Creates a correct server with the given id and empty storage.
+    pub fn new(id: ServerId) -> Self {
+        ReplicaServer {
+            id,
+            behavior: Behavior::Correct,
+            plain: HashMap::new(),
+            signed: HashMap::new(),
+        }
+    }
+
+    /// The server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The server's current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Changes the server's behaviour (crash it, corrupt it, or repair it).
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// The plain (unsigned) record the server *actually* stores for `var`,
+    /// regardless of behaviour — useful for assertions and diffusion.
+    pub fn stored_plain(&self, var: VariableId) -> TaggedValue {
+        self.plain.get(&var).cloned().unwrap_or_else(TaggedValue::initial)
+    }
+
+    /// The signed record the server actually stores for `var`.
+    pub fn stored_signed(&self, var: VariableId) -> SignedValue {
+        self.signed
+            .get(&var)
+            .cloned()
+            .unwrap_or_else(SignedValue::unsigned_initial)
+    }
+
+    /// Handles a plain read request. Returns `None` if the server does not
+    /// answer (crashed).
+    pub fn handle_read_plain(&self, var: VariableId) -> Option<TaggedValue> {
+        match self.behavior {
+            Behavior::Crashed => None,
+            Behavior::Correct => Some(self.stored_plain(var)),
+            Behavior::ByzantineForge => {
+                Some(TaggedValue::new(forged_value(), forged_timestamp()))
+            }
+            Behavior::ByzantineStale => Some(self.stored_plain(var)),
+        }
+    }
+
+    /// Handles a plain write request. Returns `true` if the write was
+    /// acknowledged (Byzantine servers acknowledge without necessarily
+    /// storing anything).
+    pub fn handle_write_plain(&mut self, var: VariableId, incoming: TaggedValue) -> bool {
+        match self.behavior {
+            Behavior::Crashed => false,
+            Behavior::Correct => {
+                self.store_plain_if_fresher(var, incoming);
+                true
+            }
+            // Byzantine servers acknowledge but drop the update.
+            Behavior::ByzantineForge | Behavior::ByzantineStale => true,
+        }
+    }
+
+    /// Handles a signed read request (dissemination protocol).
+    pub fn handle_read_signed(&self, var: VariableId) -> Option<SignedValue> {
+        match self.behavior {
+            Behavior::Crashed => None,
+            Behavior::Correct => Some(self.stored_signed(var)),
+            // A forging server cannot produce a verifying signature; the
+            // most damaging thing it can return is stale-but-valid data (or
+            // garbage, which readers would discard anyway). Both Byzantine
+            // behaviours therefore reply with their (stale) stored record.
+            Behavior::ByzantineForge | Behavior::ByzantineStale => Some(self.stored_signed(var)),
+        }
+    }
+
+    /// Handles a signed write request (dissemination protocol).
+    pub fn handle_write_signed(&mut self, var: VariableId, incoming: SignedValue) -> bool {
+        match self.behavior {
+            Behavior::Crashed => false,
+            Behavior::Correct => {
+                self.store_signed_if_fresher(var, incoming);
+                true
+            }
+            Behavior::ByzantineForge | Behavior::ByzantineStale => true,
+        }
+    }
+
+    /// Stores a plain record if it is fresher than the current one — also
+    /// the merge rule used by the diffusion mechanism.
+    pub fn store_plain_if_fresher(&mut self, var: VariableId, incoming: TaggedValue) {
+        let current = self.stored_plain(var);
+        if incoming.timestamp > current.timestamp {
+            self.plain.insert(var, incoming);
+        }
+    }
+
+    /// Stores a signed record if it is fresher than the current one.
+    pub fn store_signed_if_fresher(&mut self, var: VariableId, incoming: SignedValue) {
+        let current = self.stored_signed(var);
+        if incoming.tagged.timestamp > current.tagged.timestamp {
+            self.signed.insert(var, incoming);
+        }
+    }
+
+    /// All variables for which this server holds a plain record.
+    pub fn plain_variables(&self) -> impl Iterator<Item = VariableId> + '_ {
+        self.plain.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::KeyRegistry;
+
+    fn tv(v: u64, c: u64) -> TaggedValue {
+        TaggedValue::new(Value::from_u64(v), Timestamp::new(c, 1))
+    }
+
+    #[test]
+    fn correct_server_stores_and_serves() {
+        let mut s = ReplicaServer::new(ServerId::new(3));
+        assert_eq!(s.id(), ServerId::new(3));
+        assert_eq!(s.behavior(), Behavior::Correct);
+        assert_eq!(s.handle_read_plain(0).unwrap().timestamp, Timestamp::ZERO);
+        assert!(s.handle_write_plain(0, tv(5, 1)));
+        assert_eq!(s.handle_read_plain(0).unwrap(), tv(5, 1));
+        // Stale writes are ignored (keep the freshest record).
+        assert!(s.handle_write_plain(0, tv(9, 1)));
+        assert_eq!(s.handle_read_plain(0).unwrap(), tv(5, 1));
+        assert!(s.handle_write_plain(0, tv(9, 2)));
+        assert_eq!(s.handle_read_plain(0).unwrap(), tv(9, 2));
+        // Independent variables do not interfere.
+        assert!(s.handle_write_plain(7, tv(1, 1)));
+        assert_eq!(s.handle_read_plain(0).unwrap(), tv(9, 2));
+        assert_eq!(s.plain_variables().count(), 2);
+    }
+
+    #[test]
+    fn crashed_server_is_silent() {
+        let mut s = ReplicaServer::new(ServerId::new(0));
+        s.set_behavior(Behavior::Crashed);
+        assert!(s.handle_read_plain(0).is_none());
+        assert!(!s.handle_write_plain(0, tv(1, 1)));
+        assert!(s.handle_read_signed(0).is_none());
+        assert!(!s.behavior().is_byzantine());
+    }
+
+    #[test]
+    fn forging_server_returns_colluding_fabrication() {
+        let mut a = ReplicaServer::new(ServerId::new(1));
+        let mut b = ReplicaServer::new(ServerId::new(2));
+        a.set_behavior(Behavior::ByzantineForge);
+        b.set_behavior(Behavior::ByzantineForge);
+        assert!(a.behavior().is_byzantine());
+        let ra = a.handle_read_plain(0).unwrap();
+        let rb = b.handle_read_plain(0).unwrap();
+        // Collusion: identical fabricated value and timestamp.
+        assert_eq!(ra, rb);
+        assert_eq!(ra.value, forged_value());
+        assert!(ra.timestamp > Timestamp::new(1_000_000, 0));
+        // It acknowledges writes but does not store them.
+        assert!(a.handle_write_plain(0, tv(3, 1)));
+        assert_eq!(a.stored_plain(0).timestamp, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn stale_server_suppresses_updates() {
+        let mut s = ReplicaServer::new(ServerId::new(1));
+        assert!(s.handle_write_plain(0, tv(1, 1)));
+        s.set_behavior(Behavior::ByzantineStale);
+        assert!(s.handle_write_plain(0, tv(2, 2)));
+        // Still serves the old record.
+        assert_eq!(s.handle_read_plain(0).unwrap(), tv(1, 1));
+    }
+
+    #[test]
+    fn signed_records_and_byzantine_suppression() {
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, 7);
+        let mut s = ReplicaServer::new(ServerId::new(4));
+        let v1 = SignedValue::create(&key, Value::from_u64(10), Timestamp::new(1, 1));
+        let v2 = SignedValue::create(&key, Value::from_u64(20), Timestamp::new(2, 1));
+        assert!(s.handle_write_signed(0, v1.clone()));
+        assert!(s.handle_write_signed(0, v2.clone()));
+        assert_eq!(s.handle_read_signed(0).unwrap(), v2);
+        // Regression to Byzantine: the server can only keep serving what it
+        // has (or suppress); it cannot fabricate a verifying record.
+        s.set_behavior(Behavior::ByzantineForge);
+        assert!(s.handle_write_signed(0, v1.clone()));
+        let served = s.handle_read_signed(0).unwrap();
+        assert!(registry.verify_signed(&served));
+        assert_eq!(served, v2);
+    }
+
+    #[test]
+    fn default_behavior_is_correct() {
+        assert_eq!(Behavior::default(), Behavior::Correct);
+    }
+}

@@ -1,0 +1,156 @@
+//! Failure plans: who fails, how, and when.
+
+use crate::time::SimTime;
+use pqs_core::universe::{ServerId, Universe};
+use pqs_math::sampling::sample_k_of_n;
+use rand::RngCore;
+
+/// A scheduled crash (or recovery) of one server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashEvent {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// Which server.
+    pub server: ServerId,
+    /// `true` for a crash, `false` for a recovery.
+    pub crash: bool,
+}
+
+/// A complete failure plan for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailurePlan {
+    /// Servers that behave Byzantine from the start of the run.
+    pub byzantine: Vec<ServerId>,
+    /// Crash / recovery transitions ordered by time.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FailurePlan {
+    /// An empty plan: every server stays correct.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// Places `count` Byzantine servers uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the universe size.
+    pub fn with_random_byzantine(
+        mut self,
+        universe: Universe,
+        count: u32,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        assert!(
+            count <= universe.size(),
+            "cannot corrupt {count} of {} servers",
+            universe.size()
+        );
+        self.byzantine = sample_k_of_n(rng, count as u64, universe.size() as u64)
+            .expect("count validated")
+            .into_iter()
+            .map(|i| ServerId::new(i as u32))
+            .collect();
+        self
+    }
+
+    /// Crashes each server independently with probability `p` at time
+    /// `at` (the iid model of Definition 2.6).
+    pub fn with_independent_crashes(
+        mut self,
+        universe: Universe,
+        p: f64,
+        at: SimTime,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        use rand::Rng;
+        let p = p.clamp(0.0, 1.0);
+        for i in 0..universe.size() {
+            if rng.gen_bool(p) {
+                self.crashes.push(CrashEvent {
+                    at,
+                    server: ServerId::new(i),
+                    crash: true,
+                });
+            }
+        }
+        self.sort_crashes();
+        self
+    }
+
+    /// Adds an explicit crash or recovery transition.
+    pub fn with_transition(mut self, at: SimTime, server: ServerId, crash: bool) -> Self {
+        self.crashes.push(CrashEvent { at, server, crash });
+        self.sort_crashes();
+        self
+    }
+
+    /// Number of servers that are Byzantine from the start.
+    pub fn byzantine_count(&self) -> usize {
+        self.byzantine.len()
+    }
+
+    fn sort_crashes(&mut self) {
+        self.crashes
+            .sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap_or(std::cmp::Ordering::Equal));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_plan() {
+        let p = FailurePlan::none();
+        assert_eq!(p.byzantine_count(), 0);
+        assert!(p.crashes.is_empty());
+    }
+
+    #[test]
+    fn random_byzantine_placement() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let u = Universe::new(50);
+        let p = FailurePlan::none().with_random_byzantine(u, 7, &mut rng);
+        assert_eq!(p.byzantine_count(), 7);
+        let mut unique: Vec<_> = p.byzantine.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 7);
+        assert!(p.byzantine.iter().all(|s| s.index() < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot corrupt")]
+    fn byzantine_count_validated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let _ = FailurePlan::none().with_random_byzantine(Universe::new(5), 6, &mut rng);
+    }
+
+    #[test]
+    fn independent_crashes_and_ordering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let u = Universe::new(100);
+        let p = FailurePlan::none()
+            .with_transition(5.0, ServerId::new(0), true)
+            .with_independent_crashes(u, 0.2, 1.0, &mut rng)
+            .with_transition(0.5, ServerId::new(1), true);
+        // Sorted by time.
+        assert!(p.crashes.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(p.crashes.first().unwrap().at, 0.5);
+        // Roughly 20 crashes from the independent model (plus the 2 manual).
+        let count = p.crashes.len();
+        assert!((10..=35).contains(&count), "count={count}");
+    }
+
+    #[test]
+    fn recovery_transitions_are_supported() {
+        let p = FailurePlan::none()
+            .with_transition(1.0, ServerId::new(3), true)
+            .with_transition(2.0, ServerId::new(3), false);
+        assert!(p.crashes[0].crash);
+        assert!(!p.crashes[1].crash);
+    }
+}

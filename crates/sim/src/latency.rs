@@ -1,0 +1,125 @@
+//! Per-message latency models.
+
+use crate::time::SimTime;
+use rand::Rng;
+use rand::RngCore;
+
+/// Distribution of the one-way latency of a client–server exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long (seconds).
+    Fixed(SimTime),
+    /// Uniformly distributed in `[min, max]` seconds.
+    Uniform {
+        /// Minimum latency (seconds).
+        min: SimTime,
+        /// Maximum latency (seconds).
+        max: SimTime,
+    },
+    /// Exponentially distributed with the given mean (seconds) — a common
+    /// heavy-ish tail model for WAN links such as the country-wide voting
+    /// deployment of Section 1.1.
+    Exponential {
+        /// Mean latency (seconds).
+        mean: SimTime,
+    },
+}
+
+impl Default for LatencyModel {
+    /// One millisecond fixed latency.
+    fn default() -> Self {
+        LatencyModel::Fixed(1e-3)
+    }
+}
+
+impl LatencyModel {
+    /// Draws one latency sample (always non-negative and finite).
+    pub fn sample(&self, rng: &mut dyn RngCore) -> SimTime {
+        match *self {
+            LatencyModel::Fixed(v) => v.max(0.0),
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                if hi <= lo {
+                    lo.max(0.0)
+                } else {
+                    rng.gen_range(lo..=hi).max(0.0)
+                }
+            }
+            LatencyModel::Exponential { mean } => {
+                if mean <= 0.0 {
+                    return 0.0;
+                }
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -mean * u.ln()
+            }
+        }
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> SimTime {
+        match *self {
+            LatencyModel::Fixed(v) => v.max(0.0),
+            LatencyModel::Uniform { min, max } => (min.max(0.0) + max.max(0.0)) / 2.0,
+            LatencyModel::Exponential { mean } => mean.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = LatencyModel::Fixed(0.25);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 0.25);
+        }
+        assert_eq!(m.mean(), 0.25);
+        assert_eq!(LatencyModel::Fixed(-1.0).sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = LatencyModel::Uniform { min: 0.1, max: 0.3 };
+        let mut sum = 0.0;
+        for _ in 0..5000 {
+            let s = m.sample(&mut rng);
+            assert!((0.1..=0.3).contains(&s));
+            sum += s;
+        }
+        assert!((sum / 5000.0 - 0.2).abs() < 0.01);
+        assert_eq!(m.mean(), 0.2);
+        // Swapped bounds are tolerated.
+        let swapped = LatencyModel::Uniform { min: 0.3, max: 0.1 };
+        let s = swapped.sample(&mut rng);
+        assert!((0.1..=0.3).contains(&s));
+        // Degenerate interval.
+        let point = LatencyModel::Uniform { min: 0.2, max: 0.2 };
+        assert_eq!(point.sample(&mut rng), 0.2);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = LatencyModel::Exponential { mean: 0.05 };
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= 0.0 && s.is_finite());
+            sum += s;
+        }
+        assert!((sum / 20_000.0 - 0.05).abs() < 0.005);
+        assert_eq!(m.mean(), 0.05);
+        assert_eq!(LatencyModel::Exponential { mean: 0.0 }.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn default_is_one_millisecond() {
+        assert_eq!(LatencyModel::default(), LatencyModel::Fixed(1e-3));
+    }
+}

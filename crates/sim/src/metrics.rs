@@ -1,0 +1,107 @@
+//! What a simulation run measures.
+
+use pqs_math::mc::RunningStats;
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Reads that completed (returned a value or ⊥).
+    pub completed_reads: u64,
+    /// Writes that completed (stored at at least one server).
+    pub completed_writes: u64,
+    /// Reads that returned a value older than the latest completed,
+    /// non-concurrent write (the Theorem 3.2 / 4.2 / 5.2 failure event).
+    pub stale_reads: u64,
+    /// Reads that returned ⊥ (no acceptable value) even though a write had
+    /// completed.
+    pub empty_reads: u64,
+    /// Operations that failed because no server of the chosen quorum
+    /// answered.
+    pub unavailable_ops: u64,
+    /// Reads that were concurrent with a write (excluded from the staleness
+    /// accounting, as in the theorems' hypotheses).
+    pub concurrent_reads: u64,
+    /// Latency statistics over completed operations (seconds).
+    pub latency: RunningStats,
+    /// Per-server access counts.
+    pub per_server_accesses: Vec<u64>,
+    /// Total quorum operations issued (for load normalisation).
+    pub total_operations: u64,
+}
+
+impl SimReport {
+    /// Fraction of non-concurrent reads that were stale or empty —
+    /// the empirical counterpart of ε.
+    pub fn stale_read_rate(&self) -> f64 {
+        let eligible = self
+            .completed_reads
+            .saturating_sub(self.concurrent_reads);
+        if eligible == 0 {
+            0.0
+        } else {
+            (self.stale_reads + self.empty_reads) as f64 / eligible as f64
+        }
+    }
+
+    /// Fraction of issued operations that found no live server in their
+    /// quorum — the empirical counterpart of the failure probability.
+    pub fn unavailability(&self) -> f64 {
+        let total = self.completed_reads + self.completed_writes + self.unavailable_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.unavailable_ops as f64 / total as f64
+        }
+    }
+
+    /// Empirical load: the busiest server's share of all per-server accesses
+    /// normalised by the number of quorum operations (Definition 2.4
+    /// measured on the wire).
+    pub fn empirical_load(&self) -> f64 {
+        if self.total_operations == 0 {
+            return 0.0;
+        }
+        let max = self.per_server_accesses.iter().copied().max().unwrap_or(0);
+        max as f64 / self.total_operations as f64
+    }
+
+    /// Mean operation latency in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_with_no_operations_are_zero() {
+        let r = SimReport::default();
+        assert_eq!(r.stale_read_rate(), 0.0);
+        assert_eq!(r.unavailability(), 0.0);
+        assert_eq!(r.empirical_load(), 0.0);
+        assert_eq!(r.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute_from_counts() {
+        let mut r = SimReport {
+            completed_reads: 100,
+            completed_writes: 50,
+            stale_reads: 3,
+            empty_reads: 1,
+            unavailable_ops: 10,
+            concurrent_reads: 20,
+            total_operations: 150,
+            per_server_accesses: vec![10, 30, 20],
+            ..SimReport::default()
+        };
+        r.latency.record(0.1);
+        r.latency.record(0.3);
+        assert!((r.stale_read_rate() - 4.0 / 80.0).abs() < 1e-12);
+        assert!((r.unavailability() - 10.0 / 160.0).abs() < 1e-12);
+        assert!((r.empirical_load() - 30.0 / 150.0).abs() < 1e-12);
+        assert!((r.mean_latency() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,467 @@
+//! The simulation driver.
+//!
+//! A [`Simulation`] ties together a quorum system, one of the three register
+//! protocols, a replica cluster, a latency model, a workload and a failure
+//! plan, and produces a [`SimReport`].
+//!
+//! The model is deliberately simple and documented: operations are applied
+//! to the replica state at their arrival instant (the quorum exchange itself
+//! is atomic), while their *latency* is the maximum of per-server response
+//! latencies drawn from the latency model — i.e. network delay affects
+//! client-observed latency and concurrency accounting, not the order in
+//! which server state changes.  This is sufficient for the paper-level
+//! questions the simulator answers (stale-read rates vs ε, empirical load,
+//! availability under crashes) without implementing a full asynchronous
+//! message scheduler.
+
+use crate::failure::FailurePlan;
+use crate::latency::LatencyModel;
+use crate::metrics::SimReport;
+use crate::time::SimTime;
+use crate::workload::{OpKind, WorkloadConfig};
+use pqs_core::system::QuorumSystem;
+use pqs_protocols::cluster::Cluster;
+use pqs_protocols::crypto::KeyRegistry;
+use pqs_protocols::register::{DisseminationRegister, MaskingRegister, SafeRegister};
+use pqs_protocols::server::Behavior;
+use pqs_protocols::value::Value;
+use rand::RngCore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which register protocol the simulated clients run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The Section 3.1 safe-register protocol (crash failures only).
+    Safe,
+    /// The Section 4 protocol over self-verifying (signed) data.
+    Dissemination,
+    /// The Section 5 protocol with read-acceptance threshold `k`.
+    Masking {
+        /// The read threshold `k` (use the system's
+        /// [`read_threshold`](pqs_core::probabilistic::ProbabilisticMasking::read_threshold)
+        /// for `R_k(n, q)`, or `b + 1` for a strict masking system).
+        threshold: usize,
+    },
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Length of the run in simulated seconds.
+    pub duration: SimTime,
+    /// Mean operation arrival rate (operations per second).
+    pub arrival_rate: f64,
+    /// Fraction of operations that are reads.
+    pub read_fraction: f64,
+    /// Latency model for client–server exchanges.
+    pub latency: LatencyModel,
+    /// Each server crashes independently with this probability at time 0
+    /// (the Definition 2.6 model).
+    pub crash_probability: f64,
+    /// Number of servers made Byzantine at time 0 (random placement).
+    pub byzantine: u32,
+    /// RNG seed; the run is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    /// 60 simulated seconds, 10 op/s, 90% reads, 1 ms fixed latency, no
+    /// failures, seed 0.
+    fn default() -> Self {
+        SimConfig {
+            duration: 60.0,
+            arrival_rate: 10.0,
+            read_fraction: 0.9,
+            latency: LatencyModel::default(),
+            crash_probability: 0.0,
+            byzantine: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+#[derive(Debug)]
+pub struct Simulation<'a, S: QuorumSystem + ?Sized> {
+    system: &'a S,
+    kind: ProtocolKind,
+    config: SimConfig,
+    plan: Option<FailurePlan>,
+}
+
+/// Record of a write operation used for staleness accounting.
+#[derive(Debug, Clone, Copy)]
+struct WriteWindow {
+    start: SimTime,
+    end: SimTime,
+    sequence: u64,
+}
+
+impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
+    /// Creates a simulation over the given system and protocol.
+    pub fn new(system: &'a S, kind: ProtocolKind, config: SimConfig) -> Self {
+        Simulation {
+            system,
+            kind,
+            config,
+            plan: None,
+        }
+    }
+
+    /// Overrides the failure plan derived from the configuration with an
+    /// explicit one (Byzantine placement and crash schedule).
+    pub fn with_failure_plan(mut self, plan: FailurePlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Runs the simulation to completion and returns its report.
+    pub fn run(&self) -> SimReport {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut cluster = Cluster::new(self.system.universe());
+
+        // Failure plan: either explicit or derived from the config.
+        let plan = match &self.plan {
+            Some(plan) => plan.clone(),
+            None => {
+                let mut plan = FailurePlan::none();
+                if self.config.byzantine > 0 {
+                    plan = plan.with_random_byzantine(
+                        self.system.universe(),
+                        self.config.byzantine,
+                        &mut rng,
+                    );
+                }
+                if self.config.crash_probability > 0.0 {
+                    plan = plan.with_independent_crashes(
+                        self.system.universe(),
+                        self.config.crash_probability,
+                        0.0,
+                        &mut rng,
+                    );
+                }
+                plan
+            }
+        };
+        let byz_behavior = match self.kind {
+            // Against self-verifying data the strongest undetectable attack
+            // is suppression / stale replay; against plain data it is a
+            // colluding forgery.
+            ProtocolKind::Dissemination => Behavior::ByzantineStale,
+            _ => Behavior::ByzantineForge,
+        };
+        cluster.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
+        let mut pending_crashes = plan.crashes.clone();
+
+        // Workload.
+        let ops = WorkloadConfig {
+            duration: self.config.duration,
+            arrival_rate: self.config.arrival_rate,
+            read_fraction: self.config.read_fraction,
+        }
+        .generate(&mut rng);
+
+        // Protocol clients.
+        let mut registry = KeyRegistry::new();
+        let signing_key = registry.register(1, self.config.seed ^ 0xabcdef);
+        let mut safe = SafeRegister::new(self.system, 1);
+        let mut dissemination =
+            DisseminationRegister::new(self.system, signing_key, registry.clone());
+        let mut masking = match self.kind {
+            ProtocolKind::Masking { threshold } => {
+                Some(MaskingRegister::new(self.system, threshold, 1))
+            }
+            _ => None,
+        };
+
+        let mut report = SimReport::default();
+        let mut writes: Vec<WriteWindow> = Vec::new();
+        let mut next_value: u64 = 0;
+
+        for op in ops {
+            // Apply any crash/recovery transitions due before this arrival.
+            while let Some(transition) = pending_crashes.first().copied() {
+                if transition.at > op.at {
+                    break;
+                }
+                let behavior = if transition.crash {
+                    Behavior::Crashed
+                } else {
+                    Behavior::Correct
+                };
+                cluster.set_behavior(transition.server, behavior);
+                pending_crashes.remove(0);
+            }
+
+            let latency = self.operation_latency(&mut rng);
+            let end = op.at + latency;
+            match op.kind {
+                OpKind::Write => {
+                    next_value += 1;
+                    let value = Value::from_u64(next_value);
+                    let outcome = match self.kind {
+                        ProtocolKind::Safe => safe.write(&mut cluster, &mut rng, value),
+                        ProtocolKind::Dissemination => {
+                            dissemination.write(&mut cluster, &mut rng, value)
+                        }
+                        ProtocolKind::Masking { .. } => masking
+                            .as_mut()
+                            .expect("masking client exists for masking runs")
+                            .write(&mut cluster, &mut rng, value),
+                    };
+                    match outcome {
+                        Ok(_) => {
+                            report.completed_writes += 1;
+                            report.latency.record(latency);
+                            writes.push(WriteWindow {
+                                start: op.at,
+                                end,
+                                sequence: next_value,
+                            });
+                        }
+                        Err(_) => report.unavailable_ops += 1,
+                    }
+                }
+                OpKind::Read => {
+                    let outcome = match self.kind {
+                        ProtocolKind::Safe => safe.read(&mut cluster, &mut rng),
+                        ProtocolKind::Dissemination => dissemination.read(&mut cluster, &mut rng),
+                        ProtocolKind::Masking { .. } => masking
+                            .as_mut()
+                            .expect("masking client exists for masking runs")
+                            .read(&mut cluster, &mut rng),
+                    };
+                    match outcome {
+                        Ok(result) => {
+                            report.completed_reads += 1;
+                            report.latency.record(latency);
+                            let concurrent = writes
+                                .iter()
+                                .any(|w| w.start < end && w.end > op.at);
+                            if concurrent {
+                                report.concurrent_reads += 1;
+                            } else {
+                                // The freshest write completed before this
+                                // read started is the expected result.
+                                let expected = writes
+                                    .iter()
+                                    .filter(|w| w.end <= op.at)
+                                    .map(|w| w.sequence)
+                                    .max();
+                                match (expected, result) {
+                                    (None, _) => {}
+                                    (Some(seq), Some(tv)) => {
+                                        let got =
+                                            tv.value.as_u64().unwrap_or(0);
+                                        if got < seq {
+                                            report.stale_reads += 1;
+                                        }
+                                    }
+                                    (Some(_), None) => report.empty_reads += 1,
+                                }
+                            }
+                        }
+                        Err(_) => report.unavailable_ops += 1,
+                    }
+                }
+            }
+        }
+
+        report.per_server_accesses = cluster.access_counts().to_vec();
+        report.total_operations = cluster.total_accesses();
+        report
+    }
+
+    /// Latency of one quorum operation: the slowest of `|Q|` per-server
+    /// exchanges.
+    fn operation_latency(&self, rng: &mut dyn RngCore) -> SimTime {
+        let q = self.system.min_quorum_size().max(1);
+        (0..q)
+            .map(|_| self.config.latency.sample(rng))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Convenience helper: run the same configuration against several systems
+/// and collect `(name, report)` pairs — used by the comparison experiments.
+pub fn compare_systems(
+    systems: &[&dyn QuorumSystem],
+    kind: ProtocolKind,
+    config: SimConfig,
+) -> Vec<(String, SimReport)> {
+    systems
+        .iter()
+        .map(|sys| {
+            let report = Simulation::new(*sys, kind, config).run();
+            (sys.name(), report)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqs_core::probabilistic::{EpsilonIntersecting, ProbabilisticDissemination, ProbabilisticMasking};
+    use pqs_core::strict::Majority;
+    use pqs_core::system::ProbabilisticQuorumSystem;
+    use pqs_core::universe::ServerId;
+
+    fn quick_config(seed: u64) -> SimConfig {
+        SimConfig {
+            duration: 50.0,
+            arrival_rate: 20.0,
+            read_fraction: 0.8,
+            latency: LatencyModel::Uniform { min: 1e-4, max: 1e-3 },
+            crash_probability: 0.0,
+            byzantine: 0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn failure_free_safe_run_has_no_stale_reads_beyond_epsilon() {
+        let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+        let report = Simulation::new(&sys, ProtocolKind::Safe, quick_config(1)).run();
+        assert!(report.completed_reads > 500);
+        assert!(report.completed_writes > 100);
+        assert_eq!(report.unavailable_ops, 0);
+        assert!(report.stale_read_rate() < 0.01);
+        assert!(report.mean_latency() > 0.0);
+        assert!(report.empirical_load() > 0.0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let sys = EpsilonIntersecting::new(64, 16).unwrap();
+        let a = Simulation::new(&sys, ProtocolKind::Safe, quick_config(7)).run();
+        let b = Simulation::new(&sys, ProtocolKind::Safe, quick_config(7)).run();
+        assert_eq!(a.completed_reads, b.completed_reads);
+        assert_eq!(a.stale_reads, b.stale_reads);
+        assert_eq!(a.per_server_accesses, b.per_server_accesses);
+        let c = Simulation::new(&sys, ProtocolKind::Safe, quick_config(8)).run();
+        assert_ne!(a.per_server_accesses, c.per_server_accesses);
+    }
+
+    #[test]
+    fn loose_system_shows_staleness_tight_system_does_not() {
+        let mut config = quick_config(3);
+        config.read_fraction = 0.5;
+        config.latency = LatencyModel::Fixed(1e-6);
+        let loose = EpsilonIntersecting::new(64, 8).unwrap();
+        let loose_report = Simulation::new(&loose, ProtocolKind::Safe, config).run();
+        let majority = Majority::new(64).unwrap();
+        let strict_report = Simulation::new(&majority, ProtocolKind::Safe, config).run();
+        assert_eq!(strict_report.stale_reads, 0);
+        assert!(
+            loose_report.stale_read_rate() > strict_report.stale_read_rate(),
+            "loose {} vs strict {}",
+            loose_report.stale_read_rate(),
+            strict_report.stale_read_rate()
+        );
+        // And the loose rate tracks epsilon.
+        assert!((loose_report.stale_read_rate() - loose.epsilon()).abs() < 0.05);
+    }
+
+    #[test]
+    fn operations_keep_completing_under_heavy_crashes() {
+        // Half of the servers crash at time 0. Because the protocols accept
+        // partial quorum responses, both systems keep completing operations;
+        // consistency degrades (stale reads appear) but availability of the
+        // small-quorum probabilistic system stays near-perfect.
+        let mut config = quick_config(4);
+        config.crash_probability = 0.5;
+        config.read_fraction = 0.5;
+        let majority = Majority::new(25).unwrap();
+        let strict_report = Simulation::new(&majority, ProtocolKind::Safe, config).run();
+        let sys = EpsilonIntersecting::with_target_epsilon(25, 1e-2).unwrap();
+        let prob_report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        assert!(strict_report.completed_writes > 0);
+        assert!(prob_report.completed_writes > 0);
+        assert!(prob_report.unavailability() < 0.05);
+        // Staleness rises well above the failure-free epsilon for both, but
+        // stays far from total inconsistency.
+        assert!(strict_report.stale_read_rate() < 0.6);
+        assert!(prob_report.stale_read_rate() < 0.6);
+    }
+
+    #[test]
+    fn byzantine_masking_run_returns_no_forgeries() {
+        let sys = ProbabilisticMasking::with_target_epsilon(100, 5, 1e-3).unwrap();
+        let mut config = quick_config(5);
+        config.byzantine = 5;
+        let report = Simulation::new(
+            &sys,
+            ProtocolKind::Masking {
+                threshold: sys.read_threshold(),
+            },
+            config,
+        )
+        .run();
+        assert!(report.completed_reads > 0);
+        // Forgeries would show up as stale reads with absurd sequence
+        // numbers; the rate must stay near epsilon.
+        assert!(report.stale_read_rate() < 0.02, "{}", report.stale_read_rate());
+    }
+
+    #[test]
+    fn byzantine_dissemination_run_stays_consistent() {
+        let sys = ProbabilisticDissemination::with_target_epsilon(100, 20, 1e-3).unwrap();
+        let mut config = quick_config(6);
+        config.byzantine = 20;
+        let report = Simulation::new(&sys, ProtocolKind::Dissemination, config).run();
+        assert!(report.completed_reads > 0);
+        assert!(report.stale_read_rate() < 0.02, "{}", report.stale_read_rate());
+    }
+
+    #[test]
+    fn empirical_load_tracks_analytic_load() {
+        let sys = EpsilonIntersecting::new(100, 22).unwrap();
+        let mut config = quick_config(9);
+        config.duration = 100.0;
+        config.arrival_rate = 50.0;
+        let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        use pqs_core::system::QuorumSystem;
+        assert!(
+            (report.empirical_load() - sys.load()).abs() < 0.05,
+            "empirical {} analytic {}",
+            report.empirical_load(),
+            sys.load()
+        );
+    }
+
+    #[test]
+    fn compare_systems_helper_names_outputs() {
+        let a = EpsilonIntersecting::new(49, 14).unwrap();
+        let b = Majority::new(49).unwrap();
+        let systems: Vec<&dyn QuorumSystem> = vec![&a, &b];
+        let mut config = quick_config(10);
+        config.duration = 10.0;
+        let results = compare_systems(&systems, ProtocolKind::Safe, config);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].0.contains("R(n=49"));
+        assert!(results[1].0.contains("threshold"));
+    }
+
+    #[test]
+    fn explicit_failure_plan_with_recovery() {
+        use crate::failure::FailurePlan;
+        let sys = Majority::new(9).unwrap();
+        // Crash 7 of 9 servers at t=10, recover at t=30: inside the window a
+        // noticeable fraction of 5-server quorums contains no live server at
+        // all, so some operations fail outright; outside the window none do.
+        let mut plan = FailurePlan::none();
+        for i in 0..7 {
+            plan = plan
+                .with_transition(10.0, ServerId::new(i), true)
+                .with_transition(30.0, ServerId::new(i), false);
+        }
+        let mut config = quick_config(11);
+        config.duration = 60.0;
+        let report = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(plan)
+            .run();
+        assert!(report.unavailable_ops > 0);
+        assert!(report.unavailability() < 0.5);
+    }
+}

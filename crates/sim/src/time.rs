@@ -1,0 +1,169 @@
+//! Simulation time and the pending-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in seconds since the start of the run.
+pub type SimTime = f64;
+
+/// An entry in the event queue: a payload scheduled at a given time.
+#[derive(Debug, Clone, PartialEq)]
+struct Scheduled<E> {
+    time: SimTime,
+    sequence: u64,
+    event: E,
+}
+
+impl<E: PartialEq> Eq for Scheduled<E> {}
+
+impl<E: PartialEq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first.
+        // Ties are broken by insertion order for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<E: PartialEq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list ordered by time (FIFO among equal
+/// times).
+///
+/// # Examples
+///
+/// ```
+/// use pqs_sim::time::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "late");
+/// q.schedule(1.0, "early");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    sequence: u64,
+    now: SimTime,
+}
+
+impl<E: PartialEq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: PartialEq> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            sequence: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The time of the most recently popped event (0 before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or negative.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite and non-negative, got {time}"
+        );
+        self.sequence += 1;
+        self.heap.push(Scheduled {
+            time,
+            sequence: self.sequence,
+            event,
+        });
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.now = self.now.max(s.time);
+            (s.time, s.event)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a1");
+        q.schedule(1.0, "a2");
+        q.schedule(3.0, "b");
+        assert_eq!(q.len(), 4);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().unwrap().1, "a1");
+        assert_eq!(q.pop().unwrap().1, "a2");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.now(), 3.0);
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_times() {
+        let mut q = EventQueue::new();
+        q.schedule(-1.0, ());
+    }
+
+    #[test]
+    fn clock_is_monotone_even_with_out_of_order_inserts() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, 1u32);
+        assert_eq!(q.pop().unwrap().0, 10.0);
+        // A straggler scheduled in the "past" does not move the clock back.
+        q.schedule(4.0, 2u32);
+        let _ = q.pop();
+        assert_eq!(q.now(), 10.0);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Open-loop workload generation.
+//!
+//! Clients issue operations following a Poisson arrival process with a
+//! configurable read/write mix — the standard open-loop model for a
+//! replicated service such as the location directory of Section 1.1, where
+//! device moves (writes) are far rarer than caller lookups (reads).
+
+use crate::time::SimTime;
+use rand::Rng;
+use rand::RngCore;
+
+/// The kind of a client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A read of the replicated variable.
+    Read,
+    /// A write of a fresh value.
+    Write,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Operation {
+    /// Arrival (start) time of the operation.
+    pub at: SimTime,
+    /// Whether it is a read or a write.
+    pub kind: OpKind,
+}
+
+/// Configuration of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Length of the generated trace (seconds).
+    pub duration: SimTime,
+    /// Mean operation arrival rate (operations per second).
+    pub arrival_rate: f64,
+    /// Fraction of operations that are reads (the rest are writes).
+    pub read_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    /// 60 seconds, 10 op/s, 90% reads.
+    fn default() -> Self {
+        WorkloadConfig {
+            duration: 60.0,
+            arrival_rate: 10.0,
+            read_fraction: 0.9,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Generates the full operation trace for this configuration.
+    ///
+    /// Inter-arrival times are exponential with mean `1/arrival_rate`
+    /// (Poisson process); each operation is independently a read with
+    /// probability `read_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration or rate is non-positive, or the read fraction
+    /// is outside `[0, 1]`.
+    pub fn generate(&self, rng: &mut dyn RngCore) -> Vec<Operation> {
+        assert!(
+            self.duration > 0.0 && self.duration.is_finite(),
+            "duration must be positive"
+        );
+        assert!(
+            self.arrival_rate > 0.0 && self.arrival_rate.is_finite(),
+            "arrival rate must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.read_fraction),
+            "read fraction must be in [0,1]"
+        );
+        let mut ops = Vec::new();
+        let mut t = 0.0;
+        loop {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / self.arrival_rate;
+            if t > self.duration {
+                break;
+            }
+            let kind = if rng.gen_bool(self.read_fraction) {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            ops.push(Operation { at: t, kind });
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_expected_volume_and_mix() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = WorkloadConfig {
+            duration: 200.0,
+            arrival_rate: 20.0,
+            read_fraction: 0.75,
+        };
+        let ops = config.generate(&mut rng);
+        // Expect about 4000 operations.
+        assert!((ops.len() as f64 - 4000.0).abs() < 300.0, "{}", ops.len());
+        let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((frac - 0.75).abs() < 0.03, "read fraction {frac}");
+        // Arrival times are sorted and within the duration.
+        assert!(ops.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(ops.iter().all(|o| o.at > 0.0 && o.at <= 200.0));
+    }
+
+    #[test]
+    fn all_reads_or_all_writes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let all_reads = WorkloadConfig {
+            read_fraction: 1.0,
+            ..WorkloadConfig::default()
+        }
+        .generate(&mut rng);
+        assert!(all_reads.iter().all(|o| o.kind == OpKind::Read));
+        let all_writes = WorkloadConfig {
+            read_fraction: 0.0,
+            ..WorkloadConfig::default()
+        }
+        .generate(&mut rng);
+        assert!(all_writes.iter().all(|o| o.kind == OpKind::Write));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn rejects_zero_duration() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = WorkloadConfig {
+            duration: 0.0,
+            ..WorkloadConfig::default()
+        }
+        .generate(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn rejects_bad_read_fraction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let _ = WorkloadConfig {
+            read_fraction: 1.5,
+            ..WorkloadConfig::default()
+        }
+        .generate(&mut rng);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.duration, 60.0);
+        assert_eq!(c.arrival_rate, 10.0);
+        assert_eq!(c.read_fraction, 0.9);
+    }
+}

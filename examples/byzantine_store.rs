@@ -1,0 +1,71 @@
+//! A self-verifying replicated store over a (b, ε)-dissemination quorum
+//! system (Section 4), compared against the masking protocol for arbitrary
+//! data (Section 5), under active Byzantine servers.
+//!
+//! Run with `cargo run --example byzantine_store`.
+
+use probabilistic_quorums::core::prelude::*;
+use probabilistic_quorums::protocols::cluster::Cluster;
+use probabilistic_quorums::protocols::crypto::KeyRegistry;
+use probabilistic_quorums::protocols::register::{DisseminationRegister, MaskingRegister};
+use probabilistic_quorums::protocols::server::Behavior;
+use probabilistic_quorums::protocols::value::Value;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 500u32;
+    let byzantine = 150u32; // 30% of the universe — double the strict (n-1)/3 dissemination cap
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+
+    // --- Self-verifying data (signed): dissemination quorums ------------
+    let dis = ProbabilisticDissemination::with_target_epsilon(n, byzantine, 1e-3)?;
+    println!("dissemination store: n = {n}, b = {byzantine}");
+    println!("  quorum size  : {}", dis.quorum_size());
+    println!("  exact epsilon: {:.2e}", dis.epsilon());
+
+    let mut cluster = Cluster::new(dis.universe());
+    cluster.corrupt_all((0..byzantine).map(ServerId::new), Behavior::ByzantineStale);
+    let mut registry = KeyRegistry::new();
+    let key = registry.register(1, 0xfeed);
+    let mut store = DisseminationRegister::new(&dis, key, registry);
+
+    let ops = 2000u64;
+    let mut stale = 0u64;
+    for i in 1..=ops {
+        store.write(&mut cluster, &mut rng, Value::from_u64(i))?;
+        match store.read(&mut cluster, &mut rng)? {
+            Some(tv) if tv.value == Value::from_u64(i) => {}
+            _ => stale += 1,
+        }
+    }
+    println!("  {ops} write/read pairs with {byzantine} Byzantine servers: {stale} stale reads");
+
+    // --- Arbitrary data: masking quorums with read threshold k ----------
+    let b_mask = 50u32;
+    let mask = ProbabilisticMasking::with_target_epsilon(n, b_mask, 1e-3)?;
+    println!("\nmasking store: n = {n}, b = {b_mask}");
+    println!("  quorum size  : {}", mask.quorum_size());
+    println!("  threshold k  : {}", mask.read_threshold());
+    println!("  exact epsilon: {:.2e}", mask.epsilon());
+    println!(
+        "  load {:.4} vs strict masking lower bound {:.4}",
+        mask.load(),
+        ((2 * b_mask + 1) as f64 / n as f64).sqrt()
+    );
+
+    let mut cluster = Cluster::new(mask.universe());
+    cluster.corrupt_all((0..b_mask).map(ServerId::new), Behavior::ByzantineForge);
+    let mut store = MaskingRegister::new(&mask, mask.read_threshold(), 1);
+    let mut wrong = 0u64;
+    for i in 1..=ops {
+        store.write(&mut cluster, &mut rng, Value::from_u64(i))?;
+        match store.read(&mut cluster, &mut rng)? {
+            Some(tv) if tv.value == Value::from_u64(i) => {}
+            _ => wrong += 1,
+        }
+    }
+    println!("  {ops} write/read pairs with {b_mask} colluding forgers: {wrong} incorrect reads");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build an ε-intersecting quorum system, inspect its quality
+//! measures, and run the Section 3.1 read/write protocol over it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use probabilistic_quorums::core::prelude::*;
+use probabilistic_quorums::protocols::cluster::Cluster;
+use probabilistic_quorums::protocols::register::SafeRegister;
+use probabilistic_quorums::protocols::value::Value;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 400;
+    let target_epsilon = 1e-3;
+
+    // The paper's R(n, l*sqrt(n)) construction, sized so that two quorums
+    // fail to intersect with probability at most 0.001.
+    let system = EpsilonIntersecting::with_target_epsilon(n, target_epsilon)?;
+    let majority = Majority::new(n)?;
+    let grid = Grid::new(n)?;
+
+    println!("epsilon-intersecting system over n = {n} servers");
+    println!("  quorum size      : {}", system.quorum_size());
+    println!("  ell = q/sqrt(n)  : {:.2}", system.ell());
+    println!("  exact epsilon    : {:.2e}", system.epsilon());
+    println!("  load             : {:.4}  (majority: {:.4}, grid: {:.4})",
+        system.load(), majority.load(), grid.load());
+    println!("  fault tolerance  : {}    (majority: {}, grid: {})",
+        system.fault_tolerance(), majority.fault_tolerance(), grid.fault_tolerance());
+    println!("  F_p at p = 0.55  : {:.2e} (any strict system: >= 0.55)",
+        system.failure_probability(0.55));
+
+    // Replicate a variable with the Section 3.1 protocol and exercise it.
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let mut cluster = Cluster::new(system.universe());
+    let mut register = SafeRegister::new(&system, 1);
+
+    let mut stale = 0u32;
+    let writes = 1000u64;
+    for i in 1..=writes {
+        register.write(&mut cluster, &mut rng, Value::from_u64(i))?;
+        let read = register.read(&mut cluster, &mut rng)?;
+        match read {
+            Some(tv) if tv.value == Value::from_u64(i) => {}
+            _ => stale += 1,
+        }
+    }
+    println!("\nran {writes} write/read pairs through the register");
+    println!("  stale reads      : {stale} (expected about epsilon * {writes} = {:.1})",
+        system.epsilon() * writes as f64);
+    println!("  empirical load   : {:.4} (analytic {:.4})",
+        cluster.empirical_load(), system.load());
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # probabilistic-quorums
+//!
+//! Umbrella crate for the *Probabilistic Quorum Systems* workspace
+//! (Malkhi, Reiter, Wool, Wright — PODC '97 / Information & Computation
+//! 2001).  It re-exports the member crates under stable names so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`core`] — quorum systems (strict, Byzantine, probabilistic) and their
+//!   quality measures.
+//! * [`protocols`] — replicated-register protocols, simulated signatures,
+//!   replica clusters and diffusion.
+//! * [`sim`] — the discrete-event simulator.
+//! * [`apps`] — the voter-locking and location-directory applications.
+//! * [`math`] — the combinatorial/probabilistic toolbox.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use probabilistic_quorums::core::prelude::*;
+//!
+//! let system = EpsilonIntersecting::with_target_epsilon(400, 1e-3).unwrap();
+//! assert!(system.load() < 0.15);
+//! assert!(system.fault_tolerance() > 350);
+//! ```
+
+pub use pqs_apps as apps;
+pub use pqs_core as core;
+pub use pqs_math as math;
+pub use pqs_protocols as protocols;
+pub use pqs_sim as sim;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        let u = crate::core::universe::Universe::new(9);
+        assert_eq!(u.size(), 9);
+        let est = crate::math::mc::BernoulliEstimator::from_counts(1, 2);
+        assert_eq!(est.trials(), 2);
+    }
+}

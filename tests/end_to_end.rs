@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: quorum systems + protocols + simulator +
+//! applications working together, exercising the paper's headline claims
+//! end to end.
+
+use probabilistic_quorums::apps::location::{mobility_experiment, LocationDirectory};
+use probabilistic_quorums::apps::voting::{repeat_voting_experiment, VoterLockService};
+use probabilistic_quorums::core::prelude::*;
+use probabilistic_quorums::protocols::cluster::Cluster;
+use probabilistic_quorums::protocols::crypto::KeyRegistry;
+use probabilistic_quorums::protocols::register::{
+    DisseminationRegister, MaskingRegister, SafeRegister,
+};
+use probabilistic_quorums::protocols::server::Behavior;
+use probabilistic_quorums::protocols::value::Value;
+use probabilistic_quorums::sim::latency::LatencyModel;
+use probabilistic_quorums::sim::runner::{ProtocolKind, SimConfig, Simulation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Theorem 3.2 end to end: the stale-read rate of the safe register over an
+/// ε-intersecting system tracks the system's exact ε.
+#[test]
+fn safe_register_stale_rate_tracks_epsilon() {
+    let sys = EpsilonIntersecting::new(81, 12).unwrap();
+    let eps = sys.epsilon();
+    assert!(eps > 0.02 && eps < 0.2, "test needs a visible epsilon, got {eps}");
+    let mut cluster = Cluster::new(sys.universe());
+    let mut register = SafeRegister::new(&sys, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let trials = 3000u64;
+    let mut stale = 0u64;
+    for i in 1..=trials {
+        register.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+        match register.read(&mut cluster, &mut rng).unwrap() {
+            Some(tv) if tv.value == Value::from_u64(i) => {}
+            _ => stale += 1,
+        }
+    }
+    let rate = stale as f64 / trials as f64;
+    assert!((rate - eps).abs() < 0.02, "rate {rate} vs epsilon {eps}");
+}
+
+/// Theorems 4.2 and 5.2 end to end: Byzantine servers cannot corrupt reads
+/// beyond ε for either Byzantine protocol, at resilience levels no strict
+/// system can match.
+#[test]
+fn byzantine_protocols_hold_at_high_resilience() {
+    let n = 150u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+
+    // Dissemination at b = 50 = n/3 (strict limit is (n-1)/3 = 49 with
+    // load >= sqrt(51/150) ~ 0.58; ours uses quorums of ~1/4 the universe).
+    let b = 50u32;
+    let dis = ProbabilisticDissemination::with_target_epsilon(n, b, 1e-3).unwrap();
+    assert!(dis.load() < 0.5);
+    let mut cluster = Cluster::new(dis.universe());
+    cluster.corrupt_all((0..b).map(ServerId::new), Behavior::ByzantineStale);
+    let mut registry = KeyRegistry::new();
+    let key = registry.register(1, 3);
+    let mut reg = DisseminationRegister::new(&dis, key, registry);
+    let mut bad = 0;
+    for i in 1..=400u64 {
+        reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+        match reg.read(&mut cluster, &mut rng).unwrap() {
+            Some(tv) if tv.value == Value::from_u64(i) => {}
+            _ => bad += 1,
+        }
+    }
+    assert!(bad <= 2, "dissemination protocol returned {bad} stale results");
+
+    // Masking at b = 40 > (n-1)/4 = 37 (beyond any strict masking system).
+    let b = 40u32;
+    let mask = ProbabilisticMasking::with_target_epsilon(n, b, 1e-2).unwrap();
+    assert!(mask.byzantine_threshold() > pqs_core::byzantine::max_masking_threshold(n));
+    let mut cluster = Cluster::new(mask.universe());
+    cluster.corrupt_all((0..b).map(ServerId::new), Behavior::ByzantineForge);
+    let mut reg = MaskingRegister::new(&mask, mask.read_threshold(), 1);
+    let mut wrong = 0;
+    for i in 1..=400u64 {
+        reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+        match reg.read(&mut cluster, &mut rng).unwrap() {
+            Some(tv) if tv.value == Value::from_u64(i) => {}
+            _ => wrong += 1,
+        }
+    }
+    assert!(
+        (wrong as f64) < 400.0 * 0.05,
+        "masking protocol returned {wrong} incorrect results"
+    );
+}
+
+/// The load / fault-tolerance trade-off of Table 2, checked through the
+/// public API: at matched ε the probabilistic system dominates the grid on
+/// fault tolerance and the majority on load.
+#[test]
+fn table_two_tradeoff_through_public_api() {
+    for n in [100u32, 400, 900] {
+        let probabilistic = EpsilonIntersecting::with_target_epsilon(n, 1e-3).unwrap();
+        let majority = Majority::new(n).unwrap();
+        let grid = Grid::new(n).unwrap();
+        assert!(probabilistic.load() < majority.load());
+        assert!(probabilistic.fault_tolerance() > grid.fault_tolerance() * 5);
+        assert!(probabilistic.fault_tolerance() > majority.fault_tolerance());
+        // And availability beyond p = 1/2, impossible for any strict system.
+        assert!(probabilistic.failure_probability(0.6) < 0.01);
+        assert!(majority.failure_probability(0.6) > 0.9);
+    }
+}
+
+/// Full simulator run for each protocol completes and stays consistent.
+#[test]
+fn simulator_round_trip_all_protocols() {
+    let config = SimConfig {
+        duration: 30.0,
+        arrival_rate: 30.0,
+        read_fraction: 0.8,
+        latency: LatencyModel::Exponential { mean: 2e-3 },
+        crash_probability: 0.05,
+        byzantine: 0,
+        seed: 11,
+    };
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    assert!(report.completed_reads > 300);
+    assert!(report.stale_read_rate() < 0.05);
+
+    let dis = ProbabilisticDissemination::with_target_epsilon(100, 10, 1e-3).unwrap();
+    let mut c2 = config;
+    c2.byzantine = 10;
+    let report = Simulation::new(&dis, ProtocolKind::Dissemination, c2).run();
+    assert!(report.completed_reads > 300);
+    assert!(report.stale_read_rate() < 0.05);
+
+    let mask = ProbabilisticMasking::with_target_epsilon(100, 5, 1e-3).unwrap();
+    let mut c3 = config;
+    c3.byzantine = 5;
+    let report = Simulation::new(
+        &mask,
+        ProtocolKind::Masking {
+            threshold: mask.read_threshold(),
+        },
+        c3,
+    )
+    .run();
+    assert!(report.completed_reads > 300);
+    assert!(report.stale_read_rate() < 0.05);
+}
+
+/// The two Section 1.1 applications work end to end on one shared cluster
+/// configuration.
+#[test]
+fn applications_end_to_end() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+    // Voting.
+    let mask = ProbabilisticMasking::with_target_epsilon(225, 7, 1e-3).unwrap();
+    let mut cluster = Cluster::new(mask.universe());
+    cluster.corrupt_all((0..7).map(ServerId::new), Behavior::ByzantineForge);
+    let service = VoterLockService::new(&mask, mask.read_threshold());
+    let stats = repeat_voting_experiment(&service, &mut cluster, &mut rng, 300, 2);
+    assert_eq!(stats.first_attempts_accepted, 300);
+    assert!(stats.undetected_repeat_rate() < 0.01);
+
+    // Location directory.
+    let eps = EpsilonIntersecting::with_target_epsilon(225, 1e-3).unwrap();
+    let mut cluster = Cluster::new(eps.universe());
+    let mut directory = LocationDirectory::new(&eps);
+    let stats = mobility_experiment(&mut directory, &mut cluster, &mut rng, 50, 30, 10, 2);
+    assert!(stats.reachability() > 0.99);
+    assert!(stats.staleness() < 0.02);
+}

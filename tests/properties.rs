@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) over the core invariants of the paper's
+//! constructions, run across randomly drawn parameters rather than the
+//! hand-picked values of the unit tests.
+
+use probabilistic_quorums::core::prelude::*;
+use probabilistic_quorums::core::probabilistic::params::{
+    exact_epsilon_dissemination, exact_epsilon_intersecting, exact_epsilon_masking,
+};
+use probabilistic_quorums::math::binomial::Binomial;
+use probabilistic_quorums::math::bounds;
+use probabilistic_quorums::math::hypergeometric::Hypergeometric;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binomial pmf sums to 1 and the cdf is a proper distribution function.
+    #[test]
+    fn binomial_is_a_distribution(n in 1u64..200, p in 0.0f64..=1.0) {
+        let d = Binomial::new(n, p).unwrap();
+        let total: f64 = (0..=n).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = d.cdf(k);
+            prop_assert!(c + 1e-12 >= prev);
+            prop_assert!((d.cdf(k) + d.sf(k) - 1.0).abs() < 1e-8);
+            prev = c;
+        }
+    }
+
+    /// Hypergeometric overlap law: mean matches n*K/N and the pmf sums to 1.
+    #[test]
+    fn hypergeometric_is_a_distribution(
+        population in 1u64..300,
+        successes_frac in 0.0f64..=1.0,
+        draws_frac in 0.0f64..=1.0,
+    ) {
+        let successes = (population as f64 * successes_frac) as u64;
+        let draws = (population as f64 * draws_frac) as u64;
+        let h = Hypergeometric::new(population, successes, draws).unwrap();
+        let total: f64 = (h.min_value()..=h.max_value()).map(|k| h.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let weighted: f64 = (h.min_value()..=h.max_value()).map(|k| k as f64 * h.pmf(k)).sum();
+        prop_assert!((weighted - h.mean()).abs() < 1e-6);
+    }
+
+    /// Lemma 3.15 for arbitrary parameters: the exact non-intersection
+    /// probability never exceeds e^{-l^2}, and shrinks as q grows.
+    #[test]
+    fn lemma_3_15_holds_for_random_parameters(n in 4u32..800, q_frac in 0.02f64..0.5) {
+        let q = ((n as f64 * q_frac) as u32).max(1);
+        let exact = exact_epsilon_intersecting(n, q).unwrap();
+        let ell = q as f64 / (n as f64).sqrt();
+        prop_assert!(exact <= bounds::epsilon_intersecting_bound(ell) + 1e-12);
+        if q < n {
+            let larger = exact_epsilon_intersecting(n, q + 1).unwrap();
+            prop_assert!(larger <= exact + 1e-12);
+        }
+    }
+
+    /// Dissemination epsilon is monotone in b and dominated by the
+    /// intersection epsilon from below (more faults can only hurt).
+    #[test]
+    fn dissemination_epsilon_monotone_in_b(n in 10u32..400, q_frac in 0.05f64..0.4, b_frac in 0.01f64..0.5) {
+        let q = ((n as f64 * q_frac) as u32).max(1);
+        let b = ((n as f64 * b_frac) as u32).max(1).min(n - 1);
+        let eps_b = exact_epsilon_dissemination(n, q, b).unwrap();
+        let eps_0 = exact_epsilon_intersecting(n, q).unwrap();
+        prop_assert!(eps_b + 1e-12 >= eps_0);
+        if b + 1 < n {
+            let eps_b1 = exact_epsilon_dissemination(n, q, b + 1).unwrap();
+            prop_assert!(eps_b1 + 1e-12 >= eps_b);
+        }
+    }
+
+    /// The masking epsilon is a probability and is monotone in the read
+    /// threshold moving away from the optimum in either direction is never
+    /// better than the best k found by scanning.
+    #[test]
+    fn masking_epsilon_is_a_probability(n in 20u32..400, b_frac in 0.01f64..0.2, ell in 2.1f64..8.0) {
+        let b = ((n as f64 * b_frac) as u32).max(1);
+        let q = (ell * b as f64).round() as u32;
+        prop_assume!(q > 2 * b && q < n && n - q + 1 > b);
+        let k = bounds::masking_threshold_k(n as u64, q as u64) as u32;
+        prop_assume!(k <= q);
+        let eps = exact_epsilon_masking(n, q, b, k).unwrap();
+        prop_assert!((0.0..=1.0).contains(&eps));
+        // Theorem 5.10 bound dominates.
+        prop_assert!(eps <= bounds::masking_bound(n as u64, q as u64, q as f64 / b as f64) + 1e-9);
+    }
+
+    /// Sampled quorums of every construction have exactly the advertised
+    /// size, lie in the universe and (for strict systems) pairwise intersect.
+    #[test]
+    fn sampled_quorums_are_well_formed(n in 5u32..300, seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let majority = Majority::new(n).unwrap();
+        let a = majority.sample_quorum(&mut rng);
+        let b = majority.sample_quorum(&mut rng);
+        prop_assert_eq!(a.len(), majority.min_quorum_size());
+        prop_assert!(a.intersects(&b));
+        prop_assert!(a.iter().all(|s| s.index() < n));
+
+        let q = (n / 3).max(1);
+        let eps = EpsilonIntersecting::new(n, q).unwrap();
+        let sample = eps.sample_quorum(&mut rng);
+        prop_assert_eq!(sample.len(), q as usize);
+        prop_assert!(sample.iter().all(|s| s.index() < n));
+    }
+
+    /// The failure probability of the R(n, q) construction is monotone in p,
+    /// equals 0 at p=0 and 1 at p=1, and beats any strict system for
+    /// 1/2 <= p <= 1 - q/n (Section 3.4).
+    #[test]
+    fn failure_probability_properties(n in 20u32..500, q_frac in 0.05f64..0.45, p in 0.0f64..=1.0) {
+        let q = ((n as f64 * q_frac) as u32).max(1);
+        let sys = EpsilonIntersecting::new(n, q).unwrap();
+        let f = sys.failure_probability(p);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(sys.failure_probability(0.0) == 0.0);
+        prop_assert!((sys.failure_probability(1.0) - 1.0).abs() < 1e-12);
+        let f_higher = sys.failure_probability((p + 0.05).min(1.0));
+        prop_assert!(f_higher + 1e-9 >= f);
+        if p >= 0.5 && p <= 1.0 - q as f64 / n as f64 {
+            prop_assert!(f < bounds::strict_failure_probability_floor(n as u64, p) + 1e-12);
+        }
+    }
+
+    /// Byzantine strict systems: sampled quorum overlaps always meet the
+    /// Definition 2.7 requirements.
+    #[test]
+    fn byzantine_strict_overlap_requirements(n_side in 3u32..12, seed in 0u64..500) {
+        let n = n_side * n_side;
+        let b = pqs_core::byzantine::max_masking_threshold(n).min(n_side / 2 + 1);
+        prop_assume!(b >= 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dis = DisseminationThreshold::new(n, b).unwrap();
+        let q1 = dis.sample_quorum(&mut rng);
+        let q2 = dis.sample_quorum(&mut rng);
+        prop_assert!(q1.intersection_size(&q2) >= (b + 1) as usize);
+        let mask = MaskingThreshold::new(n, b).unwrap();
+        let q1 = mask.sample_quorum(&mut rng);
+        let q2 = mask.sample_quorum(&mut rng);
+        prop_assert!(q1.intersection_size(&q2) >= (2 * b + 1) as usize);
+    }
+}
