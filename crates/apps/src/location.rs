@@ -75,20 +75,12 @@ impl<'a, S: QuorumSystem + ?Sized> LocationDirectory<'a, S> {
         let register = self.writers.entry(device).or_insert_with(|| {
             SafeRegister::for_variable(system, device as u32, location_variable(device))
         });
-        register
-            .write(cluster, rng, Value::from_u64(cell))
-            .is_ok()
+        register.write(cluster, rng, Value::from_u64(cell)).is_ok()
     }
 
     /// A caller looks up the device's location through a quorum.
-    pub fn lookup(
-        &self,
-        cluster: &mut Cluster,
-        rng: &mut dyn RngCore,
-        device: DeviceId,
-    ) -> Lookup {
-        let mut register =
-            SafeRegister::for_variable(self.system, 0, location_variable(device));
+    pub fn lookup(&self, cluster: &mut Cluster, rng: &mut dyn RngCore, device: DeviceId) -> Lookup {
+        let mut register = SafeRegister::for_variable(self.system, 0, location_variable(device));
         match register.read(cluster, rng) {
             Err(_) | Ok(None) => Lookup::Miss,
             Ok(Some(tv)) => {

@@ -194,10 +194,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn service_and_cluster(
-        n: u32,
-        b: u32,
-    ) -> (ProbabilisticMasking, Cluster) {
+    fn service_and_cluster(n: u32, b: u32) -> (ProbabilisticMasking, Cluster) {
         let sys = ProbabilisticMasking::with_target_epsilon(n, b, 1e-3).unwrap();
         let cluster = Cluster::new(sys.universe());
         (sys, cluster)

@@ -23,7 +23,8 @@ fn bench_safe_register(c: &mut Criterion) {
             let mut i = 0u64;
             bench.iter(|| {
                 i += 1;
-                reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+                reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                    .unwrap();
                 reg.read(&mut cluster, &mut rng).unwrap()
             })
         });
@@ -34,7 +35,8 @@ fn bench_safe_register(c: &mut Criterion) {
             let mut i = 0u64;
             bench.iter(|| {
                 i += 1;
-                reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+                reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                    .unwrap();
                 reg.read(&mut cluster, &mut rng).unwrap()
             })
         });
@@ -56,7 +58,8 @@ fn bench_byzantine_registers(c: &mut Criterion) {
         let mut i = 0u64;
         bench.iter(|| {
             i += 1;
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             reg.read(&mut cluster, &mut rng).unwrap()
         })
     });
@@ -68,7 +71,8 @@ fn bench_byzantine_registers(c: &mut Criterion) {
         let mut i = 0u64;
         bench.iter(|| {
             i += 1;
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             reg.read(&mut cluster, &mut rng).unwrap()
         })
     });

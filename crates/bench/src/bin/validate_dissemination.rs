@@ -35,8 +35,8 @@ fn main() {
                 let Ok(sys) = ProbabilisticDissemination::with_ell(n, ell, b) else {
                     continue; // quorum too large for this alpha
                 };
-                let faulty = pqs_core::quorum::Quorum::from_indices(sys.universe(), 0..b)
-                    .expect("b < n");
+                let faulty =
+                    pqs_core::quorum::Quorum::from_indices(sys.universe(), 0..b).expect("b < n");
                 let est = estimate_contained_in_faulty(&sys, &faulty, trials, &mut rng)
                     .expect("trials > 0");
                 let bound = sys.epsilon_bound();

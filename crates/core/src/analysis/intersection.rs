@@ -128,7 +128,9 @@ pub fn estimate_empirical_load(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::probabilistic::{EpsilonIntersecting, ProbabilisticDissemination, ProbabilisticMasking};
+    use crate::probabilistic::{
+        EpsilonIntersecting, ProbabilisticDissemination, ProbabilisticMasking,
+    };
     use crate::strict::Majority;
     use crate::system::ProbabilisticQuorumSystem;
     use rand::SeedableRng;
@@ -160,9 +162,8 @@ mod tests {
         let sys = ProbabilisticMasking::new(80, 26, 8).unwrap();
         let faulty = Quorum::from_indices(sys.universe(), 0u32..8).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let est =
-            estimate_masking_failure(&sys, &faulty, sys.read_threshold(), 30_000, &mut rng)
-                .unwrap();
+        let est = estimate_masking_failure(&sys, &faulty, sys.read_threshold(), 30_000, &mut rng)
+            .unwrap();
         assert!((est.estimate() - sys.epsilon()).abs() < 0.012);
     }
 
@@ -181,7 +182,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         assert!(estimate_nonintersection(&sys, 0, &mut rng).is_err());
         assert!(estimate_empirical_load(&sys, 0, &mut rng).is_err());
-        let wrong_universe = Quorum::from_indices(crate::universe::Universe::new(31), [0u32]).unwrap();
+        let wrong_universe =
+            Quorum::from_indices(crate::universe::Universe::new(31), [0u32]).unwrap();
         assert!(estimate_contained_in_faulty(&sys, &wrong_universe, 10, &mut rng).is_err());
         assert!(estimate_masking_failure(&sys, &wrong_universe, 1, 10, &mut rng).is_err());
     }

@@ -141,10 +141,7 @@ mod tests {
         // Beats the strict masking bound...
         assert!(sys.load() < masking_load_lower_bound(n, b));
         // ...but still respects Theorem 5.5.
-        assert!(
-            sys.load() + 1e-12
-                >= masking_probabilistic_load_lower_bound(n, b, sys.epsilon())
-        );
+        assert!(sys.load() + 1e-12 >= masking_probabilistic_load_lower_bound(n, b, sys.epsilon()));
     }
 
     #[test]
@@ -153,11 +150,8 @@ mod tests {
         use crate::system::ProbabilisticQuorumSystem;
         let sys = EpsilonIntersecting::with_target_epsilon(400, 1e-3).unwrap();
         let cor = corollary_3_12_bound(400, sys.epsilon());
-        let thm = epsilon_intersecting_load_lower_bound(
-            400,
-            sys.expected_quorum_size(),
-            sys.epsilon(),
-        );
+        let thm =
+            epsilon_intersecting_load_lower_bound(400, sys.expected_quorum_size(), sys.epsilon());
         // The theorem's bound is at least as strong as the corollary's.
         assert!(thm + 1e-12 >= cor);
         assert!(sys.load() + 1e-12 >= thm);

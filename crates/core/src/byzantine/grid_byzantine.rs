@@ -52,7 +52,7 @@ impl ByzantineGridCore {
         }
         // The quorum must still exist after b crashes have disabled rows:
         // resilience requires A(Q) > b, i.e. side - r + 1 > b.
-        if side - r + 1 <= b {
+        if side - r < b {
             return Err(CoreError::invalid(format!(
                 "{kind} grid over n={n} has fault tolerance {} which does not exceed b={b}",
                 side - r + 1
@@ -391,8 +391,16 @@ mod tests {
 
     #[test]
     fn byzantine_threshold_accessors() {
-        assert_eq!(DisseminationGrid::new(100, 4).unwrap().byzantine_threshold(), 4);
+        assert_eq!(
+            DisseminationGrid::new(100, 4)
+                .unwrap()
+                .byzantine_threshold(),
+            4
+        );
         assert_eq!(MaskingGrid::new(100, 4).unwrap().byzantine_threshold(), 4);
-        assert!(DisseminationGrid::new(100, 4).unwrap().name().contains("grid"));
+        assert!(DisseminationGrid::new(100, 4)
+            .unwrap()
+            .name()
+            .contains("grid"));
     }
 }

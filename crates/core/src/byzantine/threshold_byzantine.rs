@@ -312,10 +312,15 @@ mod tests {
     fn byzantine_threshold_accessor() {
         use crate::system::ByzantineQuorumSystem;
         assert_eq!(
-            DisseminationThreshold::new(100, 7).unwrap().byzantine_threshold(),
+            DisseminationThreshold::new(100, 7)
+                .unwrap()
+                .byzantine_threshold(),
             7
         );
-        assert_eq!(MaskingThreshold::new(100, 7).unwrap().byzantine_threshold(), 7);
+        assert_eq!(
+            MaskingThreshold::new(100, 7).unwrap().byzantine_threshold(),
+            7
+        );
     }
 
     #[test]

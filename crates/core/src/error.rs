@@ -70,7 +70,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(CoreError::invalid("q > n").to_string().contains("q > n"));
-        assert!(CoreError::infeasible("too big").to_string().contains("too big"));
+        assert!(CoreError::infeasible("too big")
+            .to_string()
+            .contains("too big"));
         let e = CoreError::ServerOutOfRange {
             server: 12,
             universe: 10,

@@ -50,7 +50,11 @@ pub fn failure_probability_exact(quorums: &[Quorum], p: f64) -> crate::Result<f6
             union = union.union(quorums[i].as_bitset());
             bits &= bits - 1;
         }
-        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if mask.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         some_alive += sign * alive.powi(union.len() as i32);
     }
     Ok((1.0 - some_alive).clamp(0.0, 1.0))

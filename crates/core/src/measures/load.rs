@@ -13,10 +13,7 @@ use crate::CoreError;
 /// Returns [`CoreError::InvalidConstruction`] if the number of quorums does
 /// not match the strategy, the list is empty, or the quorums come from
 /// universes of different sizes.
-pub fn per_server_load(
-    quorums: &[Quorum],
-    strategy: &WeightedStrategy,
-) -> crate::Result<Vec<f64>> {
+pub fn per_server_load(quorums: &[Quorum], strategy: &WeightedStrategy) -> crate::Result<Vec<f64>> {
     if quorums.is_empty() {
         return Err(CoreError::invalid("at least one quorum is required"));
     }
@@ -152,11 +149,8 @@ mod tests {
         use crate::probabilistic::EpsilonIntersecting;
         for &n in &[100u32, 400, 900] {
             let sys = EpsilonIntersecting::with_target_epsilon(n, 1e-3).unwrap();
-            let bound = probabilistic_load_lower_bound(
-                n,
-                sys.expected_quorum_size(),
-                sys.epsilon(),
-            );
+            let bound =
+                probabilistic_load_lower_bound(n, sys.expected_quorum_size(), sys.epsilon());
             assert!(
                 sys.load() + 1e-12 >= bound,
                 "n={n}: load {} < bound {bound}",

@@ -14,14 +14,14 @@
 //! discussion of why the naive strict definitions break down for
 //! probabilistic systems.
 
-mod fault_tolerance;
 mod failure_prob;
+mod fault_tolerance;
 mod load;
 
+pub use failure_prob::{failure_probability_exact, failure_probability_monte_carlo};
 pub use fault_tolerance::{
     exact_fault_tolerance, high_quality_quorum_indices, probabilistic_fault_tolerance,
 };
-pub use failure_prob::{failure_probability_exact, failure_probability_monte_carlo};
 pub use load::{induced_load, load_lower_bound, per_server_load, probabilistic_load_lower_bound};
 
 #[cfg(test)]
@@ -78,11 +78,8 @@ mod tests {
         let universe = m.universe();
         let mut quorums: Vec<crate::quorum::Quorum> = (0..n)
             .map(|start| {
-                crate::quorum::Quorum::from_indices(
-                    universe,
-                    (0..5u32).map(|i| (start + i) % n),
-                )
-                .unwrap()
+                crate::quorum::Quorum::from_indices(universe, (0..5u32).map(|i| (start + i) % n))
+                    .unwrap()
             })
             .collect();
         let base_len = quorums.len();
@@ -95,7 +92,7 @@ mod tests {
         }
         let gamma = 1e-6;
         let mut weights = vec![(1.0 - gamma) / base_len as f64; base_len];
-        weights.extend(std::iter::repeat(gamma / n as f64).take(n as usize));
+        weights.extend(std::iter::repeat_n(gamma / n as f64, n as usize));
         let inflated_strategy = WeightedStrategy::from_weights(weights).unwrap();
 
         // The strict measure is fooled: now only killing all n servers

@@ -67,7 +67,7 @@ impl ProbabilisticDissemination {
                 "quorum size {q} must be in 1..={n}"
             )));
         }
-        if n - q + 1 <= b {
+        if n - q < b {
             return Err(CoreError::invalid(format!(
                 "fault tolerance n-q+1 = {} must exceed b = {b} (Definition 4.1)",
                 n - q + 1
@@ -88,8 +88,10 @@ impl ProbabilisticDissemination {
     ///
     /// As for [`new`](Self::new), plus `ℓ` must be positive.
     pub fn with_ell(n: u32, ell: f64, b: u32) -> crate::Result<Self> {
-        if !(ell > 0.0) {
-            return Err(CoreError::invalid(format!("ell must be positive, got {ell}")));
+        if ell.is_nan() || ell <= 0.0 {
+            return Err(CoreError::invalid(format!(
+                "ell must be positive, got {ell}"
+            )));
         }
         let q = (ell * (n as f64).sqrt()).round().max(1.0) as u32;
         Self::new(n, q, b)

@@ -65,8 +65,10 @@ impl EpsilonIntersecting {
     /// Returns [`CoreError::InvalidConstruction`] if `ℓ ≤ 0` or the implied
     /// quorum size falls outside `1..=n`.
     pub fn with_ell(n: u32, ell: f64) -> crate::Result<Self> {
-        if !(ell > 0.0) {
-            return Err(CoreError::invalid(format!("ell must be positive, got {ell}")));
+        if ell.is_nan() || ell <= 0.0 {
+            return Err(CoreError::invalid(format!(
+                "ell must be positive, got {ell}"
+            )));
         }
         let q = (ell * (n as f64).sqrt()).round().max(1.0) as u32;
         Self::new(n, q)
@@ -237,7 +239,7 @@ mod tests {
         let sys = EpsilonIntersecting::new(50, 10).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let trials = 20_000;
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..trials {
             for s in sys.sample_quorum(&mut rng).iter() {
                 counts[s.as_usize()] += 1;

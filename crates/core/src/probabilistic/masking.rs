@@ -80,7 +80,7 @@ impl ProbabilisticMasking {
                 "masking construction requires l = q/b > 2 (got q={q}, b={b})"
             )));
         }
-        if n - q + 1 <= b {
+        if n - q < b {
             return Err(CoreError::invalid(format!(
                 "fault tolerance n-q+1 = {} must exceed b = {b} (Definition 5.1)",
                 n - q + 1
@@ -108,7 +108,7 @@ impl ProbabilisticMasking {
     ///
     /// As for [`new`](Self::new); additionally `ℓ` must exceed 2.
     pub fn with_ell(n: u32, ell: f64, b: u32) -> crate::Result<Self> {
-        if !(ell > 2.0) {
+        if ell.is_nan() || ell <= 2.0 {
             return Err(CoreError::invalid(format!(
                 "masking construction requires l > 2, got {ell}"
             )));

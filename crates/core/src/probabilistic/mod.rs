@@ -46,10 +46,7 @@ mod tests {
                 Box::new(ProbabilisticDissemination::new(100, 24, 4).unwrap()),
                 24,
             ),
-            (
-                Box::new(ProbabilisticMasking::new(100, 38, 4).unwrap()),
-                38,
-            ),
+            (Box::new(ProbabilisticMasking::new(100, 38, 4).unwrap()), 38),
         ];
         for (system, size) in &systems {
             assert_eq!(system.min_quorum_size(), *size);

@@ -370,10 +370,7 @@ mod tests {
             }
         }
         let mc = bad as f64 / trials as f64;
-        assert!(
-            (mc - exact).abs() < 0.01,
-            "exact={exact} monte-carlo={mc}"
-        );
+        assert!((mc - exact).abs() < 0.01, "exact={exact} monte-carlo={mc}");
     }
 
     #[test]
@@ -439,7 +436,10 @@ mod tests {
             let k = pqs_math::bounds::masking_threshold_k(n as u64, q as u64) as u32;
             let exact = exact_epsilon_masking(n, q, b, k).unwrap();
             let bound = bounds::masking_bound(n as u64, q as u64, q as f64 / b as f64);
-            assert!(exact <= bound + 1e-9, "ell={ell} exact={exact} bound={bound}");
+            assert!(
+                exact <= bound + 1e-9,
+                "ell={ell} exact={exact} bound={bound}"
+            );
         }
     }
 

@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn out_of_range_server_rejected() {
         let err = Quorum::from_indices(u10(), [1u32, 10]).unwrap_err();
-        assert!(matches!(err, CoreError::ServerOutOfRange { server: 10, .. }));
+        assert!(matches!(
+            err,
+            CoreError::ServerOutOfRange { server: 10, .. }
+        ));
     }
 
     #[test]

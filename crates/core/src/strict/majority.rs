@@ -87,12 +87,8 @@ impl QuorumSystem for Majority {
     }
 
     fn sample_quorum(&self, rng: &mut dyn RngCore) -> Quorum {
-        let indices = sample_k_of_n(
-            rng,
-            self.quorum_size as u64,
-            self.universe.size() as u64,
-        )
-        .expect("quorum size validated against universe size");
+        let indices = sample_k_of_n(rng, self.quorum_size as u64, self.universe.size() as u64)
+            .expect("quorum size validated against universe size");
         Quorum::from_indices(self.universe, indices.into_iter().map(|i| i as u32))
             .expect("sampled indices are in range")
     }
@@ -145,7 +141,10 @@ mod tests {
         assert!(Majority::new(0).is_err());
         assert!(Majority::with_quorum_size(10, 0).is_err());
         assert!(Majority::with_quorum_size(10, 11).is_err());
-        assert!(Majority::with_quorum_size(10, 5).is_err(), "2q <= n rejected");
+        assert!(
+            Majority::with_quorum_size(10, 5).is_err(),
+            "2q <= n rejected"
+        );
         assert!(Majority::with_quorum_size(10, 6).is_ok());
         assert!(Majority::with_quorum_size(1, 1).is_ok());
     }
@@ -153,7 +152,14 @@ mod tests {
     #[test]
     fn majority_sizes_match_table_two() {
         // Table 2 threshold quorum sizes: 13, 51, 113, 201, 313, 451.
-        let expected = [(25, 13), (100, 51), (225, 113), (400, 201), (625, 313), (900, 451)];
+        let expected = [
+            (25, 13),
+            (100, 51),
+            (225, 113),
+            (400, 201),
+            (625, 313),
+            (900, 451),
+        ];
         for (n, size) in expected {
             let m = Majority::new(n).unwrap();
             assert_eq!(m.quorum_size(), size, "n={n}");

@@ -202,7 +202,10 @@ impl QuorumSystem for WeightedVoting {
             }
             dp = next;
         }
-        dp.iter().take(self.threshold as usize).sum::<f64>().clamp(0.0, 1.0)
+        dp.iter()
+            .take(self.threshold as usize)
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
     }
 }
 

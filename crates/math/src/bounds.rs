@@ -201,7 +201,12 @@ pub fn strict_failure_probability_floor(n_max: u64, p: f64) -> f64 {
     use crate::binomial::Binomial;
     let singleton = p;
     // Majority system over n_max servers (odd sizes are the strongest).
-    let n = if n_max % 2 == 0 { n_max.saturating_sub(1) } else { n_max }.max(1);
+    let n = if n_max.is_multiple_of(2) {
+        n_max.saturating_sub(1)
+    } else {
+        n_max
+    }
+    .max(1);
     let q = n / 2 + 1;
     let majority = Binomial::new(n, p)
         .map(|d| d.at_least(n - q + 1))

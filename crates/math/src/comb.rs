@@ -46,8 +46,8 @@ fn stirling_ln_gamma(x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     // ln Γ(x) = (x - 1/2) ln x − x + ln(2π)/2 + 1/(12x) − 1/(360x³) + 1/(1260x⁵) − 1/(1680x⁷) + …
-    let series = inv
-        * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0 + inv2 * (-1.0 / 1680.0))));
+    let series =
+        inv * (1.0 / 12.0 + inv2 * (-1.0 / 360.0 + inv2 * (1.0 / 1260.0 + inv2 * (-1.0 / 1680.0))));
     (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + series
 }
 

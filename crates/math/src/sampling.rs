@@ -110,9 +110,7 @@ pub fn weighted_choice<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> crate::
     let mut total = 0.0f64;
     for (i, &w) in weights.iter().enumerate() {
         if !w.is_finite() || w < 0.0 {
-            return Err(MathError::invalid(format!(
-                "weight {i} is invalid: {w}"
-            )));
+            return Err(MathError::invalid(format!("weight {i} is invalid: {w}")));
         }
         total += w;
     }

@@ -190,7 +190,10 @@ mod tests {
         assert_eq!(kl_bernoulli(0.3, 0.3), 0.0);
         assert!(kl_bernoulli(0.5, 0.1) > 0.0);
         assert_eq!(kl_bernoulli(0.5, 0.0), f64::INFINITY);
-        assert_eq!(kl_bernoulli(0.0, 0.5), 0.5f64.ln().abs().max(0.0) * 0.0 + (1.0f64 / 0.5).ln());
+        assert_eq!(
+            kl_bernoulli(0.0, 0.5),
+            0.5f64.ln().abs().max(0.0) * 0.0 + (1.0f64 / 0.5).ln()
+        );
     }
 
     #[test]

@@ -154,7 +154,11 @@ impl Cluster {
     }
 
     /// Sends a signed read to every server of `quorum`.
-    pub fn read_signed(&mut self, quorum: &Quorum, var: VariableId) -> Vec<(ServerId, SignedValue)> {
+    pub fn read_signed(
+        &mut self,
+        quorum: &Quorum,
+        var: VariableId,
+    ) -> Vec<(ServerId, SignedValue)> {
         let mut replies = Vec::with_capacity(quorum.len());
         for id in quorum.iter() {
             self.note_access(id);
@@ -299,7 +303,10 @@ mod tests {
     fn byzantine_set_tracks_corruption() {
         let u = Universe::new(6);
         let mut c = Cluster::new(u);
-        c.corrupt_all([ServerId::new(1), ServerId::new(4)], Behavior::ByzantineForge);
+        c.corrupt_all(
+            [ServerId::new(1), ServerId::new(4)],
+            Behavior::ByzantineForge,
+        );
         let b = c.byzantine_set();
         assert_eq!(b.len(), 2);
         assert!(b.contains(ServerId::new(1)));

@@ -84,7 +84,12 @@ pub fn diffuse_plain(
 /// anywhere in the cluster for `variable`.
 pub fn count_fresh_correct(cluster: &Cluster, variable: VariableId) -> usize {
     let freshest: Timestamp = (0..cluster.len() as u32)
-        .map(|i| cluster.server(ServerId::new(i)).stored_plain(variable).timestamp)
+        .map(|i| {
+            cluster
+                .server(ServerId::new(i))
+                .stored_plain(variable)
+                .timestamp
+        })
         .max()
         .unwrap_or(Timestamp::ZERO);
     if freshest == Timestamp::ZERO {
@@ -93,8 +98,7 @@ pub fn count_fresh_correct(cluster: &Cluster, variable: VariableId) -> usize {
     (0..cluster.len() as u32)
         .filter(|&i| {
             let s = cluster.server(ServerId::new(i));
-            s.behavior() == Behavior::Correct
-                && s.stored_plain(variable).timestamp == freshest
+            s.behavior() == Behavior::Correct && s.stored_plain(variable).timestamp == freshest
         })
         .count()
 }
@@ -116,7 +120,8 @@ mod tests {
         let mut cluster = Cluster::new(sys.universe());
         let mut reg = SafeRegister::new(&sys, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(9)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(9))
+            .unwrap();
         let before = count_fresh_correct(&cluster, 0);
         assert!(before <= 22);
         let after = diffuse_plain(&mut cluster, 0, DiffusionConfig::default(), &mut rng);
@@ -138,8 +143,17 @@ mod tests {
         let trials = 500u64;
         let mut stale = 0u64;
         for i in 1..=trials {
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
-            diffuse_plain(&mut cluster, 0, DiffusionConfig { fanout: 2, rounds: 4 }, &mut rng);
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
+            diffuse_plain(
+                &mut cluster,
+                0,
+                DiffusionConfig {
+                    fanout: 2,
+                    rounds: 4,
+                },
+                &mut rng,
+            );
             match reg.read(&mut cluster, &mut rng).unwrap() {
                 Some(tv) if tv.value == Value::from_u64(i) => {}
                 _ => stale += 1,
@@ -171,10 +185,16 @@ mod tests {
         let fresh = diffuse_plain(
             &mut cluster,
             0,
-            DiffusionConfig { fanout: 3, rounds: 5 },
+            DiffusionConfig {
+                fanout: 3,
+                rounds: 5,
+            },
             &mut rng,
         );
-        assert_eq!(fresh, 0, "no correct server should have received the record");
+        assert_eq!(
+            fresh, 0,
+            "no correct server should have received the record"
+        );
     }
 
     #[test]

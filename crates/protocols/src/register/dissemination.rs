@@ -129,15 +129,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn setup(
-        n: u32,
-        b: u32,
-    ) -> (
-        ProbabilisticDissemination,
-        Cluster,
-        KeyRegistry,
-        SigningKey,
-    ) {
+    fn setup(n: u32, b: u32) -> (ProbabilisticDissemination, Cluster, KeyRegistry, SigningKey) {
         let sys = ProbabilisticDissemination::with_target_epsilon(n, b, 1e-3).unwrap();
         let cluster = Cluster::new(sys.universe());
         let mut registry = KeyRegistry::new();
@@ -164,7 +156,8 @@ mod tests {
         let mut stale = 0usize;
         let trials = 300u64;
         for i in 1..=trials {
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             match reg.read(&mut cluster, &mut rng).unwrap() {
                 Some(tv) if tv.value == Value::from_u64(i) => {}
                 Some(tv) => {
@@ -186,7 +179,8 @@ mod tests {
         cluster.corrupt_all((0..8).map(ServerId::new), Behavior::ByzantineForge);
         let mut reg = DisseminationRegister::new(&sys, key, registry);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(5)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(5))
+            .unwrap();
         for _ in 0..100 {
             if let Some(tv) = reg.read(&mut cluster, &mut rng).unwrap() {
                 assert_eq!(tv.value, Value::from_u64(5));
@@ -222,7 +216,9 @@ mod tests {
         let empty_registry = KeyRegistry::new();
         let mut writer = DisseminationRegister::new(&sys, key, writer_registry);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        writer.write(&mut cluster, &mut rng, Value::from_u64(3)).unwrap();
+        writer
+            .write(&mut cluster, &mut rng, Value::from_u64(3))
+            .unwrap();
         let mut reader = DisseminationRegister::new(&sys, key, empty_registry);
         assert_eq!(reader.read(&mut cluster, &mut rng).unwrap(), None);
     }

@@ -161,7 +161,8 @@ mod tests {
         let trials = 300u64;
         let mut wrong = 0usize;
         for i in 1..=trials {
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             match reg.read(&mut cluster, &mut rng).unwrap() {
                 Some(tv) => {
                     assert_ne!(tv.value, forged_value(), "forgery accepted at read {i}");
@@ -187,7 +188,8 @@ mod tests {
         let mut reg = MaskingRegister::new(&sys, (b + 1) as usize, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for i in 1..=100u64 {
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
             assert_eq!(got.value, Value::from_u64(i));
         }
@@ -203,7 +205,8 @@ mod tests {
         cluster.corrupt_all((0..10).map(ServerId::new), Behavior::ByzantineForge);
         let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 1);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(7)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(7))
+            .unwrap();
         let mut forged_accepted = 0usize;
         for _ in 0..200 {
             if let Some(tv) = reg.read(&mut cluster, &mut rng).unwrap() {

@@ -49,7 +49,8 @@ mod tests {
         let mut cluster = Cluster::new(sys.universe());
         let mut reg = SafeRegister::new(&sys, 1);
         for i in 1..=5u64 {
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
             assert_eq!(got.value, Value::from_u64(i));
         }
@@ -60,7 +61,8 @@ mod tests {
         let mut registry = KeyRegistry::new();
         let key = registry.register(2, 7);
         let mut reg = DisseminationRegister::new(&sys, key, registry.clone());
-        reg.write(&mut cluster, &mut rng, Value::from_u64(77)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(77))
+            .unwrap();
         let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
         assert_eq!(got.value, Value::from_u64(77));
 
@@ -68,7 +70,8 @@ mod tests {
         let sys = ProbabilisticMasking::with_target_epsilon(64, 4, 1e-3).unwrap();
         let mut cluster = Cluster::new(sys.universe());
         let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 3);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(123)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(123))
+            .unwrap();
         let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
         assert_eq!(got.value, Value::from_u64(123));
     }
@@ -89,7 +92,8 @@ mod tests {
         let mut cluster = Cluster::new(sys.universe());
         cluster.corrupt_all(byz.clone(), Behavior::ByzantineForge);
         let mut reg = SafeRegister::new(&sys, 1);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(1)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(1))
+            .unwrap();
         let mut fooled = 0;
         for _ in 0..50 {
             let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
@@ -97,7 +101,10 @@ mod tests {
                 fooled += 1;
             }
         }
-        assert!(fooled > 0, "with 4 forgers in 64 servers and q=20, some read should see one");
+        assert!(
+            fooled > 0,
+            "with 4 forgers in 64 servers and q=20, some read should see one"
+        );
 
         // Masking register with threshold k: the forgery needs k colluders in
         // the read quorum, which is unlikely by construction.
@@ -105,7 +112,8 @@ mod tests {
         let mut cluster = Cluster::new(sys.universe());
         cluster.corrupt_all(byz.clone(), Behavior::ByzantineForge);
         let mut reg = MaskingRegister::new(&sys, sys.read_threshold(), 3);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(1)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(1))
+            .unwrap();
         for _ in 0..50 {
             let got = reg.read(&mut cluster, &mut rng).unwrap();
             if let Some(tv) = got {
@@ -121,7 +129,8 @@ mod tests {
         let mut registry = KeyRegistry::new();
         let key = registry.register(9, 1);
         let mut reg = DisseminationRegister::new(&sys, key, registry);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(5)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(5))
+            .unwrap();
         for _ in 0..50 {
             let got = reg.read(&mut cluster, &mut rng).unwrap();
             if let Some(sv) = got {

@@ -148,7 +148,9 @@ mod tests {
         let mut reg = SafeRegister::new(&sys, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         for i in 1..=200u64 {
-            let receipt = reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            let receipt = reg
+                .write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             assert_eq!(receipt.acks, receipt.quorum_size);
             let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
             assert_eq!(got.value, Value::from_u64(i), "write {i}");
@@ -168,7 +170,8 @@ mod tests {
         let trials = 4000u64;
         let mut stale = 0u64;
         for i in 1..=trials {
-            reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+            reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
             let got = reg.read(&mut cluster, &mut rng).unwrap();
             match got {
                 Some(tv) if tv.value == Value::from_u64(i) => {}
@@ -194,7 +197,9 @@ mod tests {
         let mut reg = SafeRegister::new(&sys, 1);
         // Crash two servers: every 3-server majority still has a live member.
         cluster.crash_all([ServerId::new(0), ServerId::new(1)]);
-        let receipt = reg.write(&mut cluster, &mut rng, Value::from_u64(9)).unwrap();
+        let receipt = reg
+            .write(&mut cluster, &mut rng, Value::from_u64(9))
+            .unwrap();
         assert!(receipt.acks >= 1);
         // Crash everything: now both reads and writes report unavailability.
         cluster.crash_all((0..5).map(ServerId::new));
@@ -216,7 +221,8 @@ mod tests {
         let mut cluster = Cluster::new(sys.universe());
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut reg = SafeRegister::new(&sys, 1);
-        reg.write(&mut cluster, &mut rng, Value::from_u64(42)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(42))
+            .unwrap();
         cluster.crash_all((0..30).map(ServerId::new));
         let mut ok = 0;
         for _ in 0..200 {

@@ -99,7 +99,10 @@ impl ReplicaServer {
     /// The plain (unsigned) record the server *actually* stores for `var`,
     /// regardless of behaviour — useful for assertions and diffusion.
     pub fn stored_plain(&self, var: VariableId) -> TaggedValue {
-        self.plain.get(&var).cloned().unwrap_or_else(TaggedValue::initial)
+        self.plain
+            .get(&var)
+            .cloned()
+            .unwrap_or_else(TaggedValue::initial)
     }
 
     /// The signed record the server actually stores for `var`.
@@ -116,9 +119,7 @@ impl ReplicaServer {
         match self.behavior {
             Behavior::Crashed => None,
             Behavior::Correct => Some(self.stored_plain(var)),
-            Behavior::ByzantineForge => {
-                Some(TaggedValue::new(forged_value(), forged_timestamp()))
-            }
+            Behavior::ByzantineForge => Some(TaggedValue::new(forged_value(), forged_timestamp())),
             Behavior::ByzantineStale => Some(self.stored_plain(var)),
         }
     }

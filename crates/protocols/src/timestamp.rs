@@ -90,6 +90,10 @@ impl TimestampIssuer {
     }
 
     /// Issues the next timestamp (strictly larger than every previous one).
+    ///
+    /// Not an [`Iterator`]: issuing is infallible and never exhausts, so an
+    /// `Option`-returning iterator impl would misrepresent the contract.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Timestamp {
         self.last += 1;
         Timestamp::new(self.last, self.writer)

@@ -43,11 +43,7 @@ impl Value {
 
     /// Decodes the value as a little-endian `u64`, if it is exactly 8 bytes.
     pub fn as_u64(&self) -> Option<u64> {
-        self.0
-            .as_slice()
-            .try_into()
-            .ok()
-            .map(u64::from_le_bytes)
+        self.0.as_slice().try_into().ok().map(u64::from_le_bytes)
     }
 
     /// Length of the value in bytes.

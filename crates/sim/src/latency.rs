@@ -115,7 +115,10 @@ mod tests {
         }
         assert!((sum / 20_000.0 - 0.05).abs() < 0.005);
         assert_eq!(m.mean(), 0.05);
-        assert_eq!(LatencyModel::Exponential { mean: 0.0 }.sample(&mut rng), 0.0);
+        assert_eq!(
+            LatencyModel::Exponential { mean: 0.0 }.sample(&mut rng),
+            0.0
+        );
     }
 
     #[test]

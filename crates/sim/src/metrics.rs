@@ -33,9 +33,7 @@ impl SimReport {
     /// Fraction of non-concurrent reads that were stale or empty —
     /// the empirical counterpart of ε.
     pub fn stale_read_rate(&self) -> f64 {
-        let eligible = self
-            .completed_reads
-            .saturating_sub(self.concurrent_reads);
+        let eligible = self.completed_reads.saturating_sub(self.concurrent_reads);
         if eligible == 0 {
             0.0
         } else {

@@ -236,9 +236,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                         Ok(result) => {
                             report.completed_reads += 1;
                             report.latency.record(latency);
-                            let concurrent = writes
-                                .iter()
-                                .any(|w| w.start < end && w.end > op.at);
+                            let concurrent = writes.iter().any(|w| w.start < end && w.end > op.at);
                             if concurrent {
                                 report.concurrent_reads += 1;
                             } else {
@@ -252,8 +250,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                                 match (expected, result) {
                                     (None, _) => {}
                                     (Some(seq), Some(tv)) => {
-                                        let got =
-                                            tv.value.as_u64().unwrap_or(0);
+                                        let got = tv.value.as_u64().unwrap_or(0);
                                         if got < seq {
                                             report.stale_reads += 1;
                                         }
@@ -302,7 +299,9 @@ pub fn compare_systems(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pqs_core::probabilistic::{EpsilonIntersecting, ProbabilisticDissemination, ProbabilisticMasking};
+    use pqs_core::probabilistic::{
+        EpsilonIntersecting, ProbabilisticDissemination, ProbabilisticMasking,
+    };
     use pqs_core::strict::Majority;
     use pqs_core::system::ProbabilisticQuorumSystem;
     use pqs_core::universe::ServerId;
@@ -312,7 +311,10 @@ mod tests {
             duration: 50.0,
             arrival_rate: 20.0,
             read_fraction: 0.8,
-            latency: LatencyModel::Uniform { min: 1e-4, max: 1e-3 },
+            latency: LatencyModel::Uniform {
+                min: 1e-4,
+                max: 1e-3,
+            },
             crash_probability: 0.0,
             byzantine: 0,
             seed,
@@ -401,7 +403,11 @@ mod tests {
         assert!(report.completed_reads > 0);
         // Forgeries would show up as stale reads with absurd sequence
         // numbers; the rate must stay near epsilon.
-        assert!(report.stale_read_rate() < 0.02, "{}", report.stale_read_rate());
+        assert!(
+            report.stale_read_rate() < 0.02,
+            "{}",
+            report.stale_read_rate()
+        );
     }
 
     #[test]
@@ -411,7 +417,11 @@ mod tests {
         config.byzantine = 20;
         let report = Simulation::new(&sys, ProtocolKind::Dissemination, config).run();
         assert!(report.completed_reads > 0);
-        assert!(report.stale_read_rate() < 0.02, "{}", report.stale_read_rate());
+        assert!(
+            report.stale_read_rate() < 0.02,
+            "{}",
+            report.stale_read_rate()
+        );
     }
 
     #[test]

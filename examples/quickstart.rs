@@ -24,12 +24,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  quorum size      : {}", system.quorum_size());
     println!("  ell = q/sqrt(n)  : {:.2}", system.ell());
     println!("  exact epsilon    : {:.2e}", system.epsilon());
-    println!("  load             : {:.4}  (majority: {:.4}, grid: {:.4})",
-        system.load(), majority.load(), grid.load());
-    println!("  fault tolerance  : {}    (majority: {}, grid: {})",
-        system.fault_tolerance(), majority.fault_tolerance(), grid.fault_tolerance());
-    println!("  F_p at p = 0.55  : {:.2e} (any strict system: >= 0.55)",
-        system.failure_probability(0.55));
+    println!(
+        "  load             : {:.4}  (majority: {:.4}, grid: {:.4})",
+        system.load(),
+        majority.load(),
+        grid.load()
+    );
+    println!(
+        "  fault tolerance  : {}    (majority: {}, grid: {})",
+        system.fault_tolerance(),
+        majority.fault_tolerance(),
+        grid.fault_tolerance()
+    );
+    println!(
+        "  F_p at p = 0.55  : {:.2e} (any strict system: >= 0.55)",
+        system.failure_probability(0.55)
+    );
 
     // Replicate a variable with the Section 3.1 protocol and exercise it.
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
@@ -47,9 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nran {writes} write/read pairs through the register");
-    println!("  stale reads      : {stale} (expected about epsilon * {writes} = {:.1})",
-        system.epsilon() * writes as f64);
-    println!("  empirical load   : {:.4} (analytic {:.4})",
-        cluster.empirical_load(), system.load());
+    println!(
+        "  stale reads      : {stale} (expected about epsilon * {writes} = {:.1})",
+        system.epsilon() * writes as f64
+    );
+    println!(
+        "  empirical load   : {:.4} (analytic {:.4})",
+        cluster.empirical_load(),
+        system.load()
+    );
     Ok(())
 }

@@ -1,0 +1,259 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! Implements the slice of criterion 0.5 the workspace's benches use —
+//! `Criterion` configuration, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock harness: each
+//! benchmark warms up for the configured duration, then takes `sample_size`
+//! samples and prints min / mean / max per-iteration times. There is no
+//! statistics engine, outlier analysis or HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_benchmark(self, &id.into(), &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing one [`Criterion`] configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as a benchmark identified by `id` within this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &label, &mut f);
+    }
+
+    /// Runs `f` with `input`, identified by `id` within this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &label, &mut |b| f(b, input));
+    }
+
+    /// Finishes the group (purely cosmetic in this shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-iteration samples for the report.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and discover an iteration count that makes one sample
+        // last roughly measurement_time / sample_size.
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if Instant::now() >= warm_up_end {
+                let target =
+                    self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+                let per_iter = elapsed.as_secs_f64() / iters_per_sample as f64;
+                if per_iter > 0.0 {
+                    iters_per_sample = ((target / per_iter) as u64).clamp(1, 1 << 30);
+                }
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2).min(1 << 30);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_benchmark(criterion: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config: criterion,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {label:<50} (no samples: routine never called iter)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "  {label:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+/// Declares a group of benchmark functions sharing one configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| 2 * 2));
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+    }
+}

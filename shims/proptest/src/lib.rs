@@ -1,0 +1,228 @@
+//! Offline subset of the `proptest` API.
+//!
+//! Supports the pattern this workspace's property tests use:
+//!
+//! ```text
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     #[test]
+//!     fn prop(x in 1u64..200, p in 0.0f64..=1.0) { ... }
+//! }
+//! ```
+//!
+//! Each property runs `cases` times with inputs drawn uniformly from its
+//! range strategies by a ChaCha8 generator seeded deterministically from the
+//! property's name, so failures reproduce run-to-run. `prop_assert!` /
+//! `prop_assert_eq!` panic with the failing condition and the drawn inputs;
+//! `prop_assume!` skips the current case. There is no shrinking and no
+//! strategy combinator library — ranges only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runner configuration; only the case count is honoured by this shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! Input strategies: uniform draws from numeric ranges.
+
+    use rand::{Rng, SampleRange};
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: std::fmt::Debug;
+        /// Draws one value.
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy + std::fmt::Debug,
+        Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy + std::fmt::Debug,
+        RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic seeding and failure reporting for property runners.
+
+    // Re-exported for the `proptest!` expansion, so consumer crates don't
+    // need their own `rand`/`rand_chacha` dependency just to use the macro.
+    pub use rand::SeedableRng;
+    pub use rand_chacha::ChaCha8Rng;
+
+    /// FNV-1a over the property name: a stable per-property RNG seed, so a
+    /// failing case reproduces on re-run without recording a seed file.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Prints the drawn inputs of the current case if it panics, so the
+    /// failing parameter point appears next to the assertion message.
+    #[derive(Debug)]
+    pub struct ReportOnPanic(pub String);
+
+    impl Drop for ReportOnPanic {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!("proptest failure [{}]", self.0);
+            }
+        }
+    }
+}
+
+/// The subset of names property tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests over range strategies (see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = <$crate::test_runner::ChaCha8Rng as $crate::test_runner::SeedableRng>::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    let _guard = $crate::test_runner::ReportOnPanic(format!(
+                        concat!("case {} of ", stringify!($name), ": ", $(stringify!($arg), " = {:?} "),+),
+                        case, $(&$arg),+
+                    ));
+                    // The body is inlined (not a closure) so numeric type
+                    // inference flows naturally; `prop_assume!` expands to
+                    // `continue`, skipping only the current case.
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property violated: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Expands to `continue`, targeting the case loop generated by
+/// [`proptest!`]; it must therefore be called at the top level of the
+/// property body, not inside a loop of the body's own.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Draws stay inside their declared ranges and assumptions skip.
+        #[test]
+        fn draws_respect_ranges(n in 1u64..50, p in 0.0f64..=1.0) {
+            prop_assume!(n != 13);
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        use crate::test_runner::seed_for;
+        assert_eq!(seed_for("a::b"), seed_for("a::b"));
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+    }
+
+    #[test]
+    fn runner_reports_inputs_on_failure() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        assert!(std::panic::catch_unwind(always_fails).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline facade for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and their derive macros
+//! so the workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without network access to crates.io. The derives are no-ops: nothing in
+//! the workspace currently *calls* serialization — the annotations declare
+//! intent for when the real crate can be dropped in (same import paths).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (trait namespace; the derive macro
+/// of the same name lives in the macro namespace, as in the real crate).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

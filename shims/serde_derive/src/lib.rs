@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace annotates its value types with `#[derive(Serialize,
+//! Deserialize)]` so they serialize once the real `serde` is available; with
+//! no network access to crates.io, these derives expand to nothing, which
+//! keeps the annotations compiling without pulling in the real machinery.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

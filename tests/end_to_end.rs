@@ -23,14 +23,19 @@ use rand_chacha::ChaCha8Rng;
 fn safe_register_stale_rate_tracks_epsilon() {
     let sys = EpsilonIntersecting::new(81, 12).unwrap();
     let eps = sys.epsilon();
-    assert!(eps > 0.02 && eps < 0.2, "test needs a visible epsilon, got {eps}");
+    assert!(
+        eps > 0.02 && eps < 0.2,
+        "test needs a visible epsilon, got {eps}"
+    );
     let mut cluster = Cluster::new(sys.universe());
     let mut register = SafeRegister::new(&sys, 1);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let trials = 3000u64;
     let mut stale = 0u64;
     for i in 1..=trials {
-        register.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+        register
+            .write(&mut cluster, &mut rng, Value::from_u64(i))
+            .unwrap();
         match register.read(&mut cluster, &mut rng).unwrap() {
             Some(tv) if tv.value == Value::from_u64(i) => {}
             _ => stale += 1,
@@ -60,13 +65,17 @@ fn byzantine_protocols_hold_at_high_resilience() {
     let mut reg = DisseminationRegister::new(&dis, key, registry);
     let mut bad = 0;
     for i in 1..=400u64 {
-        reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+            .unwrap();
         match reg.read(&mut cluster, &mut rng).unwrap() {
             Some(tv) if tv.value == Value::from_u64(i) => {}
             _ => bad += 1,
         }
     }
-    assert!(bad <= 2, "dissemination protocol returned {bad} stale results");
+    assert!(
+        bad <= 2,
+        "dissemination protocol returned {bad} stale results"
+    );
 
     // Masking at b = 40 > (n-1)/4 = 37 (beyond any strict masking system).
     let b = 40u32;
@@ -77,7 +86,8 @@ fn byzantine_protocols_hold_at_high_resilience() {
     let mut reg = MaskingRegister::new(&mask, mask.read_threshold(), 1);
     let mut wrong = 0;
     for i in 1..=400u64 {
-        reg.write(&mut cluster, &mut rng, Value::from_u64(i)).unwrap();
+        reg.write(&mut cluster, &mut rng, Value::from_u64(i))
+            .unwrap();
         match reg.read(&mut cluster, &mut rng).unwrap() {
             Some(tv) if tv.value == Value::from_u64(i) => {}
             _ => wrong += 1,
