@@ -48,6 +48,9 @@ pub struct LocationDirectory<'a, S: QuorumSystem + ?Sized> {
     /// increasing timestamps (the device is the single writer of its own
     /// location variable).
     writers: HashMap<DeviceId, SafeRegister<'a, S>>,
+    /// Extra servers probed beyond the quorum on every access (first-q-of-
+    /// probed): masks crashed stores at a small cost in load.
+    probe_margin: usize,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> LocationDirectory<'a, S> {
@@ -57,7 +60,21 @@ impl<'a, S: QuorumSystem + ?Sized> LocationDirectory<'a, S> {
             system,
             truth: HashMap::new(),
             writers: HashMap::new(),
+            probe_margin: 0,
         }
+    }
+
+    /// Probes `margin` extra location stores per access and completes on
+    /// the first `q` responders — the availability knob for a directory
+    /// whose primary requirement is that callers *always* get an answer.
+    pub fn with_probe_margin(mut self, margin: usize) -> Self {
+        self.probe_margin = margin;
+        self
+    }
+
+    /// The configured probe margin.
+    pub fn probe_margin(&self) -> usize {
+        self.probe_margin
     }
 
     /// The device reports that it moved to `cell`: writes the replicated
@@ -72,15 +89,20 @@ impl<'a, S: QuorumSystem + ?Sized> LocationDirectory<'a, S> {
     ) -> bool {
         self.truth.insert(device, cell);
         let system = self.system;
+        let margin = self.probe_margin;
         let register = self.writers.entry(device).or_insert_with(|| {
             SafeRegister::for_variable(system, device as u32, location_variable(device))
         });
+        // Cached writers follow the directory's current margin, so a margin
+        // configured after a device's first move still covers its writes.
+        register.set_probe_margin(margin);
         register.write(cluster, rng, Value::from_u64(cell)).is_ok()
     }
 
     /// A caller looks up the device's location through a quorum.
     pub fn lookup(&self, cluster: &mut Cluster, rng: &mut dyn RngCore, device: DeviceId) -> Lookup {
-        let mut register = SafeRegister::for_variable(self.system, 0, location_variable(device));
+        let mut register = SafeRegister::for_variable(self.system, 0, location_variable(device))
+            .with_probe_margin(self.probe_margin);
         match register.read(cluster, rng) {
             Err(_) | Ok(None) => Lookup::Miss,
             Ok(Some(tv)) => {
@@ -231,6 +253,34 @@ mod tests {
             }
         }
         assert!(found >= 95, "only {found}/100 lookups succeeded");
+    }
+
+    #[test]
+    fn probe_margin_restores_reachability_under_crashes() {
+        // Crash 40 of 100 stores. With margin 0 a lookup that draws a
+        // quorum of mostly-crashed stores returns fewer replies; with a
+        // margin the spares stand in, so reachability is at least as good
+        // and the margin directory never does worse.
+        let sys = EpsilonIntersecting::new(100, 15).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut plain_miss = 0u32;
+        let mut margined_miss = 0u32;
+        for (margin, miss) in [(0usize, &mut plain_miss), (10, &mut margined_miss)] {
+            let mut cluster = Cluster::new(sys.universe());
+            let mut dir = LocationDirectory::new(&sys).with_probe_margin(margin);
+            assert_eq!(dir.probe_margin(), margin);
+            dir.report_move(&mut cluster, &mut rng, 1, 7);
+            cluster.crash_all((0..40).map(ServerId::new));
+            for _ in 0..300 {
+                if dir.lookup(&mut cluster, &mut rng, 1) == Lookup::Miss {
+                    *miss += 1;
+                }
+            }
+        }
+        assert!(
+            margined_miss <= plain_miss,
+            "margin 10 missed {margined_miss} vs margin 0 {plain_miss}"
+        );
     }
 
     #[test]

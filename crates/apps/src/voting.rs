@@ -52,6 +52,7 @@ pub enum VoteOutcome {
 pub struct VoterLockService<'a, S: QuorumSystem + ?Sized> {
     system: &'a S,
     threshold: usize,
+    probe_margin: usize,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
@@ -62,7 +63,21 @@ impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
         VoterLockService {
             system,
             threshold: threshold.max(1),
+            probe_margin: 0,
         }
+    }
+
+    /// Probes `margin` extra replicas per access and completes on the first
+    /// `q` responders, so ballots keep flowing when many stations are
+    /// offline.
+    pub fn with_probe_margin(mut self, margin: usize) -> Self {
+        self.probe_margin = margin;
+        self
+    }
+
+    /// The configured probe margin.
+    pub fn probe_margin(&self) -> usize {
+        self.probe_margin
     }
 
     /// The read-acceptance threshold in use.
@@ -84,7 +99,8 @@ impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
     ) -> VoteOutcome {
         let variable = lock_variable(voter);
         let mut register =
-            MaskingRegister::for_variable(self.system, self.threshold, station, variable);
+            MaskingRegister::for_variable(self.system, self.threshold, station, variable)
+                .with_probe_margin(self.probe_margin);
         match register.read(cluster, rng) {
             Err(_) => VoteOutcome::Unavailable,
             Ok(Some(existing)) => VoteOutcome::RejectedAlreadyVoted {
@@ -105,7 +121,8 @@ impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
         voter: VoterId,
     ) -> Option<StationId> {
         let mut register =
-            MaskingRegister::for_variable(self.system, self.threshold, 0, lock_variable(voter));
+            MaskingRegister::for_variable(self.system, self.threshold, 0, lock_variable(voter))
+                .with_probe_margin(self.probe_margin);
         match register.read(cluster, rng) {
             Ok(Some(existing)) => Some(decode_station(&existing.value)),
             _ => None,
@@ -265,6 +282,31 @@ mod tests {
             }
         }
         assert!(undetected <= 1, "{undetected} repeats slipped through");
+    }
+
+    #[test]
+    fn probe_margin_improves_repeat_detection_under_crashes() {
+        // With many replicas down, the masking read needs k matching live
+        // replies to see an existing lock; probing spares recovers lost
+        // quorum members, so detection with a margin is at least as good.
+        let (sys, _) = service_and_cluster(100, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rates = Vec::new();
+        for margin in [0usize, 12] {
+            let mut cluster = Cluster::new(sys.universe());
+            cluster.crash_all((60..100).map(ServerId::new));
+            let service =
+                VoterLockService::new(&sys, sys.read_threshold()).with_probe_margin(margin);
+            assert_eq!(service.probe_margin(), margin);
+            let stats = repeat_voting_experiment(&service, &mut cluster, &mut rng, 100, 2);
+            rates.push(stats.undetected_repeat_rate());
+        }
+        assert!(
+            rates[1] <= rates[0],
+            "margin 12 undetected {} vs margin 0 {}",
+            rates[1],
+            rates[0]
+        );
     }
 
     #[test]

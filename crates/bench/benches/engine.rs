@@ -1,0 +1,91 @@
+//! Criterion benchmark for the discrete-event engine's hot loop.
+//!
+//! Reports engine throughput in **events per second**: each simulated
+//! operation costs one arrival event, one probe-reply event per probed
+//! server and one timeout event, so `events/sec` is the honest unit for
+//! "how fast can this simulator chew through a workload" — it is invariant
+//! under quorum-size changes, unlike ops/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqs_core::prelude::*;
+use pqs_sim::latency::LatencyModel;
+use pqs_sim::runner::{ProtocolKind, SimConfig, Simulation};
+use std::time::Instant;
+
+fn engine_config(arrival_rate: f64) -> SimConfig {
+    SimConfig {
+        duration: 10.0,
+        arrival_rate,
+        read_fraction: 0.9,
+        latency: LatencyModel::Exponential { mean: 2e-3 },
+        seed: 1,
+        ..SimConfig::default()
+    }
+}
+
+/// Measures and prints events/sec directly (the number the acceptance
+/// criterion asks for), then hands the same closure to criterion for its
+/// statistics.
+fn bench_engine_throughput(c: &mut Criterion) {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+
+    // One timed reference run per load level, printed as events/sec.
+    for &rate in &[100.0f64, 500.0] {
+        let config = engine_config(rate);
+        let start = Instant::now();
+        let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "engine_throughput(arrival_rate={rate}): {} events in {:.3}s -> {:.0} events/sec \
+             (max in-flight {})",
+            report.events_processed,
+            elapsed,
+            report.events_processed as f64 / elapsed,
+            report.max_in_flight,
+        );
+    }
+
+    let mut group = c.benchmark_group("event_engine");
+    for &rate in &[100.0f64, 500.0] {
+        group.bench_with_input(
+            BenchmarkId::new("safe_run", rate as u64),
+            &rate,
+            |bench, &rate| {
+                let config = engine_config(rate);
+                bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
+            },
+        );
+    }
+    // The probe margin multiplies the event count per op: measure the cost.
+    group.bench_function("safe_run_margin_8", |bench| {
+        let mut config = engine_config(100.0);
+        config.probe_margin = 8;
+        bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
+    });
+    group.finish();
+
+    let mask = ProbabilisticMasking::with_target_epsilon(100, 5, 1e-3).unwrap();
+    c.bench_function("event_engine/masking_run", |bench| {
+        let config = engine_config(100.0);
+        bench.iter(|| {
+            Simulation::new(
+                &mask,
+                ProtocolKind::Masking {
+                    threshold: mask.read_threshold(),
+                },
+                config,
+            )
+            .run()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_engine_throughput
+}
+criterion_main!(benches);

@@ -3,8 +3,10 @@
 //!
 //! Compares the exact probability that `Q ∩ Q′ ⊆ B`, a Monte-Carlo estimate,
 //! and the corresponding analytical bound.
+//!
+//! Accepts `--seed N` (default 0), mixed into the Monte-Carlo RNG.
 
-use pqs_bench::{fmt_prob, ExperimentTable};
+use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
 use pqs_core::analysis::intersection::estimate_contained_in_faulty;
 use pqs_core::prelude::*;
 use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
@@ -12,7 +14,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(0xd15);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xd15 ^ cli_seed());
     let mut table = ExperimentTable::new(
         "validate_dissemination_lemmas_4_3_and_4_5",
         &[

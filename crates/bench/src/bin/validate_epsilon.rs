@@ -4,8 +4,11 @@
 //! (a) the exact non-intersection probability `C(n−q, q)/C(n, q)`,
 //! (b) a Monte-Carlo estimate obtained by sampling quorum pairs, and
 //! (c) the analytical bound `e^{−ℓ²}`.
+//!
+//! Accepts `--seed N` (default 0), mixed into the Monte-Carlo RNG so CI
+//! can re-check the bounds under fresh randomness.
 
-use pqs_bench::{fmt_prob, ExperimentTable};
+use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
 use pqs_core::analysis::intersection::estimate_nonintersection;
 use pqs_core::prelude::*;
 use pqs_core::system::ProbabilisticQuorumSystem;
@@ -14,7 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x51e5);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51e5 ^ cli_seed());
     let mut table = ExperimentTable::new(
         "validate_epsilon_lemma_3_15",
         &[

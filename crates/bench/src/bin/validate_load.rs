@@ -7,8 +7,10 @@
 //!   load `ℓb/n` beats the strict masking lower bound `√((2b+1)/n)` while
 //!   respecting the probabilistic lower bound `((1−2ε)/(1−ε))·b/n`
 //!   (e.g. `b = √n`, `ℓ = n^{1/5}` gives load `O(n^{-0.3})`).
+//!
+//! Accepts `--seed N` (default 0), mixed into the Monte-Carlo RNG.
 
-use pqs_bench::{fmt_prob, ExperimentTable};
+use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
 use pqs_core::analysis::intersection::estimate_empirical_load;
 use pqs_core::analysis::lower_bounds::{
     corollary_3_12_bound, masking_load_lower_bound, masking_probabilistic_load_lower_bound,
@@ -20,7 +22,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x10ad);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x10ad ^ cli_seed());
 
     let mut table = ExperimentTable::new(
         "validate_load_epsilon_intersecting",

@@ -151,6 +151,41 @@ pub fn output_dir() -> PathBuf {
         .join("experiments")
 }
 
+/// Parses a `--seed N` (or `--seed=N`) argument from the process command
+/// line, defaulting to 0.  The `validate_*` binaries mix this into every
+/// RNG seed they use, so the CI smoke job (and a suspicious reader) can
+/// re-run the validations under fresh randomness: the paper's bounds must
+/// hold for *every* seed, not one lucky draw.
+///
+/// # Panics
+///
+/// Panics with a usage message if `--seed` is present but its value is
+/// missing or not an unsigned integer.
+pub fn cli_seed() -> u64 {
+    seed_from_args(std::env::args().skip(1))
+}
+
+/// [`cli_seed`] on an explicit argument iterator (testable core).
+pub fn seed_from_args<I: IntoIterator<Item = String>>(args: I) -> u64 {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            let value = args.next().unwrap_or_else(|| {
+                panic!("--seed requires a value, e.g. --seed 42");
+            });
+            return value
+                .parse()
+                .unwrap_or_else(|_| panic!("--seed expects an unsigned integer, got {value:?}"));
+        }
+        if let Some(value) = arg.strip_prefix("--seed=") {
+            return value
+                .parse()
+                .unwrap_or_else(|_| panic!("--seed expects an unsigned integer, got {value:?}"));
+        }
+    }
+    0
+}
+
 /// Formats a probability compactly for table cells.
 pub fn fmt_prob(p: f64) -> String {
     if p == 0.0 {
@@ -196,6 +231,21 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = ExperimentTable::new("demo", &["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn seed_argument_parsing() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(seed_from_args(to_args(&[])), 0);
+        assert_eq!(seed_from_args(to_args(&["--seed", "17"])), 17);
+        assert_eq!(seed_from_args(to_args(&["--seed=99"])), 99);
+        assert_eq!(seed_from_args(to_args(&["--other", "--seed", "3"])), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned integer")]
+    fn seed_argument_rejects_garbage() {
+        let _ = seed_from_args(vec!["--seed".to_string(), "banana".to_string()]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Lower-bound formulas: Table I and the probabilistic load bounds.
 
 /// Table I: lower bound `√(1/n)` on the load of any strict quorum system
-/// ([NW98]).
+/// (\[NW98\]).
 pub fn strict_load_lower_bound(n: u32) -> f64 {
     if n == 0 {
         return 0.0;
@@ -10,7 +10,7 @@ pub fn strict_load_lower_bound(n: u32) -> f64 {
 }
 
 /// Table I: lower bound `√((b+1)/n)` on the load of any strict
-/// b-dissemination quorum system ([MR98a]).
+/// b-dissemination quorum system (\[MR98a\]).
 pub fn dissemination_load_lower_bound(n: u32, b: u32) -> f64 {
     if n == 0 {
         return 0.0;
@@ -19,7 +19,7 @@ pub fn dissemination_load_lower_bound(n: u32, b: u32) -> f64 {
 }
 
 /// Table I: lower bound `√((2b+1)/n)` on the load of any strict b-masking
-/// quorum system ([MRW00]).
+/// quorum system (\[MRW00\]).
 pub fn masking_load_lower_bound(n: u32, b: u32) -> f64 {
     if n == 0 {
         return 0.0;

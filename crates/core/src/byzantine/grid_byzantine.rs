@@ -1,4 +1,4 @@
-//! Grid constructions of strict Byzantine quorum systems ([MRW00]).
+//! Grid constructions of strict Byzantine quorum systems (\[MRW00\]).
 //!
 //! The `n = d²` servers are laid out in a `d × d` grid and a quorum is the
 //! union of `r` full rows and `r` full columns.  Two such quorums always

@@ -1,4 +1,4 @@
-//! Strict Byzantine quorum systems of Malkhi–Reiter ([MR98a], [MRW00]).
+//! Strict Byzantine quorum systems of Malkhi–Reiter (\[MR98a\], \[MRW00\]).
 //!
 //! When servers can fail arbitrarily, a non-empty intersection is not
 //! enough: the overlap of a read quorum and the latest write quorum could

@@ -1,7 +1,7 @@
 //! The Maekawa-style grid quorum system.
 //!
 //! The `n = d²` servers are laid out in a `d × d` grid; a quorum is the
-//! union of one full row and one full column ([Mae85], [CAA90]).  Any two
+//! union of one full row and one full column (\[Mae85\], \[CAA90\]).  Any two
 //! quorums intersect (the row of one meets the column of the other), quorums
 //! have size `2d − 1 = O(√n)` — so the load is near-optimal — but the fault
 //! tolerance is only `d = √n`: crashing one server per row disables every

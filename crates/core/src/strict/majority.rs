@@ -3,7 +3,7 @@
 //! The quorums are *all* subsets of a fixed size `q` with `2q > n`, so any
 //! two quorums intersect.  With `q = ⌈(n+1)/2⌉` this is the classical
 //! majority system of Thomas and Gifford; it has the best failure
-//! probability of any strict quorum system when `p < ½` ([BG87], [PW95]) and
+//! probability of any strict quorum system when `p < ½` (\[BG87\], \[PW95\]) and
 //! is the "Threshold" comparator of Tables 2–4 and Figures 1–3.
 //!
 //! The system is *implicit*: its `C(n, q)` quorums are never enumerated; the

@@ -6,10 +6,10 @@
 //! * [`Singleton`] — a single designated server; the most available strict
 //!   system once the individual crash probability exceeds ½ (footnote 3).
 //! * [`Majority`] — the threshold system with quorums of size
-//!   `⌈(n+1)/2⌉` ([Tho79], [Gif79]); optimal failure probability for
+//!   `⌈(n+1)/2⌉` (\[Tho79\], \[Gif79\]); optimal failure probability for
 //!   `p < ½` and the comparator on the right-hand side of Figure 1.
 //! * [`Grid`] — Maekawa-style `√n × √n` grid where a quorum is one full row
-//!   plus one full column ([Mae85], [CAA90]); near-optimal load but low
+//!   plus one full column (\[Mae85\], \[CAA90\]); near-optimal load but low
 //!   fault tolerance (the Table 2 comparator).
 //! * [`WeightedVoting`] — Gifford-style voting where each server holds a
 //!   number of votes and a quorum is any set holding a strict majority of
@@ -70,7 +70,7 @@ mod tests {
         }
     }
 
-    /// The load lower bound L(Q) >= max(1/c(Q), c(Q)/n) from [NW98] must be
+    /// The load lower bound L(Q) >= max(1/c(Q), c(Q)/n) from \[NW98\] must be
     /// respected by every reported load.
     #[test]
     fn reported_load_respects_naor_wool_lower_bound() {

@@ -1,7 +1,7 @@
 //! Gifford-style weighted voting.
 //!
 //! Each server holds a number of votes; a quorum is any set of servers whose
-//! votes form a strict majority of the total ([Gif79], [GB85]).  With equal
+//! votes form a strict majority of the total (\[Gif79\], \[GB85\]).  With equal
 //! votes this degenerates to the majority system; with skewed votes it trades
 //! load concentration on heavy servers for smaller quorums.  It is included
 //! as a baseline because vote assignment is the classical knob for tuning

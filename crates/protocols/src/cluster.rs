@@ -127,13 +127,46 @@ impl Cluster {
         .expect("server ids are in range")
     }
 
+    /// Sends a plain read to a single server; returns its reply, or `None`
+    /// if the server does not answer (crashed).  The access is counted
+    /// whether or not the server replies, like a quorum-granularity read.
+    ///
+    /// This is the per-message building block of the session-based access
+    /// model ([`crate::register::session`]): the discrete-event simulator
+    /// schedules one such probe per `(operation, server)` pair, so a
+    /// server's behaviour is evaluated at the *message's* delivery time
+    /// rather than at the operation's start.
+    pub fn probe_read_plain(&mut self, id: ServerId, var: VariableId) -> Option<TaggedValue> {
+        self.note_access(id);
+        self.servers[id.as_usize()].handle_read_plain(var)
+    }
+
+    /// Sends a plain write to a single server; returns `true` if it
+    /// acknowledged.
+    pub fn probe_write_plain(&mut self, id: ServerId, var: VariableId, tv: &TaggedValue) -> bool {
+        self.note_access(id);
+        self.servers[id.as_usize()].handle_write_plain(var, tv.clone())
+    }
+
+    /// Sends a signed read to a single server (dissemination protocol).
+    pub fn probe_read_signed(&mut self, id: ServerId, var: VariableId) -> Option<SignedValue> {
+        self.note_access(id);
+        self.servers[id.as_usize()].handle_read_signed(var)
+    }
+
+    /// Sends a signed write to a single server; returns `true` if it
+    /// acknowledged.
+    pub fn probe_write_signed(&mut self, id: ServerId, var: VariableId, sv: &SignedValue) -> bool {
+        self.note_access(id);
+        self.servers[id.as_usize()].handle_write_signed(var, sv.clone())
+    }
+
     /// Sends a plain read to every server of `quorum`; returns the replies
     /// that arrived.
     pub fn read_plain(&mut self, quorum: &Quorum, var: VariableId) -> Vec<(ServerId, TaggedValue)> {
         let mut replies = Vec::with_capacity(quorum.len());
         for id in quorum.iter() {
-            self.note_access(id);
-            if let Some(tv) = self.servers[id.as_usize()].handle_read_plain(var) {
+            if let Some(tv) = self.probe_read_plain(id, var) {
                 replies.push((id, tv));
             }
         }
@@ -143,14 +176,10 @@ impl Cluster {
     /// Sends a plain write to every server of `quorum`; returns the number
     /// of acknowledgements.
     pub fn write_plain(&mut self, quorum: &Quorum, var: VariableId, tv: &TaggedValue) -> usize {
-        let mut acks = 0;
-        for id in quorum.iter() {
-            self.note_access(id);
-            if self.servers[id.as_usize()].handle_write_plain(var, tv.clone()) {
-                acks += 1;
-            }
-        }
-        acks
+        quorum
+            .iter()
+            .filter(|&id| self.probe_write_plain(id, var, tv))
+            .count()
     }
 
     /// Sends a signed read to every server of `quorum`.
@@ -161,8 +190,7 @@ impl Cluster {
     ) -> Vec<(ServerId, SignedValue)> {
         let mut replies = Vec::with_capacity(quorum.len());
         for id in quorum.iter() {
-            self.note_access(id);
-            if let Some(sv) = self.servers[id.as_usize()].handle_read_signed(var) {
+            if let Some(sv) = self.probe_read_signed(id, var) {
                 replies.push((id, sv));
             }
         }
@@ -172,14 +200,10 @@ impl Cluster {
     /// Sends a signed write to every server of `quorum`; returns the number
     /// of acknowledgements.
     pub fn write_signed(&mut self, quorum: &Quorum, var: VariableId, sv: &SignedValue) -> usize {
-        let mut acks = 0;
-        for id in quorum.iter() {
-            self.note_access(id);
-            if self.servers[id.as_usize()].handle_write_signed(var, sv.clone()) {
-                acks += 1;
-            }
-        }
-        acks
+        quorum
+            .iter()
+            .filter(|&id| self.probe_write_signed(id, var, sv))
+            .count()
     }
 
     /// Total number of quorum accesses performed so far (each read or write
@@ -272,6 +296,30 @@ mod tests {
         let mut c2 = c.clone();
         c2.reset_access_counts();
         assert_eq!(c2.total_accesses(), 0);
+    }
+
+    #[test]
+    fn per_server_probes_respect_behavior_and_count_accesses() {
+        let u = Universe::new(4);
+        let mut c = Cluster::new(u);
+        c.set_behavior(ServerId::new(1), Behavior::Crashed);
+        // Write probes: correct server acks and stores, crashed server is
+        // silent but still counted as an access.
+        assert!(c.probe_write_plain(ServerId::new(0), 0, &tv(5, 1)));
+        assert!(!c.probe_write_plain(ServerId::new(1), 0, &tv(5, 1)));
+        assert_eq!(c.probe_read_plain(ServerId::new(0), 0), Some(tv(5, 1)));
+        assert_eq!(c.probe_read_plain(ServerId::new(1), 0), None);
+        assert_eq!(c.access_counts()[0], 2);
+        assert_eq!(c.access_counts()[1], 2);
+        // Signed probes follow the same pattern.
+        use crate::crypto::{KeyRegistry, SignedValue};
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, 42);
+        let record = SignedValue::create(&key, Value::from_u64(9), Timestamp::new(1, 1));
+        assert!(c.probe_write_signed(ServerId::new(2), 0, &record));
+        assert!(!c.probe_write_signed(ServerId::new(1), 0, &record));
+        assert_eq!(c.probe_read_signed(ServerId::new(2), 0), Some(record));
+        assert_eq!(c.probe_read_signed(ServerId::new(1), 0), None);
     }
 
     #[test]

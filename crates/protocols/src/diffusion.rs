@@ -4,7 +4,7 @@
 //! can be strengthened by a properly designed diffusion mechanism, which
 //! propagates updates to replicated data lazily, i.e., outside the critical
 //! path of client operations", citing the classical anti-entropy / gossip
-//! literature ([DGH+87], [MMR99]).  This module implements push gossip
+//! literature (\[DGH+87\], \[MMR99\]).  This module implements push gossip
 //! between *correct* servers: in each round every correct server pushes its
 //! freshest record for a variable to `fanout` uniformly chosen peers, which
 //! keep it if it is newer.  Coupled with the register protocols this drives

@@ -1,11 +1,11 @@
 //! The Section 4 register for self-verifying data.
 
+use super::session::{self, ProbeSet, ReadMode, ReadSession, SessionStatus, WriteSession};
 use crate::cluster::Cluster;
 use crate::crypto::{KeyRegistry, SignedValue, SigningKey};
 use crate::server::VariableId;
 use crate::timestamp::TimestampIssuer;
 use crate::value::{TaggedValue, Value};
-use crate::ProtocolError;
 use pqs_core::system::QuorumSystem;
 use rand::RngCore;
 
@@ -23,6 +23,7 @@ pub struct DisseminationRegister<'a, S: QuorumSystem + ?Sized> {
     registry: KeyRegistry,
     issuer: TimestampIssuer,
     variable: VariableId,
+    probe_margin: usize,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> DisseminationRegister<'a, S> {
@@ -48,7 +49,26 @@ impl<'a, S: QuorumSystem + ?Sized> DisseminationRegister<'a, S> {
             key,
             registry,
             variable,
+            probe_margin: 0,
         }
+    }
+
+    /// Probes `margin` extra servers beyond the quorum on every operation
+    /// and completes on the first `q` responders.
+    pub fn with_probe_margin(mut self, margin: usize) -> Self {
+        self.set_probe_margin(margin);
+        self
+    }
+
+    /// Changes the probe margin of an existing client (see
+    /// [`with_probe_margin`](Self::with_probe_margin)).
+    pub fn set_probe_margin(&mut self, margin: usize) {
+        self.probe_margin = margin;
+    }
+
+    /// The configured probe margin.
+    pub fn probe_margin(&self) -> usize {
+        self.probe_margin
     }
 
     /// The variable this client operates on.
@@ -56,12 +76,37 @@ impl<'a, S: QuorumSystem + ?Sized> DisseminationRegister<'a, S> {
         self.variable
     }
 
+    /// Draws the servers the next operation attempt should contact.
+    pub fn sample_probe_set(&self, rng: &mut dyn RngCore) -> ProbeSet {
+        session::probe_set(self.system, rng, self.probe_margin)
+    }
+
+    /// Starts an incremental write: signs ⟨v, t⟩ under a fresh timestamp and
+    /// returns the signed record plus the acknowledgement-tracking session.
+    pub fn begin_write(
+        &mut self,
+        value: Value,
+        needed: usize,
+        probed: usize,
+    ) -> (SignedValue, WriteSession) {
+        let timestamp = self.issuer.next();
+        let record = SignedValue::create(&self.key, value, timestamp);
+        (record, WriteSession::new(timestamp, needed, probed))
+    }
+
+    /// Starts an incremental read that completes after `needed` replies,
+    /// discards unverifiable ones and picks the highest timestamp
+    /// (Section 4).
+    pub fn begin_read(&self, needed: usize) -> ReadSession {
+        ReadSession::new(ReadMode::Dissemination(self.registry.clone()), needed)
+    }
+
     /// Write protocol: sign ⟨v, t⟩ and push it to every member of a quorum
     /// chosen by the access strategy.
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::QuorumUnavailable`] if no server
+    /// Returns [`ProtocolError::QuorumUnavailable`](crate::ProtocolError::QuorumUnavailable) if no server
     /// acknowledged the write.
     pub fn write(
         &mut self,
@@ -69,22 +114,16 @@ impl<'a, S: QuorumSystem + ?Sized> DisseminationRegister<'a, S> {
         rng: &mut dyn RngCore,
         value: Value,
     ) -> crate::Result<super::WriteReceipt> {
-        let quorum = self.system.sample_quorum(rng);
-        let timestamp = self.issuer.next();
-        let record = SignedValue::create(&self.key, value, timestamp);
+        let probe = self.sample_probe_set(rng);
+        let (record, mut session) = self.begin_write(value, probe.needed, probe.probed());
         cluster.note_operation();
-        let acks = cluster.write_signed(&quorum, self.variable, &record);
-        if acks == 0 {
-            return Err(ProtocolError::QuorumUnavailable {
-                contacted: quorum.len(),
-                responded: 0,
-            });
+        for &id in &probe.servers {
+            let acked = cluster.probe_write_signed(id, self.variable, &record);
+            if session.on_ack(acked) == SessionStatus::Complete {
+                break;
+            }
         }
-        Ok(super::WriteReceipt {
-            timestamp,
-            acks,
-            quorum_size: quorum.len(),
-        })
+        session.finish()
     }
 
     /// Read protocol (Section 4): query a quorum, keep only the replies that
@@ -95,28 +134,24 @@ impl<'a, S: QuorumSystem + ?Sized> DisseminationRegister<'a, S> {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::QuorumUnavailable`] if no server replied at
+    /// Returns [`ProtocolError::QuorumUnavailable`](crate::ProtocolError::QuorumUnavailable) if no server replied at
     /// all.
     pub fn read(
         &mut self,
         cluster: &mut Cluster,
         rng: &mut dyn RngCore,
     ) -> crate::Result<Option<TaggedValue>> {
-        let quorum = self.system.sample_quorum(rng);
+        let probe = self.sample_probe_set(rng);
+        let mut session = self.begin_read(probe.needed);
         cluster.note_operation();
-        let replies = cluster.read_signed(&quorum, self.variable);
-        if replies.is_empty() {
-            return Err(ProtocolError::QuorumUnavailable {
-                contacted: quorum.len(),
-                responded: 0,
-            });
+        for &id in &probe.servers {
+            if let Some(sv) = cluster.probe_read_signed(id, self.variable) {
+                if session.on_signed_reply(id, sv) == SessionStatus::Complete {
+                    break;
+                }
+            }
         }
-        let best = replies
-            .into_iter()
-            .map(|(_, sv)| sv)
-            .filter(|sv| self.registry.verify_signed(sv))
-            .max_by(|a, b| a.tagged.timestamp.cmp(&b.tagged.timestamp));
-        Ok(best.map(|sv| sv.tagged))
+        session.finish()
     }
 }
 
@@ -124,6 +159,7 @@ impl<'a, S: QuorumSystem + ?Sized> DisseminationRegister<'a, S> {
 mod tests {
     use super::*;
     use crate::server::Behavior;
+    use crate::ProtocolError;
     use pqs_core::probabilistic::ProbabilisticDissemination;
     use pqs_core::universe::ServerId;
     use rand::SeedableRng;

@@ -1,13 +1,13 @@
 //! The Section 5 register for arbitrary (non-self-verifying) data.
 
+use super::session::{self, ProbeSet, ReadMode, ReadSession, SessionStatus, WriteSession};
 use crate::cluster::Cluster;
 use crate::server::VariableId;
 use crate::timestamp::TimestampIssuer;
 use crate::value::{TaggedValue, Value};
-use crate::{ClientId, ProtocolError};
+use crate::ClientId;
 use pqs_core::system::QuorumSystem;
 use rand::RngCore;
-use std::collections::HashMap;
 
 /// A client of the masking protocol: a reader only accepts a value–timestamp
 /// pair reported by at least `k` servers of its quorum, then picks the
@@ -24,6 +24,7 @@ pub struct MaskingRegister<'a, S: QuorumSystem + ?Sized> {
     threshold: usize,
     issuer: TimestampIssuer,
     variable: VariableId,
+    probe_margin: usize,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> MaskingRegister<'a, S> {
@@ -48,7 +49,56 @@ impl<'a, S: QuorumSystem + ?Sized> MaskingRegister<'a, S> {
             threshold: threshold.max(1),
             issuer: TimestampIssuer::new(writer),
             variable,
+            probe_margin: 0,
         }
+    }
+
+    /// Probes `margin` extra servers beyond the quorum on every operation
+    /// and completes on the first `q` responders.
+    pub fn with_probe_margin(mut self, margin: usize) -> Self {
+        self.set_probe_margin(margin);
+        self
+    }
+
+    /// Changes the probe margin of an existing client (see
+    /// [`with_probe_margin`](Self::with_probe_margin)).
+    pub fn set_probe_margin(&mut self, margin: usize) {
+        self.probe_margin = margin;
+    }
+
+    /// The configured probe margin.
+    pub fn probe_margin(&self) -> usize {
+        self.probe_margin
+    }
+
+    /// Draws the servers the next operation attempt should contact.
+    pub fn sample_probe_set(&self, rng: &mut dyn RngCore) -> ProbeSet {
+        session::probe_set(self.system, rng, self.probe_margin)
+    }
+
+    /// Starts an incremental write: issues a fresh timestamp and returns the
+    /// record plus the acknowledgement-tracking session.
+    pub fn begin_write(
+        &mut self,
+        value: Value,
+        needed: usize,
+        probed: usize,
+    ) -> (TaggedValue, WriteSession) {
+        let timestamp = self.issuer.next();
+        let record = TaggedValue::new(value, timestamp);
+        (record, WriteSession::new(timestamp, needed, probed))
+    }
+
+    /// Starts an incremental read that completes after `needed` replies and
+    /// only accepts value–timestamp pairs reported by at least `k` servers
+    /// (Section 5).
+    pub fn begin_read(&self, needed: usize) -> ReadSession {
+        ReadSession::new(
+            ReadMode::Masking {
+                threshold: self.threshold,
+            },
+            needed,
+        )
     }
 
     /// The read-acceptance threshold `k`.
@@ -66,29 +116,24 @@ impl<'a, S: QuorumSystem + ?Sized> MaskingRegister<'a, S> {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::QuorumUnavailable`] if no server
-    /// acknowledged the write.
+    /// Returns [`ProtocolError::QuorumUnavailable`](crate::ProtocolError::QuorumUnavailable)
+    /// if no server acknowledged the write.
     pub fn write(
         &mut self,
         cluster: &mut Cluster,
         rng: &mut dyn RngCore,
         value: Value,
     ) -> crate::Result<super::WriteReceipt> {
-        let quorum = self.system.sample_quorum(rng);
-        let timestamp = self.issuer.next();
+        let probe = self.sample_probe_set(rng);
+        let (record, mut session) = self.begin_write(value, probe.needed, probe.probed());
         cluster.note_operation();
-        let acks = cluster.write_plain(&quorum, self.variable, &TaggedValue::new(value, timestamp));
-        if acks == 0 {
-            return Err(ProtocolError::QuorumUnavailable {
-                contacted: quorum.len(),
-                responded: 0,
-            });
+        for &id in &probe.servers {
+            let acked = cluster.probe_write_plain(id, self.variable, &record);
+            if session.on_ack(acked) == SessionStatus::Complete {
+                break;
+            }
         }
-        Ok(super::WriteReceipt {
-            timestamp,
-            acks,
-            quorum_size: quorum.len(),
-        })
+        session.finish()
     }
 
     /// Read protocol (Section 5): query a quorum, group identical
@@ -98,33 +143,24 @@ impl<'a, S: QuorumSystem + ?Sized> MaskingRegister<'a, S> {
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::QuorumUnavailable`] if no server replied.
+    /// Returns [`ProtocolError::QuorumUnavailable`](crate::ProtocolError::QuorumUnavailable)
+    /// if no server replied.
     pub fn read(
         &mut self,
         cluster: &mut Cluster,
         rng: &mut dyn RngCore,
     ) -> crate::Result<Option<TaggedValue>> {
-        let quorum = self.system.sample_quorum(rng);
+        let probe = self.sample_probe_set(rng);
+        let mut session = self.begin_read(probe.needed);
         cluster.note_operation();
-        let replies = cluster.read_plain(&quorum, self.variable);
-        if replies.is_empty() {
-            return Err(ProtocolError::QuorumUnavailable {
-                contacted: quorum.len(),
-                responded: 0,
-            });
+        for &id in &probe.servers {
+            if let Some(tv) = cluster.probe_read_plain(id, self.variable) {
+                if session.on_plain_reply(id, tv) == SessionStatus::Complete {
+                    break;
+                }
+            }
         }
-        let mut counts: HashMap<TaggedValue, usize> = HashMap::new();
-        for (_, tv) in replies {
-            *counts.entry(tv).or_insert(0) += 1;
-        }
-        let best = counts
-            .into_iter()
-            .filter(|(tv, count)| {
-                *count >= self.threshold && tv.timestamp != crate::timestamp::Timestamp::ZERO
-            })
-            .map(|(tv, _)| tv)
-            .max_by(|a, b| a.timestamp.cmp(&b.timestamp));
-        Ok(best)
+        session.finish()
     }
 }
 
@@ -132,6 +168,7 @@ impl<'a, S: QuorumSystem + ?Sized> MaskingRegister<'a, S> {
 mod tests {
     use super::*;
     use crate::server::{forged_value, Behavior};
+    use crate::ProtocolError;
     use pqs_core::byzantine::MaskingThreshold;
     use pqs_core::probabilistic::ProbabilisticMasking;
     use pqs_core::universe::ServerId;

@@ -18,10 +18,12 @@
 mod dissemination;
 mod masking;
 mod safe;
+pub mod session;
 
 pub use dissemination::DisseminationRegister;
 pub use masking::MaskingRegister;
 pub use safe::{SafeRegister, WriteReceipt};
+pub use session::{ProbeSet, ReadMode, ReadSession, SessionStatus, WriteSession};
 
 #[cfg(test)]
 mod tests {

@@ -1,10 +1,11 @@
 //! The Section 3.1 multi-reader single-writer register.
 
+use super::session::{self, ProbeSet, ReadMode, ReadSession, SessionStatus, WriteSession};
 use crate::cluster::Cluster;
 use crate::server::VariableId;
 use crate::timestamp::TimestampIssuer;
 use crate::value::{TaggedValue, Value};
-use crate::{ClientId, ProtocolError};
+use crate::ClientId;
 use pqs_core::system::QuorumSystem;
 use rand::RngCore;
 
@@ -31,6 +32,7 @@ pub struct SafeRegister<'a, S: QuorumSystem + ?Sized> {
     system: &'a S,
     issuer: TimestampIssuer,
     variable: VariableId,
+    probe_margin: usize,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> SafeRegister<'a, S> {
@@ -45,7 +47,27 @@ impl<'a, S: QuorumSystem + ?Sized> SafeRegister<'a, S> {
             system,
             issuer: TimestampIssuer::new(writer),
             variable,
+            probe_margin: 0,
         }
+    }
+
+    /// Probes `margin` extra servers beyond the quorum on every operation
+    /// and completes on the first `q` responders (first-q-of-probed access).
+    /// A margin of 0 (the default) reproduces the classic atomic access.
+    pub fn with_probe_margin(mut self, margin: usize) -> Self {
+        self.set_probe_margin(margin);
+        self
+    }
+
+    /// Changes the probe margin of an existing client (see
+    /// [`with_probe_margin`](Self::with_probe_margin)).
+    pub fn set_probe_margin(&mut self, margin: usize) {
+        self.probe_margin = margin;
+    }
+
+    /// The configured probe margin.
+    pub fn probe_margin(&self) -> usize {
+        self.probe_margin
     }
 
     /// The variable this client operates on.
@@ -53,71 +75,86 @@ impl<'a, S: QuorumSystem + ?Sized> SafeRegister<'a, S> {
         self.variable
     }
 
-    /// Write protocol (Section 3.1): choose a quorum by the access strategy,
-    /// choose a fresh timestamp, update every server of the quorum.
+    /// Draws the servers the next operation attempt should contact: a
+    /// quorum by the access strategy plus the configured margin of spares.
+    pub fn sample_probe_set(&self, rng: &mut dyn RngCore) -> ProbeSet {
+        session::probe_set(self.system, rng, self.probe_margin)
+    }
+
+    /// Starts an incremental write: issues a fresh timestamp and returns
+    /// the record to push to each probed server plus the session that
+    /// tracks acknowledgements (complete at `needed` acks).
+    pub fn begin_write(
+        &mut self,
+        value: Value,
+        needed: usize,
+        probed: usize,
+    ) -> (TaggedValue, WriteSession) {
+        let timestamp = self.issuer.next();
+        let record = TaggedValue::new(value, timestamp);
+        (record, WriteSession::new(timestamp, needed, probed))
+    }
+
+    /// Starts an incremental read that completes after `needed` replies and
+    /// condenses them by highest timestamp (Section 3.1).
+    pub fn begin_read(&self, needed: usize) -> ReadSession {
+        ReadSession::new(ReadMode::Safe, needed)
+    }
+
+    /// Write protocol (Section 3.1): choose a probe set by the access
+    /// strategy, choose a fresh timestamp, push the record server by server
+    /// and stop as soon as `q` servers acknowledged (with the default margin
+    /// of 0 this updates every quorum member, exactly the classic protocol).
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::QuorumUnavailable`] if *no* server of the
-    /// chosen quorum acknowledged the write (the value is then not stored
-    /// anywhere and the write had no effect).
+    /// Returns [`ProtocolError::QuorumUnavailable`](crate::ProtocolError::QuorumUnavailable)
+    /// if *no* probed server acknowledged the write (the value is then not
+    /// stored anywhere and the write had no effect).
     pub fn write(
         &mut self,
         cluster: &mut Cluster,
         rng: &mut dyn RngCore,
         value: Value,
     ) -> crate::Result<WriteReceipt> {
-        let quorum = self.system.sample_quorum(rng);
-        let timestamp = self.issuer.next();
+        let probe = self.sample_probe_set(rng);
+        let (record, mut session) = self.begin_write(value, probe.needed, probe.probed());
         cluster.note_operation();
-        let acks = cluster.write_plain(&quorum, self.variable, &TaggedValue::new(value, timestamp));
-        if acks == 0 {
-            return Err(ProtocolError::QuorumUnavailable {
-                contacted: quorum.len(),
-                responded: 0,
-            });
+        for &id in &probe.servers {
+            let acked = cluster.probe_write_plain(id, self.variable, &record);
+            if session.on_ack(acked) == SessionStatus::Complete {
+                break;
+            }
         }
-        Ok(WriteReceipt {
-            timestamp,
-            acks,
-            quorum_size: quorum.len(),
-        })
+        session.finish()
     }
 
-    /// Read protocol (Section 3.1): choose a quorum, query every member,
-    /// return the value with the highest timestamp.
+    /// Read protocol (Section 3.1): probe the chosen servers, stop at the
+    /// first `q` replies, return the reply with the highest timestamp.
     ///
     /// Returns `Ok(None)` if every reply still carries the initial
     /// (never-written) record.
     ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::QuorumUnavailable`] if no server of the
-    /// chosen quorum replied.
+    /// Returns [`ProtocolError::QuorumUnavailable`](crate::ProtocolError::QuorumUnavailable)
+    /// if no probed server replied.
     pub fn read(
         &mut self,
         cluster: &mut Cluster,
         rng: &mut dyn RngCore,
     ) -> crate::Result<Option<TaggedValue>> {
-        let quorum = self.system.sample_quorum(rng);
+        let probe = self.sample_probe_set(rng);
+        let mut session = self.begin_read(probe.needed);
         cluster.note_operation();
-        let replies = cluster.read_plain(&quorum, self.variable);
-        if replies.is_empty() {
-            return Err(ProtocolError::QuorumUnavailable {
-                contacted: quorum.len(),
-                responded: 0,
-            });
+        for &id in &probe.servers {
+            if let Some(tv) = cluster.probe_read_plain(id, self.variable) {
+                if session.on_plain_reply(id, tv) == SessionStatus::Complete {
+                    break;
+                }
+            }
         }
-        let best = replies
-            .into_iter()
-            .map(|(_, tv)| tv)
-            .max_by(|a, b| a.timestamp.cmp(&b.timestamp))
-            .expect("replies is non-empty");
-        if best.timestamp == crate::timestamp::Timestamp::ZERO {
-            Ok(None)
-        } else {
-            Ok(Some(best))
-        }
+        session.finish()
     }
 }
 
@@ -125,6 +162,7 @@ impl<'a, S: QuorumSystem + ?Sized> SafeRegister<'a, S> {
 mod tests {
     use super::*;
     use crate::server::Behavior;
+    use crate::ProtocolError;
     use pqs_core::probabilistic::EpsilonIntersecting;
     use pqs_core::strict::Majority;
     use pqs_core::universe::ServerId;
@@ -233,6 +271,50 @@ mod tests {
             }
         }
         assert!(ok > 150, "only {ok}/200 reads returned the written value");
+    }
+
+    #[test]
+    fn probe_margin_masks_crashed_quorum_members() {
+        // Majority of 5: quorums have size 3. Crash two servers; with a
+        // margin of 2 every probe set covers all five servers, so reads and
+        // writes always reach the full quorum count of live servers.
+        let sys = Majority::new(5).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        cluster.crash_all([ServerId::new(0), ServerId::new(1)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut reg = SafeRegister::new(&sys, 1).with_probe_margin(2);
+        assert_eq!(reg.probe_margin(), 2);
+        for i in 1..=50u64 {
+            let receipt = reg
+                .write(&mut cluster, &mut rng, Value::from_u64(i))
+                .unwrap();
+            assert_eq!(receipt.acks, 3, "margin should supply 3 live ackers");
+            let got = reg.read(&mut cluster, &mut rng).unwrap().unwrap();
+            assert_eq!(got.value, Value::from_u64(i));
+        }
+    }
+
+    #[test]
+    fn incremental_session_matches_atomic_read() {
+        let sys = Majority::new(9).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut reg = SafeRegister::new(&sys, 1);
+        reg.write(&mut cluster, &mut rng, Value::from_u64(4))
+            .unwrap();
+        // Drive a read by hand through the session API.
+        let probe = reg.sample_probe_set(&mut rng);
+        assert_eq!(probe.needed, 5);
+        let mut session = reg.begin_read(probe.needed);
+        for &id in &probe.servers {
+            if let Some(tv) = cluster.probe_read_plain(id, reg.variable()) {
+                if session.on_plain_reply(id, tv) == SessionStatus::Complete {
+                    break;
+                }
+            }
+        }
+        assert!(session.is_complete());
+        assert_eq!(session.finish().unwrap().unwrap().value, Value::from_u64(4));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper's model (Section 2) distinguishes *correct* servers, which
 //! follow their specification, from *crashed* servers (benign failures) and
-//! *Byzantine* servers, which "may deviate from [their] specification
+//! *Byzantine* servers, which "may deviate from \[their\] specification
 //! arbitrarily".  The behaviours implemented here are the canonical
 //! adversaries for the three protocols:
 //!

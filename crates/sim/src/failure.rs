@@ -86,6 +86,26 @@ impl FailurePlan {
         self
     }
 
+    /// Crashes every server in `servers` simultaneously at time `at` — a
+    /// correlated "crash wave" (rack power loss, network partition onset).
+    /// The event engine honours the wave mid-run: operations in flight when
+    /// it hits lose the probes that had not yet been answered.
+    pub fn with_crash_wave<I: IntoIterator<Item = ServerId>>(
+        mut self,
+        at: SimTime,
+        servers: I,
+    ) -> Self {
+        for server in servers {
+            self.crashes.push(CrashEvent {
+                at,
+                server,
+                crash: true,
+            });
+        }
+        self.sort_crashes();
+        self
+    }
+
     /// Number of servers that are Byzantine from the start.
     pub fn byzantine_count(&self) -> usize {
         self.byzantine.len()
@@ -143,6 +163,16 @@ mod tests {
         // Roughly 20 crashes from the independent model (plus the 2 manual).
         let count = p.crashes.len();
         assert!((10..=35).contains(&count), "count={count}");
+    }
+
+    #[test]
+    fn crash_wave_is_simultaneous_and_sorted() {
+        let p = FailurePlan::none()
+            .with_transition(1.0, ServerId::new(9), true)
+            .with_crash_wave(0.25, (0..4).map(ServerId::new));
+        assert_eq!(p.crashes.len(), 5);
+        assert!(p.crashes[..4].iter().all(|c| c.at == 0.25 && c.crash));
+        assert_eq!(p.crashes[4].at, 1.0);
     }
 
     #[test]

@@ -23,6 +23,17 @@ pub enum LatencyModel {
         /// Mean latency (seconds).
         mean: SimTime,
     },
+    /// Pareto-distributed with the given scale (minimum latency, seconds)
+    /// and shape α: `P(X > x) = (scale/x)^α` for `x ≥ scale`.  A genuine
+    /// long tail — for α ≤ 2 the variance is infinite — used to demonstrate
+    /// how probing `q + margin` servers and finishing on the first `q`
+    /// responders cuts the tail of quorum-operation latency.
+    Pareto {
+        /// Minimum latency (seconds); samples never fall below it.
+        scale: SimTime,
+        /// Tail index α (> 0); smaller means heavier tail.
+        shape: f64,
+    },
 }
 
 impl Default for LatencyModel {
@@ -52,15 +63,32 @@ impl LatencyModel {
                 let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 -mean * u.ln()
             }
+            LatencyModel::Pareto { scale, shape } => {
+                if scale <= 0.0 || shape <= 0.0 {
+                    return scale.max(0.0);
+                }
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                // Inverse CDF: scale * u^(-1/shape).
+                scale * u.powf(-1.0 / shape)
+            }
         }
     }
 
-    /// The mean of the distribution.
+    /// The mean of the distribution (`+∞` for a Pareto tail with α ≤ 1).
     pub fn mean(&self) -> SimTime {
         match *self {
             LatencyModel::Fixed(v) => v.max(0.0),
             LatencyModel::Uniform { min, max } => (min.max(0.0) + max.max(0.0)) / 2.0,
             LatencyModel::Exponential { mean } => mean.max(0.0),
+            LatencyModel::Pareto { scale, shape } => {
+                if scale <= 0.0 || shape <= 0.0 {
+                    scale.max(0.0)
+                } else if shape <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    scale * shape / (shape - 1.0)
+                }
+            }
         }
     }
 }
@@ -119,6 +147,45 @@ mod tests {
             LatencyModel::Exponential { mean: 0.0 }.sample(&mut rng),
             0.0
         );
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = LatencyModel::Pareto {
+            scale: 1e-3,
+            shape: 2.5,
+        };
+        let mut sum = 0.0;
+        let mut beyond_10x = 0u32;
+        for _ in 0..50_000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= 1e-3 && s.is_finite());
+            sum += s;
+            if s > 1e-2 {
+                beyond_10x += 1;
+            }
+        }
+        // Mean = scale * a/(a-1) = 1e-3 * 2.5/1.5.
+        assert!((sum / 50_000.0 - 1e-3 * 2.5 / 1.5).abs() < 2e-4);
+        assert!((m.mean() - 1e-3 * 2.5 / 1.5).abs() < 1e-12);
+        // P(X > 10*scale) = 10^-2.5 ~ 0.32%: the tail is real.
+        assert!(beyond_10x > 50, "tail too thin: {beyond_10x}");
+        // Degenerate parameters fall back to the scale.
+        assert_eq!(
+            LatencyModel::Pareto {
+                scale: 0.0,
+                shape: 2.0
+            }
+            .sample(&mut rng),
+            0.0
+        );
+        assert!(LatencyModel::Pareto {
+            scale: 1.0,
+            shape: 0.5
+        }
+        .mean()
+        .is_infinite());
     }
 
     #[test]

@@ -1,26 +1,31 @@
 //! # pqs-sim
 //!
-//! A discrete-event simulation substrate for quorum-replicated services.
+//! A discrete-event simulator for quorum-replicated services.
 //!
 //! The paper's evaluation (Section 6) is analytical; this crate provides the
 //! dynamic counterpart used by the protocol-level experiments (V4/V5 in
 //! DESIGN.md): clients issue read and write operations over time against a
-//! replica cluster, messages take time governed by a latency model, servers
-//! crash or behave Byzantine according to a failure plan, and the simulator
-//! records operation latencies, stale-read rates, per-server load and
-//! availability.
+//! replica cluster, every client–server probe is an individually scheduled
+//! message with its own latency draw, servers crash or recover **mid-run**
+//! according to a failure plan, and the simulator records per-kind latency
+//! percentiles, stale-read rates, per-server load, in-flight concurrency
+//! and availability.
 //!
 //! ## Layout
 //!
-//! * [`time`] — simulation time and the event queue.
-//! * [`latency`] — per-message latency models (fixed, uniform, exponential).
+//! * [`time`] — simulation time and the deterministic event queue.
+//! * [`event`] — the event vocabulary (`OpArrival`, `ProbeReply`,
+//!   `OpTimeout`, `FailureTransition`) and the [`event::EventEngine`]
+//!   driver with its throughput/concurrency accounting.
+//! * [`latency`] — per-message latency models (fixed, uniform, exponential,
+//!   Pareto long-tail).
 //! * [`workload`] — open-loop workload generation (Poisson arrivals,
 //!   read/write mix).
 //! * [`failure`] — failure plans: initial Byzantine placement, crash
-//!   schedules and independent crash probabilities.
-//! * [`metrics`] — what the simulator measures.
-//! * [`runner`] — the simulation driver tying a quorum system, a protocol
-//!   and a cluster together.
+//!   schedules, crash waves and independent crash probabilities.
+//! * [`metrics`] — what the simulator measures, including p50/p95/p99.
+//! * [`runner`] — the simulation driver: many concurrent client sessions,
+//!   first-`q`-of-probed quorum access, timeout-and-resample retry.
 //!
 //! ## Example
 //!
@@ -36,17 +41,22 @@
 //!     read_fraction: 0.9,
 //!     latency: LatencyModel::Uniform { min: 1e-3, max: 5e-3 },
 //!     crash_probability: 0.1,
-//!     byzantine: 0,
+//!     // Probe two spare servers per operation and finish on the first
+//!     // q replies: lower tail latency, crash masking.
+//!     probe_margin: 2,
 //!     seed: 42,
+//!     ..SimConfig::default()
 //! };
 //! let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
 //! assert!(report.completed_reads + report.completed_writes > 0);
 //! assert!(report.stale_read_rate() <= 0.05);
+//! assert!(report.read_latency.p99() >= report.read_latency.p50());
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod event;
 pub mod failure;
 pub mod latency;
 pub mod metrics;

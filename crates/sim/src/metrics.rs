@@ -1,9 +1,107 @@
 //! What a simulation run measures.
 
+use crate::time::SimTime;
 use pqs_math::mc::RunningStats;
 
+/// A collection of latency samples supporting percentile queries.
+///
+/// [`RunningStats`] aggregates on the fly but cannot answer percentile
+/// questions; the event engine's tail-latency claims (the whole point of
+/// probing `q + margin` servers) need p95/p99, so completed-operation
+/// latencies are kept individually.  Sample counts are bounded by the
+/// workload size, so memory stays proportional to the run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencySamples {
+    samples: Vec<f64>,
+}
+
+impl LatencySamples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation (seconds).
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The `p`-th percentile (nearest-rank on a sorted copy; `p` in
+    /// `[0, 100]`).  Returns 0 when empty.  For several quantiles of the
+    /// same collection prefer [`percentiles`](Self::percentiles), which
+    /// sorts once.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.percentiles(&[p])[0]
+    }
+
+    /// Several percentiles from a single sort of the samples (0 for every
+    /// entry when the collection is empty).
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        if self.samples.is_empty() {
+            return vec![0.0; ps.len()];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        ps.iter()
+            .map(|p| {
+                let p = p.clamp(0.0, 100.0);
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+            })
+            .collect()
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile latency — the tail the first-q-of-probed access model
+    /// is designed to cut.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Iterates over the raw samples in recording order.
+    pub fn samples_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().copied()
+    }
+}
+
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// Two reports of the same `SimConfig` + seed compare equal (`PartialEq`):
+/// the engine is fully deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Reads that completed (returned a value or ⊥).
     pub completed_reads: u64,
@@ -15,14 +113,29 @@ pub struct SimReport {
     /// Reads that returned ⊥ (no acceptable value) even though a write had
     /// completed.
     pub empty_reads: u64,
-    /// Operations that failed because no server of the chosen quorum
-    /// answered.
+    /// Operations that failed because no probed server answered within any
+    /// attempt.
     pub unavailable_ops: u64,
     /// Reads that were concurrent with a write (excluded from the staleness
     /// accounting, as in the theorems' hypotheses).
     pub concurrent_reads: u64,
     /// Latency statistics over completed operations (seconds).
     pub latency: RunningStats,
+    /// Per-sample latencies of completed reads (for percentiles).
+    pub read_latency: LatencySamples,
+    /// Per-sample latencies of completed writes (for percentiles).
+    pub write_latency: LatencySamples,
+    /// Operation attempts that were resampled onto a fresh probe set after
+    /// gathering zero replies (timeout-and-resample retries).
+    pub retries: u64,
+    /// Attempts cut short by the per-operation timeout.
+    pub timed_out_attempts: u64,
+    /// Total discrete events processed by the engine.
+    pub events_processed: u64,
+    /// Largest number of simultaneously in-flight operations.
+    pub max_in_flight: u64,
+    /// Time-weighted mean number of in-flight operations.
+    pub mean_in_flight: f64,
     /// Per-server access counts.
     pub per_server_accesses: Vec<u64>,
     /// Total quorum operations issued (for load normalisation).
@@ -42,7 +155,7 @@ impl SimReport {
     }
 
     /// Fraction of issued operations that found no live server in their
-    /// quorum — the empirical counterpart of the failure probability.
+    /// probe set — the empirical counterpart of the failure probability.
     pub fn unavailability(&self) -> f64 {
         let total = self.completed_reads + self.completed_writes + self.unavailable_ops;
         if total == 0 {
@@ -67,6 +180,18 @@ impl SimReport {
     pub fn mean_latency(&self) -> f64 {
         self.latency.mean()
     }
+
+    /// 99th-percentile latency over all completed operations (reads and
+    /// writes merged).
+    pub fn p99_latency(&self) -> SimTime {
+        let mut merged = LatencySamples::new();
+        merged.samples.extend(
+            self.read_latency
+                .samples_iter()
+                .chain(self.write_latency.samples_iter()),
+        );
+        merged.p99()
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +205,7 @@ mod tests {
         assert_eq!(r.unavailability(), 0.0);
         assert_eq!(r.empirical_load(), 0.0);
         assert_eq!(r.mean_latency(), 0.0);
+        assert_eq!(r.p99_latency(), 0.0);
     }
 
     #[test]
@@ -101,5 +227,52 @@ mod tests {
         assert!((r.unavailability() - 10.0 / 160.0).abs() < 1e-12);
         assert!((r.empirical_load() - 30.0 / 150.0).abs() < 1e-12);
         assert!((r.mean_latency() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_samples_percentiles() {
+        let mut s = LatencySamples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(99.0), 0.0);
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p95(), 95.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+        // Batch form agrees with single calls and sorts only once.
+        assert_eq!(s.percentiles(&[50.0, 95.0, 99.0]), vec![50.0, 95.0, 99.0]);
+        assert_eq!(
+            LatencySamples::new().percentiles(&[50.0, 99.0]),
+            vec![0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn p99_latency_merges_read_and_write_samples() {
+        let mut r = SimReport::default();
+        for i in 1..=99 {
+            r.read_latency.record(i as f64 / 1000.0);
+        }
+        r.write_latency.record(1.0);
+        assert!((r.p99_latency() - 0.099).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_compare_equal_field_by_field() {
+        let mut a = SimReport::default();
+        let mut b = SimReport::default();
+        a.latency.record(0.5);
+        b.latency.record(0.5);
+        a.read_latency.record(0.5);
+        b.read_latency.record(0.5);
+        assert_eq!(a, b);
+        b.read_latency.record(0.6);
+        assert_ne!(a, b);
     }
 }

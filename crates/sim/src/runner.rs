@@ -1,30 +1,50 @@
-//! The simulation driver.
+//! The simulation driver: a discrete-event engine over per-message probes.
 //!
 //! A [`Simulation`] ties together a quorum system, one of the three register
 //! protocols, a replica cluster, a latency model, a workload and a failure
 //! plan, and produces a [`SimReport`].
 //!
-//! The model is deliberately simple and documented: operations are applied
-//! to the replica state at their arrival instant (the quorum exchange itself
-//! is atomic), while their *latency* is the maximum of per-server response
-//! latencies drawn from the latency model — i.e. network delay affects
-//! client-observed latency and concurrency accounting, not the order in
-//! which server state changes.  This is sufficient for the paper-level
-//! questions the simulator answers (stale-read rates vs ε, empirical load,
-//! availability under crashes) without implementing a full asynchronous
-//! message scheduler.
+//! ## The access model
+//!
+//! Unlike the seed simulator — which applied each quorum exchange atomically
+//! at its arrival instant and merely *derived* a latency — this engine
+//! schedules one [`Event`] per client–server message:
+//!
+//! 1. At [`Event::OpArrival`] the client samples a probe set (a quorum drawn
+//!    by the access strategy plus [`SimConfig::probe_margin`] spare servers)
+//!    and sends one probe per member, each with its own latency draw.
+//! 2. Each [`Event::ProbeReply`] evaluates the server *at the message's
+//!    round-trip completion time*: a server crashed by an intervening
+//!    [`Event::FailureTransition`] simply fails to answer, and a write probe
+//!    mutates the replica at that instant — so concurrent operations
+//!    genuinely interleave.
+//! 3. The operation completes on the **first `q` responders** (the
+//!    incremental sessions of [`pqs_protocols::register::session`]), or —
+//!    when the probe set is exhausted or [`SimConfig::op_timeout`] fires —
+//!    condenses the partial reply set, exactly like the paper's protocols
+//!    under partial quorum responses.
+//! 4. An attempt that gathered *zero* replies resamples a fresh probe set
+//!    (timeout-and-resample), up to [`SimConfig::max_retries`] times, before
+//!    the operation counts as unavailable.
+//!
+//! Many operations are therefore in flight at once; the report's
+//! `mean_in_flight`/`max_in_flight` gauges and per-kind latency percentiles
+//! quantify exactly the regimes the atomic model could not reach.
 
+use crate::event::{Event, EventEngine, OpId};
 use crate::failure::FailurePlan;
 use crate::latency::LatencyModel;
 use crate::metrics::SimReport;
 use crate::time::SimTime;
 use crate::workload::{OpKind, WorkloadConfig};
 use pqs_core::system::QuorumSystem;
+use pqs_core::universe::ServerId;
 use pqs_protocols::cluster::Cluster;
-use pqs_protocols::crypto::KeyRegistry;
+use pqs_protocols::crypto::{KeyRegistry, SignedValue};
+use pqs_protocols::register::session::{ProbeSet, ReadSession, WriteSession};
 use pqs_protocols::register::{DisseminationRegister, MaskingRegister, SafeRegister};
 use pqs_protocols::server::Behavior;
-use pqs_protocols::value::Value;
+use pqs_protocols::value::{TaggedValue, Value};
 use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -48,26 +68,39 @@ pub enum ProtocolKind {
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
-    /// Length of the run in simulated seconds.
+    /// Length of the run in simulated seconds (operations stop *arriving*
+    /// at this point; in-flight operations still drain).
     pub duration: SimTime,
     /// Mean operation arrival rate (operations per second).
     pub arrival_rate: f64,
     /// Fraction of operations that are reads.
     pub read_fraction: f64,
-    /// Latency model for client–server exchanges.
+    /// Latency model for individual client–server probes (drawn once per
+    /// probe, not once per quorum).
     pub latency: LatencyModel,
     /// Each server crashes independently with this probability at time 0
     /// (the Definition 2.6 model).
     pub crash_probability: f64,
     /// Number of servers made Byzantine at time 0 (random placement).
     pub byzantine: u32,
+    /// Extra servers probed beyond the quorum on every attempt; the
+    /// operation completes on the first `q` responders.  0 reproduces the
+    /// classic access.
+    pub probe_margin: u32,
+    /// An attempt that has not completed this long after it started is cut
+    /// short: the replies gathered so far are condensed, or — if there are
+    /// none — the attempt is retried on a fresh probe set.
+    pub op_timeout: SimTime,
+    /// How many times a zero-reply attempt is resampled onto a fresh probe
+    /// set before the operation counts as unavailable.
+    pub max_retries: u32,
     /// RNG seed; the run is fully deterministic given the seed.
     pub seed: u64,
 }
 
 impl Default for SimConfig {
     /// 60 simulated seconds, 10 op/s, 90% reads, 1 ms fixed latency, no
-    /// failures, seed 0.
+    /// failures, no probe margin, a 1-second timeout with one retry, seed 0.
     fn default() -> Self {
         SimConfig {
             duration: 60.0,
@@ -76,6 +109,9 @@ impl Default for SimConfig {
             latency: LatencyModel::default(),
             crash_probability: 0.0,
             byzantine: 0,
+            probe_margin: 0,
+            op_timeout: 1.0,
+            max_retries: 1,
             seed: 0,
         }
     }
@@ -90,12 +126,139 @@ pub struct Simulation<'a, S: QuorumSystem + ?Sized> {
     plan: Option<FailurePlan>,
 }
 
-/// Record of a write operation used for staleness accounting.
+/// Record of a write operation used for staleness accounting.  `end` stays
+/// `+∞` while the write is in flight, so overlapping reads classify as
+/// concurrent.
 #[derive(Debug, Clone, Copy)]
 struct WriteWindow {
     start: SimTime,
     end: SimTime,
     sequence: u64,
+    failed: bool,
+}
+
+/// The write windows of a run, pruned as simulated time advances so the
+/// per-read staleness checks scan only windows that can still matter —
+/// without pruning the event loop would be O(reads × writes), quadratic in
+/// run duration.
+#[derive(Debug, Default)]
+struct WriteLog {
+    windows: Vec<WriteWindow>,
+    /// Windows before this index are archived: they ended at or before
+    /// every start time a still-unfinished operation can have, so they can
+    /// never again classify as concurrent; their freshest sequence is kept
+    /// in `archived_max_seq`.
+    frontier: usize,
+    archived_max_seq: Option<u64>,
+}
+
+impl WriteLog {
+    /// Opens an in-flight window (end `+∞`); returns its handle.
+    fn open(&mut self, start: SimTime, sequence: u64) -> usize {
+        self.windows.push(WriteWindow {
+            start,
+            end: f64::INFINITY,
+            sequence,
+            failed: false,
+        });
+        self.windows.len() - 1
+    }
+
+    /// Marks a write completed at `end`.
+    fn close(&mut self, handle: usize, end: SimTime) {
+        self.windows[handle].end = end;
+    }
+
+    /// Marks a write failed (stored nowhere): excluded from accounting.
+    fn fail(&mut self, handle: usize, end: SimTime) {
+        self.windows[handle].end = end;
+        self.windows[handle].failed = true;
+    }
+
+    /// Archives every leading window that ended at or before `horizon`
+    /// (the earliest start time any in-flight or future operation can
+    /// have).  Amortised O(1) per write over the run.
+    fn advance(&mut self, horizon: SimTime) {
+        while let Some(w) = self.windows.get(self.frontier) {
+            if w.end > horizon {
+                break;
+            }
+            if !w.failed {
+                self.archived_max_seq = Some(match self.archived_max_seq {
+                    Some(m) => m.max(w.sequence),
+                    None => w.sequence,
+                });
+            }
+            self.frontier += 1;
+        }
+    }
+
+    /// Whether any (non-failed) write window overlaps the read interval
+    /// `(start, end)` — archived windows cannot, by construction.
+    fn concurrent_with(&self, start: SimTime, end: SimTime) -> bool {
+        self.windows[self.frontier..]
+            .iter()
+            .any(|w| !w.failed && w.start < end && w.end > start)
+    }
+
+    /// Sequence number of the freshest write completed before `start`.
+    fn latest_completed_before(&self, start: SimTime) -> Option<u64> {
+        let recent = self.windows[self.frontier..]
+            .iter()
+            .filter(|w| !w.failed && w.end <= start)
+            .map(|w| w.sequence)
+            .max();
+        match (self.archived_max_seq, recent) {
+            (Some(a), Some(r)) => Some(a.max(r)),
+            (a, r) => a.or(r),
+        }
+    }
+}
+
+/// What one in-flight operation sends to servers and how it tracks replies.
+#[derive(Debug)]
+enum OpSession {
+    Read(ReadSession),
+    PlainWrite(TaggedValue, WriteSession),
+    SignedWrite(SignedValue, WriteSession),
+}
+
+/// Book-keeping for one client operation across its attempts.
+#[derive(Debug)]
+struct OpState {
+    kind: OpKind,
+    start: SimTime,
+    attempt: u32,
+    outstanding: usize,
+    done: bool,
+    session: Option<OpSession>,
+    /// Index into the write-window vector (writes only).
+    window: Option<usize>,
+}
+
+/// A retried write re-sends its original record under its original
+/// timestamp (it is the *same* logical write, aimed at a fresh probe set);
+/// only the first attempt issues a fresh record via `begin`.
+fn resume_write<R>(
+    prev: Option<(R, WriteSession)>,
+    probe: &ProbeSet,
+    begin: impl FnOnce() -> (R, WriteSession),
+) -> (R, WriteSession) {
+    match prev {
+        Some((record, old)) => (
+            record,
+            WriteSession::new(old.timestamp(), probe.needed, probe.probed()),
+        ),
+        None => begin(),
+    }
+}
+
+/// The three protocol clients; only the one matching `ProtocolKind` is used,
+/// but all are constructed so RNG-independent setup stays uniform.
+struct Clients<'a, S: QuorumSystem + ?Sized> {
+    safe: SafeRegister<'a, S>,
+    dissemination: DisseminationRegister<'a, S>,
+    masking: Option<MaskingRegister<'a, S>>,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
@@ -152,7 +315,6 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
             _ => Behavior::ByzantineForge,
         };
         cluster.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
-        let mut pending_crashes = plan.crashes.clone();
 
         // Workload.
         let ops = WorkloadConfig {
@@ -165,118 +327,412 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         // Protocol clients.
         let mut registry = KeyRegistry::new();
         let signing_key = registry.register(1, self.config.seed ^ 0xabcdef);
-        let mut safe = SafeRegister::new(self.system, 1);
-        let mut dissemination =
-            DisseminationRegister::new(self.system, signing_key, registry.clone());
-        let mut masking = match self.kind {
-            ProtocolKind::Masking { threshold } => {
-                Some(MaskingRegister::new(self.system, threshold, 1))
-            }
-            _ => None,
+        let margin = self.config.probe_margin as usize;
+        let mut clients = Clients {
+            safe: SafeRegister::new(self.system, 1).with_probe_margin(margin),
+            dissemination: DisseminationRegister::new(self.system, signing_key, registry.clone())
+                .with_probe_margin(margin),
+            masking: match self.kind {
+                ProtocolKind::Masking { threshold } => {
+                    Some(MaskingRegister::new(self.system, threshold, 1).with_probe_margin(margin))
+                }
+                _ => None,
+            },
+        };
+
+        // Seed the event queue: every arrival and every failure transition.
+        let mut engine = EventEngine::new();
+        for (i, op) in ops.iter().enumerate() {
+            engine.schedule(op.at, Event::OpArrival { op: i as OpId });
+        }
+        for transition in &plan.crashes {
+            engine.schedule(
+                transition.at,
+                Event::FailureTransition {
+                    server: transition.server,
+                    crash: transition.crash,
+                },
+            );
+        }
+
+        let mut states: Vec<OpState> = ops
+            .iter()
+            .map(|op| OpState {
+                kind: op.kind,
+                start: op.at,
+                attempt: 0,
+                outstanding: 0,
+                done: false,
+                session: None,
+                window: None,
+            })
+            .collect();
+
+        // Every simulated client drives the same logical variable; derive
+        // it from the active register so `for_variable` clients would work.
+        let variable = match self.kind {
+            ProtocolKind::Safe => clients.safe.variable(),
+            ProtocolKind::Dissemination => clients.dissemination.variable(),
+            ProtocolKind::Masking { .. } => clients
+                .masking
+                .as_ref()
+                .expect("masking client exists for masking runs")
+                .variable(),
         };
 
         let mut report = SimReport::default();
-        let mut writes: Vec<WriteWindow> = Vec::new();
+        let mut writes = WriteLog::default();
         let mut next_value: u64 = 0;
+        // Ops arrive in time order, so the first not-done entry bounds the
+        // earliest start any unfinished operation can have — the pruning
+        // horizon for the write log.
+        let mut oldest_active: usize = 0;
 
-        for op in ops {
-            // Apply any crash/recovery transitions due before this arrival.
-            while let Some(transition) = pending_crashes.first().copied() {
-                if transition.at > op.at {
-                    break;
+        while let Some((t, event)) = engine.next_event() {
+            match event {
+                Event::OpArrival { op } => {
+                    engine.op_started();
+                    let idx = op as usize;
+                    while oldest_active < states.len() && states[oldest_active].done {
+                        oldest_active += 1;
+                    }
+                    writes.advance(states[oldest_active.min(idx)].start);
+                    if states[idx].kind == OpKind::Write {
+                        next_value += 1;
+                        let handle = writes.open(t, next_value);
+                        states[idx].window = Some(handle);
+                    }
+                    self.start_attempt(
+                        op,
+                        t,
+                        next_value,
+                        &mut states[idx],
+                        &mut clients,
+                        &mut cluster,
+                        &mut engine,
+                        &mut rng,
+                    );
                 }
-                let behavior = if transition.crash {
-                    Behavior::Crashed
-                } else {
-                    Behavior::Correct
-                };
-                cluster.set_behavior(transition.server, behavior);
-                pending_crashes.remove(0);
-            }
-
-            let latency = self.operation_latency(&mut rng);
-            let end = op.at + latency;
-            match op.kind {
-                OpKind::Write => {
-                    next_value += 1;
-                    let value = Value::from_u64(next_value);
-                    let outcome = match self.kind {
-                        ProtocolKind::Safe => safe.write(&mut cluster, &mut rng, value),
-                        ProtocolKind::Dissemination => {
-                            dissemination.write(&mut cluster, &mut rng, value)
+                Event::ProbeReply {
+                    op,
+                    attempt,
+                    server,
+                } => {
+                    let idx = op as usize;
+                    // The probe's server-side effect happens regardless of
+                    // whether the client still cares: the message was sent.
+                    let fed = self.deliver_probe(
+                        &mut states[idx],
+                        server,
+                        &mut cluster,
+                        attempt,
+                        variable,
+                    );
+                    if fed {
+                        let state = &mut states[idx];
+                        state.outstanding -= 1;
+                        let complete = match state.session.as_ref() {
+                            Some(OpSession::Read(s)) => s.is_complete(),
+                            Some(OpSession::PlainWrite(_, s))
+                            | Some(OpSession::SignedWrite(_, s)) => s.is_complete(),
+                            None => false,
+                        };
+                        if complete {
+                            self.finalize(op, t, &mut states[idx], &mut writes, &mut report);
+                            engine.op_finished();
+                        } else if states[idx].outstanding == 0 {
+                            self.end_attempt(
+                                op,
+                                t,
+                                next_value,
+                                &mut states[idx],
+                                &mut clients,
+                                &mut cluster,
+                                &mut engine,
+                                &mut rng,
+                                &mut writes,
+                                &mut report,
+                            );
                         }
-                        ProtocolKind::Masking { .. } => masking
-                            .as_mut()
-                            .expect("masking client exists for masking runs")
-                            .write(&mut cluster, &mut rng, value),
-                    };
-                    match outcome {
-                        Ok(_) => {
-                            report.completed_writes += 1;
-                            report.latency.record(latency);
-                            writes.push(WriteWindow {
-                                start: op.at,
-                                end,
-                                sequence: next_value,
-                            });
-                        }
-                        Err(_) => report.unavailable_ops += 1,
                     }
                 }
-                OpKind::Read => {
-                    let outcome = match self.kind {
-                        ProtocolKind::Safe => safe.read(&mut cluster, &mut rng),
-                        ProtocolKind::Dissemination => dissemination.read(&mut cluster, &mut rng),
-                        ProtocolKind::Masking { .. } => masking
-                            .as_mut()
-                            .expect("masking client exists for masking runs")
-                            .read(&mut cluster, &mut rng),
-                    };
-                    match outcome {
-                        Ok(result) => {
-                            report.completed_reads += 1;
-                            report.latency.record(latency);
-                            let concurrent = writes.iter().any(|w| w.start < end && w.end > op.at);
-                            if concurrent {
-                                report.concurrent_reads += 1;
-                            } else {
-                                // The freshest write completed before this
-                                // read started is the expected result.
-                                let expected = writes
-                                    .iter()
-                                    .filter(|w| w.end <= op.at)
-                                    .map(|w| w.sequence)
-                                    .max();
-                                match (expected, result) {
-                                    (None, _) => {}
-                                    (Some(seq), Some(tv)) => {
-                                        let got = tv.value.as_u64().unwrap_or(0);
-                                        if got < seq {
-                                            report.stale_reads += 1;
-                                        }
-                                    }
-                                    (Some(_), None) => report.empty_reads += 1,
-                                }
-                            }
-                        }
-                        Err(_) => report.unavailable_ops += 1,
+                Event::OpTimeout { op, attempt } => {
+                    let idx = op as usize;
+                    if !states[idx].done && states[idx].attempt == attempt {
+                        report.timed_out_attempts += 1;
+                        self.end_attempt(
+                            op,
+                            t,
+                            next_value,
+                            &mut states[idx],
+                            &mut clients,
+                            &mut cluster,
+                            &mut engine,
+                            &mut rng,
+                            &mut writes,
+                            &mut report,
+                        );
                     }
+                }
+                Event::FailureTransition { server, crash } => {
+                    let behavior = if crash {
+                        Behavior::Crashed
+                    } else {
+                        Behavior::Correct
+                    };
+                    cluster.set_behavior(server, behavior);
                 }
             }
         }
 
+        report.events_processed = engine.events_processed();
+        report.max_in_flight = engine.max_in_flight();
+        report.mean_in_flight = engine.mean_in_flight();
         report.per_server_accesses = cluster.access_counts().to_vec();
         report.total_operations = cluster.total_accesses();
         report
     }
 
-    /// Latency of one quorum operation: the slowest of `|Q|` per-server
-    /// exchanges.
-    fn operation_latency(&self, rng: &mut dyn RngCore) -> SimTime {
-        let q = self.system.min_quorum_size().max(1);
-        (0..q)
-            .map(|_| self.config.latency.sample(rng))
-            .fold(0.0, f64::max)
+    /// Samples a probe set, creates the attempt's session, and schedules one
+    /// probe-reply event per probed server plus the attempt timeout.
+    #[allow(clippy::too_many_arguments)]
+    fn start_attempt(
+        &self,
+        op: OpId,
+        now: SimTime,
+        sequence: u64,
+        state: &mut OpState,
+        clients: &mut Clients<'_, S>,
+        cluster: &mut Cluster,
+        engine: &mut EventEngine,
+        rng: &mut dyn RngCore,
+    ) {
+        cluster.note_operation();
+        let probe: ProbeSet;
+        match state.kind {
+            OpKind::Write => {
+                let value = Value::from_u64(sequence);
+                match self.kind {
+                    ProtocolKind::Safe => {
+                        probe = clients.safe.sample_probe_set(rng);
+                        let prev = match state.session.take() {
+                            Some(OpSession::PlainWrite(record, old)) => Some((record, old)),
+                            _ => None,
+                        };
+                        let (record, session) = resume_write(prev, &probe, || {
+                            clients
+                                .safe
+                                .begin_write(value, probe.needed, probe.probed())
+                        });
+                        state.session = Some(OpSession::PlainWrite(record, session));
+                    }
+                    ProtocolKind::Masking { .. } => {
+                        let masking = clients
+                            .masking
+                            .as_mut()
+                            .expect("masking client exists for masking runs");
+                        probe = masking.sample_probe_set(rng);
+                        let prev = match state.session.take() {
+                            Some(OpSession::PlainWrite(record, old)) => Some((record, old)),
+                            _ => None,
+                        };
+                        let (record, session) = resume_write(prev, &probe, || {
+                            masking.begin_write(value, probe.needed, probe.probed())
+                        });
+                        state.session = Some(OpSession::PlainWrite(record, session));
+                    }
+                    ProtocolKind::Dissemination => {
+                        probe = clients.dissemination.sample_probe_set(rng);
+                        let prev = match state.session.take() {
+                            Some(OpSession::SignedWrite(record, old)) => Some((record, old)),
+                            _ => None,
+                        };
+                        let (record, session) = resume_write(prev, &probe, || {
+                            clients
+                                .dissemination
+                                .begin_write(value, probe.needed, probe.probed())
+                        });
+                        state.session = Some(OpSession::SignedWrite(record, session));
+                    }
+                }
+            }
+            OpKind::Read => match self.kind {
+                ProtocolKind::Safe => {
+                    probe = clients.safe.sample_probe_set(rng);
+                    state.session = Some(OpSession::Read(clients.safe.begin_read(probe.needed)));
+                }
+                ProtocolKind::Dissemination => {
+                    probe = clients.dissemination.sample_probe_set(rng);
+                    state.session = Some(OpSession::Read(
+                        clients.dissemination.begin_read(probe.needed),
+                    ));
+                }
+                ProtocolKind::Masking { .. } => {
+                    let masking = clients
+                        .masking
+                        .as_ref()
+                        .expect("masking client exists for masking runs");
+                    probe = masking.sample_probe_set(rng);
+                    state.session = Some(OpSession::Read(masking.begin_read(probe.needed)));
+                }
+            },
+        }
+        state.outstanding = probe.probed();
+        for &server in &probe.servers {
+            let rtt = self.config.latency.sample(rng);
+            engine.schedule(
+                now + rtt,
+                Event::ProbeReply {
+                    op,
+                    attempt: state.attempt,
+                    server,
+                },
+            );
+        }
+        engine.schedule(
+            now + self.config.op_timeout.max(0.0),
+            Event::OpTimeout {
+                op,
+                attempt: state.attempt,
+            },
+        );
+    }
+
+    /// Applies one probe's server-side effect and, if the client still cares
+    /// about this attempt, feeds the reply into the session.  Returns whether
+    /// the session consumed the probe.
+    fn deliver_probe(
+        &self,
+        state: &mut OpState,
+        server: ServerId,
+        cluster: &mut Cluster,
+        attempt: u32,
+        variable: u64,
+    ) -> bool {
+        let live = !state.done && state.attempt == attempt;
+        match state.session.as_mut() {
+            Some(OpSession::PlainWrite(record, session)) => {
+                let acked = cluster.probe_write_plain(server, variable, record);
+                if live {
+                    session.on_ack(acked);
+                }
+                live
+            }
+            Some(OpSession::SignedWrite(record, session)) => {
+                let acked = cluster.probe_write_signed(server, variable, record);
+                if live {
+                    session.on_ack(acked);
+                }
+                live
+            }
+            Some(OpSession::Read(session)) => {
+                // A `None` probe result is a resolved-but-silent server
+                // (crashed): the attempt's outstanding count still drops.
+                if session.wants_signed() {
+                    if let Some(sv) = cluster.probe_read_signed(server, variable) {
+                        if live {
+                            session.on_signed_reply(server, sv);
+                        }
+                    }
+                } else if let Some(tv) = cluster.probe_read_plain(server, variable) {
+                    if live {
+                        session.on_plain_reply(server, tv);
+                    }
+                }
+                live
+            }
+            None => false,
+        }
+    }
+
+    /// An attempt ran out of probes or timed out: condense partial replies,
+    /// retry on a fresh probe set, or give up.
+    #[allow(clippy::too_many_arguments)]
+    fn end_attempt(
+        &self,
+        op: OpId,
+        now: SimTime,
+        sequence: u64,
+        state: &mut OpState,
+        clients: &mut Clients<'_, S>,
+        cluster: &mut Cluster,
+        engine: &mut EventEngine,
+        rng: &mut dyn RngCore,
+        writes: &mut WriteLog,
+        report: &mut SimReport,
+    ) {
+        let responders = match state.session.as_ref() {
+            Some(OpSession::Read(s)) => s.responders(),
+            Some(OpSession::PlainWrite(_, s)) | Some(OpSession::SignedWrite(_, s)) => s.acks(),
+            None => 0,
+        };
+        if responders > 0 {
+            self.finalize(op, now, state, writes, report);
+            engine.op_finished();
+        } else if state.attempt < self.config.max_retries {
+            state.attempt += 1;
+            report.retries += 1;
+            self.start_attempt(op, now, sequence, state, clients, cluster, engine, rng);
+        } else {
+            state.done = true;
+            engine.op_finished();
+            report.unavailable_ops += 1;
+            if let Some(handle) = state.window {
+                writes.fail(handle, now);
+            }
+        }
+    }
+
+    /// A session gathered its replies (all `q`, or a non-empty partial set):
+    /// close the operation and account for it.
+    fn finalize(
+        &self,
+        _op: OpId,
+        now: SimTime,
+        state: &mut OpState,
+        writes: &mut WriteLog,
+        report: &mut SimReport,
+    ) {
+        state.done = true;
+        let latency = now - state.start;
+        match state.session.as_ref() {
+            Some(OpSession::PlainWrite(_, _)) | Some(OpSession::SignedWrite(_, _)) => {
+                report.completed_writes += 1;
+                report.latency.record(latency);
+                report.write_latency.record(latency);
+                if let Some(handle) = state.window {
+                    writes.close(handle, now);
+                }
+            }
+            Some(OpSession::Read(session)) => {
+                let result = session
+                    .finish()
+                    .expect("finalize is only called with at least one responder");
+                report.completed_reads += 1;
+                report.latency.record(latency);
+                report.read_latency.record(latency);
+                let read_start = state.start;
+                let read_end = now;
+                if writes.concurrent_with(read_start, read_end) {
+                    report.concurrent_reads += 1;
+                } else {
+                    // The freshest write completed before this read started
+                    // is the expected result.
+                    let expected = writes.latest_completed_before(read_start);
+                    match (expected, result) {
+                        (None, _) => {}
+                        (Some(seq), Some(tv)) => {
+                            let got = tv.value.as_u64().unwrap_or(0);
+                            if got < seq {
+                                report.stale_reads += 1;
+                            }
+                        }
+                        (Some(_), None) => report.empty_reads += 1,
+                    }
+                }
+            }
+            None => unreachable!("finalized operation must have a session"),
+        }
     }
 }
 
@@ -318,6 +774,7 @@ mod tests {
             crash_probability: 0.0,
             byzantine: 0,
             seed,
+            ..SimConfig::default()
         }
     }
 
@@ -331,6 +788,9 @@ mod tests {
         assert!(report.stale_read_rate() < 0.01);
         assert!(report.mean_latency() > 0.0);
         assert!(report.empirical_load() > 0.0);
+        // Every op probes |Q| servers and the engine processes one event per
+        // probe plus arrival and timeout events.
+        assert!(report.events_processed > report.total_operations);
     }
 
     #[test]
@@ -338,9 +798,7 @@ mod tests {
         let sys = EpsilonIntersecting::new(64, 16).unwrap();
         let a = Simulation::new(&sys, ProtocolKind::Safe, quick_config(7)).run();
         let b = Simulation::new(&sys, ProtocolKind::Safe, quick_config(7)).run();
-        assert_eq!(a.completed_reads, b.completed_reads);
-        assert_eq!(a.stale_reads, b.stale_reads);
-        assert_eq!(a.per_server_accesses, b.per_server_accesses);
+        assert_eq!(a, b, "same seed must give bit-identical reports");
         let c = Simulation::new(&sys, ProtocolKind::Safe, quick_config(8)).run();
         assert_ne!(a.per_server_accesses, c.per_server_accesses);
     }
@@ -459,7 +917,8 @@ mod tests {
         let sys = Majority::new(9).unwrap();
         // Crash 7 of 9 servers at t=10, recover at t=30: inside the window a
         // noticeable fraction of 5-server quorums contains no live server at
-        // all, so some operations fail outright; outside the window none do.
+        // all, so some operations fail outright (even after a resample);
+        // outside the window none do.
         let mut plan = FailurePlan::none();
         for i in 0..7 {
             plan = plan
@@ -473,5 +932,106 @@ mod tests {
             .run();
         assert!(report.unavailable_ops > 0);
         assert!(report.unavailability() < 0.5);
+        assert!(report.retries > 0, "zero-reply attempts must resample");
+    }
+
+    #[test]
+    fn mid_run_crash_wave_changes_the_report() {
+        // The acceptance scenario: an identical plan applied at t = D/2
+        // versus applied never (after the run ends). The mid-run wave must
+        // observably raise unavailability.
+        let sys = Majority::new(15).unwrap();
+        let mut config = quick_config(12);
+        config.duration = 40.0;
+        config.read_fraction = 0.5;
+        let wave_servers = || (0..15).map(ServerId::new);
+        let mid = FailurePlan::none().with_crash_wave(20.0, wave_servers());
+        let never = FailurePlan::none().with_crash_wave(1e6, wave_servers());
+        let hit = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(mid)
+            .run();
+        let clean = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(never)
+            .run();
+        assert_eq!(clean.unavailable_ops, 0);
+        assert!(
+            hit.unavailable_ops > 100,
+            "every op after the wave must fail, got {}",
+            hit.unavailable_ops
+        );
+        assert!(hit.unavailability() > clean.unavailability());
+        // Before the wave the runs are identical: same seed, same draws.
+        assert_eq!(
+            hit.completed_writes + hit.completed_reads + hit.unavailable_ops,
+            clean.completed_writes + clean.completed_reads
+        );
+    }
+
+    #[test]
+    fn probe_margin_cuts_tail_latency_under_long_tails() {
+        // The second acceptance scenario: under a heavy-tailed latency
+        // model, probing q + margin servers and finishing on the first q
+        // replies yields a lower p99 than probing exactly q (which must wait
+        // for its slowest member).
+        let sys = EpsilonIntersecting::new(100, 22).unwrap();
+        let mut config = quick_config(13);
+        config.latency = LatencyModel::Pareto {
+            scale: 1e-3,
+            shape: 1.8,
+        };
+        config.op_timeout = 10.0;
+        let exact = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.probe_margin = 8;
+        let margined = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        assert!(exact.completed_reads > 500 && margined.completed_reads > 500);
+        assert!(
+            margined.p99_latency() < exact.p99_latency(),
+            "margin 8 p99 {} should beat margin 0 p99 {}",
+            margined.p99_latency(),
+            exact.p99_latency()
+        );
+        assert!(margined.read_latency.p99() < exact.read_latency.p99());
+        // The price is load: more probes per op on the wire.
+        assert!(margined.total_operations <= exact.total_operations + exact.retries);
+        let margined_accesses: u64 = margined.per_server_accesses.iter().sum();
+        let exact_accesses: u64 = exact.per_server_accesses.iter().sum();
+        assert!(margined_accesses > exact_accesses);
+    }
+
+    #[test]
+    fn concurrent_sessions_overlap_in_flight() {
+        // 500 op/s against millisecond-scale probe latency: many operations
+        // must be in flight simultaneously — the regime the atomic-loop
+        // simulator could not express.
+        let sys = EpsilonIntersecting::new(100, 22).unwrap();
+        let config = SimConfig {
+            duration: 20.0,
+            arrival_rate: 500.0,
+            read_fraction: 0.9,
+            latency: LatencyModel::Exponential { mean: 5e-3 },
+            seed: 14,
+            ..SimConfig::default()
+        };
+        let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        assert!(report.max_in_flight > 1, "ops must overlap");
+        assert!(report.mean_in_flight > 0.5, "{}", report.mean_in_flight);
+        assert!(report.concurrent_reads > 0, "reads must overlap writes");
+        assert_eq!(report.unavailable_ops, 0);
+        // Percentiles are ordered and populated.
+        assert!(report.read_latency.p50() <= report.read_latency.p95());
+        assert!(report.read_latency.p95() <= report.read_latency.p99());
+        assert!(report.write_latency.p99() > 0.0);
+    }
+
+    #[test]
+    fn per_probe_latency_is_the_qth_order_statistic() {
+        // With fixed latency every probe takes the same time, so operation
+        // latency equals the fixed value regardless of quorum size.
+        let sys = EpsilonIntersecting::new(64, 16).unwrap();
+        let mut config = quick_config(15);
+        config.latency = LatencyModel::Fixed(2e-3);
+        let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        assert!((report.mean_latency() - 2e-3).abs() < 1e-9);
+        assert!((report.read_latency.p99() - 2e-3).abs() < 1e-9);
     }
 }

@@ -1,0 +1,89 @@
+//! The discrete-event engine end to end: concurrent client sessions, a
+//! mid-run crash wave with recovery, and the first-q-of-probed access model
+//! cutting tail latency under a long-tail network.
+//!
+//! Run with `cargo run --release --example event_engine`.
+
+use probabilistic_quorums::core::prelude::*;
+use probabilistic_quorums::sim::failure::FailurePlan;
+use probabilistic_quorums::sim::latency::LatencyModel;
+use probabilistic_quorums::sim::runner::{ProtocolKind, SimConfig, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = EpsilonIntersecting::with_target_epsilon(100, 1e-3)?;
+    println!(
+        "event-driven simulation over {} (quorum size {})",
+        probabilistic_quorums::core::system::QuorumSystem::name(&system),
+        system.quorum_size()
+    );
+
+    // Part 1: a heavy open-loop load keeps many operations in flight at
+    // once — the regime the old one-op-at-a-time simulator could not model.
+    let config = SimConfig {
+        duration: 30.0,
+        arrival_rate: 400.0,
+        read_fraction: 0.9,
+        latency: LatencyModel::Exponential { mean: 5e-3 },
+        seed: 7,
+        ..SimConfig::default()
+    };
+    let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
+    println!("\nconcurrency under 400 op/s with ~5 ms probes:");
+    println!("  events processed : {}", report.events_processed);
+    println!("  max in-flight    : {}", report.max_in_flight);
+    println!("  mean in-flight   : {:.2}", report.mean_in_flight);
+    println!("  concurrent reads : {}", report.concurrent_reads);
+    println!("  stale-read rate  : {:.2e}", report.stale_read_rate());
+
+    // Part 2: a crash wave hits 95 of 100 servers mid-run and recovers
+    // 10 simulated seconds later. The engine honours the transitions
+    // between the probes of in-flight operations: inside the window many
+    // probe sets contain no live server at all, so attempts resample and
+    // some operations fail outright.
+    let mut wave = FailurePlan::none().with_crash_wave(10.0, (0..95).map(ServerId::new));
+    for i in 0..95 {
+        wave = wave.with_transition(20.0, ServerId::new(i), false);
+    }
+    let report = Simulation::new(&system, ProtocolKind::Safe, config)
+        .with_failure_plan(wave)
+        .run();
+    println!("\ncrash wave t=10s..20s hitting 95/100 servers:");
+    println!(
+        "  completed ops    : {}",
+        report.completed_reads + report.completed_writes
+    );
+    println!("  unavailable ops  : {}", report.unavailable_ops);
+    println!("  retries          : {}", report.retries);
+    println!("  unavailability   : {:.4}", report.unavailability());
+    println!("  stale-read rate  : {:.4}", report.stale_read_rate());
+
+    // Part 3: long-tail latency. Probing q + margin servers and finishing
+    // on the first q replies trades a little load for a much shorter tail.
+    println!("\nfirst-q-of-probed under a Pareto(scale=1ms, shape=1.8) network:");
+    println!("  margin  read p50    read p95    read p99    empirical load");
+    for margin in [0u32, 4, 8] {
+        let config = SimConfig {
+            duration: 30.0,
+            arrival_rate: 100.0,
+            latency: LatencyModel::Pareto {
+                scale: 1e-3,
+                shape: 1.8,
+            },
+            op_timeout: 10.0,
+            probe_margin: margin,
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
+        let quantiles = report.read_latency.percentiles(&[50.0, 95.0, 99.0]);
+        println!(
+            "  {margin:<6}  {:<10.5}  {:<10.5}  {:<10.5}  {:.4}",
+            quantiles[0],
+            quantiles[1],
+            quantiles[2],
+            report.empirical_load(),
+        );
+    }
+    println!("\nthe p99 column shrinks as the margin grows; load grows mildly.");
+    Ok(())
+}

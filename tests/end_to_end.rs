@@ -128,6 +128,7 @@ fn simulator_round_trip_all_protocols() {
         crash_probability: 0.05,
         byzantine: 0,
         seed: 11,
+        ..SimConfig::default()
     };
     let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
     let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();

@@ -129,6 +129,61 @@ proptest! {
         }
     }
 
+    /// BitSet algebra: `union` / `intersection` / `difference` /
+    /// `is_subset_of` are mutually consistent with `intersection_count` and
+    /// `len` on randomly drawn sets (the word-level fast paths must agree
+    /// with the element-level definitions).
+    #[test]
+    fn bitset_algebra_is_consistent(capacity in 1usize..300, seed in 0u64..10_000) {
+        use probabilistic_quorums::core::bitset::BitSet;
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let draw = |rng: &mut ChaCha8Rng| {
+            let density = rng.gen_range(0.0..1.0f64);
+            let mut s = BitSet::new(capacity);
+            for i in 0..capacity {
+                if rng.gen_bool(density) {
+                    s.insert(i);
+                }
+            }
+            s
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        let a_minus_b = a.difference(&b);
+        let b_minus_a = b.difference(&a);
+
+        // Counting identities.
+        prop_assert_eq!(inter.len(), a.intersection_count(&b));
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert_eq!(a_minus_b.len() + inter.len(), a.len());
+        prop_assert_eq!(b_minus_a.len() + inter.len(), b.len());
+        prop_assert_eq!(a.intersects(&b), !inter.is_empty());
+
+        // Element-level agreement.
+        for i in 0..capacity {
+            prop_assert_eq!(union.contains(i), a.contains(i) || b.contains(i));
+            prop_assert_eq!(inter.contains(i), a.contains(i) && b.contains(i));
+            prop_assert_eq!(a_minus_b.contains(i), a.contains(i) && !b.contains(i));
+        }
+
+        // Subset relations implied by the algebra.
+        prop_assert!(inter.is_subset_of(&a) && inter.is_subset_of(&b));
+        prop_assert!(a.is_subset_of(&union) && b.is_subset_of(&union));
+        prop_assert!(a_minus_b.is_subset_of(&a));
+        prop_assert_eq!(a.is_subset_of(&b), a_minus_b.is_empty());
+        prop_assert_eq!(a.is_subset_of(&b), inter.len() == a.len());
+
+        // Idempotence / identity cases.
+        prop_assert_eq!(a.union(&a).len(), a.len());
+        prop_assert_eq!(a.intersection(&a).len(), a.len());
+        prop_assert_eq!(a.difference(&a).len(), 0);
+        prop_assert!(a.is_subset_of(&a));
+    }
+
     /// Byzantine strict systems: sampled quorum overlaps always meet the
     /// Definition 2.7 requirements.
     #[test]
