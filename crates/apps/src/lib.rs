@@ -13,6 +13,11 @@
 //!   system; callers may occasionally read a *stale* cell (and get forwarded)
 //!   but are overwhelmingly likely to find the device, even when many
 //!   location stores are down.
+//!
+//! Both applications are thin shells over the sharded key–value facade
+//! ([`RegisterMap`](pqs_protocols::register::RegisterMap)): one replicated
+//! variable per voter / per device, lazily instantiated, all sharing the
+//! quorum system and the replica cluster.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

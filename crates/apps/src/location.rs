@@ -8,10 +8,14 @@
 //! stale, is the primary requirement."  A stale answer just forwards the
 //! caller to the previous cell; *no* answer blocks the call — exactly the
 //! trade probabilistic quorums make.
+//!
+//! The directory is a thin application shell over the sharded key–value
+//! facade ([`RegisterMap`]): one replicated variable per device, each with
+//! its own writer timestamp chain, all sharing the store universe.
 
 use pqs_core::system::QuorumSystem;
 use pqs_protocols::cluster::Cluster;
-use pqs_protocols::register::SafeRegister;
+use pqs_protocols::register::{RegisterFlavor, RegisterMap};
 use pqs_protocols::value::Value;
 use rand::Rng;
 use rand::RngCore;
@@ -37,44 +41,45 @@ pub enum Lookup {
     Miss,
 }
 
-/// The replicated location directory.
+/// The replicated location directory: a key–value store mapping devices to
+/// cells, one safe register per device.
 #[derive(Debug)]
 pub struct LocationDirectory<'a, S: QuorumSystem + ?Sized> {
-    system: &'a S,
     /// Ground truth of each device's location (what the device itself
     /// knows), used to classify lookups as current or stale.
     truth: HashMap<DeviceId, CellId>,
-    /// One persistent writer per device, so successive moves carry strictly
-    /// increasing timestamps (the device is the single writer of its own
-    /// location variable).
-    writers: HashMap<DeviceId, SafeRegister<'a, S>>,
-    /// Extra servers probed beyond the quorum on every access (first-q-of-
-    /// probed): masks crashed stores at a small cost in load.
-    probe_margin: usize,
+    /// The per-device registers: each device is the single writer of its
+    /// own location variable, so successive moves carry strictly
+    /// increasing timestamps along the variable's own chain.
+    registers: RegisterMap<'a, S>,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> LocationDirectory<'a, S> {
     /// Creates an empty directory over the given quorum system.
     pub fn new(system: &'a S) -> Self {
         LocationDirectory {
-            system,
             truth: HashMap::new(),
-            writers: HashMap::new(),
-            probe_margin: 0,
+            registers: RegisterMap::new(system, RegisterFlavor::Safe, 1),
         }
     }
 
     /// Probes `margin` extra location stores per access and completes on
     /// the first `q` responders — the availability knob for a directory
     /// whose primary requirement is that callers *always* get an answer.
+    /// Registers already cached for a device follow the new margin too.
     pub fn with_probe_margin(mut self, margin: usize) -> Self {
-        self.probe_margin = margin;
+        self.registers.set_probe_margin(margin);
         self
     }
 
     /// The configured probe margin.
     pub fn probe_margin(&self) -> usize {
-        self.probe_margin
+        self.registers.probe_margin()
+    }
+
+    /// Number of devices whose location variable has been touched.
+    pub fn tracked_devices(&self) -> usize {
+        self.registers.len()
     }
 
     /// The device reports that it moved to `cell`: writes the replicated
@@ -88,22 +93,19 @@ impl<'a, S: QuorumSystem + ?Sized> LocationDirectory<'a, S> {
         cell: CellId,
     ) -> bool {
         self.truth.insert(device, cell);
-        let system = self.system;
-        let margin = self.probe_margin;
-        let register = self.writers.entry(device).or_insert_with(|| {
-            SafeRegister::for_variable(system, device as u32, location_variable(device))
-        });
-        // Cached writers follow the directory's current margin, so a margin
-        // configured after a device's first move still covers its writes.
-        register.set_probe_margin(margin);
-        register.write(cluster, rng, Value::from_u64(cell)).is_ok()
+        self.registers
+            .put(
+                cluster,
+                rng,
+                location_variable(device),
+                Value::from_u64(cell),
+            )
+            .is_ok()
     }
 
     /// A caller looks up the device's location through a quorum.
     pub fn lookup(&self, cluster: &mut Cluster, rng: &mut dyn RngCore, device: DeviceId) -> Lookup {
-        let mut register = SafeRegister::for_variable(self.system, 0, location_variable(device))
-            .with_probe_margin(self.probe_margin);
-        match register.read(cluster, rng) {
+        match self.registers.get(cluster, rng, location_variable(device)) {
             Err(_) | Ok(None) => Lookup::Miss,
             Ok(Some(tv)) => {
                 let cell = tv.value.as_u64().unwrap_or(u64::MAX);
@@ -206,7 +208,9 @@ mod tests {
         let mut cluster = Cluster::new(sys.universe());
         let mut dir = LocationDirectory::new(&sys);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(dir.tracked_devices(), 0);
         assert!(dir.report_move(&mut cluster, &mut rng, 5, 17));
+        assert_eq!(dir.tracked_devices(), 1);
         assert_eq!(dir.true_location(5), Some(17));
         assert_eq!(dir.true_location(6), None);
         match dir.lookup(&mut cluster, &mut rng, 5) {
@@ -225,6 +229,8 @@ mod tests {
         let stats = mobility_experiment(&mut dir, &mut cluster, &mut rng, 20, 50, 10, 3);
         assert_eq!(stats.current + stats.stale + stats.miss, 20 * 10 * 3);
         assert!(stats.reachability() > 0.97, "{stats:?}");
+        // Each of the 20 devices holds its own register in the map.
+        assert_eq!(dir.tracked_devices(), 20);
         // Stale or missed lookups happen at roughly the epsilon rate.
         let failure_rate = 1.0 - stats.current as f64 / 600.0;
         assert!(
@@ -281,6 +287,27 @@ mod tests {
             margined_miss <= plain_miss,
             "margin 10 missed {margined_miss} vs margin 0 {plain_miss}"
         );
+    }
+
+    #[test]
+    fn margin_set_after_first_move_covers_cached_registers() {
+        // The device's register is cached by its first move; a margin
+        // configured afterwards must still apply to its later accesses.
+        // Majority of 5 (quorums of 3) with 2 crashed servers and margin 2:
+        // every probe set covers all five servers, so lookups always reach
+        // the three live replicas — deterministically, no misses at all.
+        let sys = pqs_core::strict::Majority::new(5).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut dir = LocationDirectory::new(&sys);
+        dir.report_move(&mut cluster, &mut rng, 1, 3);
+        let mut dir = dir.with_probe_margin(2);
+        assert_eq!(dir.probe_margin(), 2);
+        cluster.crash_all([ServerId::new(0), ServerId::new(1)]);
+        for _ in 0..50 {
+            assert_eq!(dir.lookup(&mut cluster, &mut rng, 1), Lookup::Current(3));
+            assert!(dir.report_move(&mut cluster, &mut rng, 1, 3));
+        }
     }
 
     #[test]

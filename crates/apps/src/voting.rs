@@ -10,10 +10,14 @@
 //! stations "altered by bribed election officials" (Byzantine stations
 //! answering arbitrarily), while the Θ(n) crash fault tolerance keeps the
 //! election going when many stations are simply offline.
+//!
+//! The service shards one lock variable per voter through the key–value
+//! facade ([`RegisterMap`]) over masking registers; the station holding a
+//! lock is encoded in the lock value itself.
 
 use pqs_core::system::QuorumSystem;
 use pqs_protocols::cluster::Cluster;
-use pqs_protocols::register::MaskingRegister;
+use pqs_protocols::register::{RegisterFlavor, RegisterMap};
 use pqs_protocols::value::Value;
 use pqs_protocols::ClientId;
 use rand::RngCore;
@@ -44,15 +48,13 @@ pub enum VoteOutcome {
 
 /// The replicated voter-lock service.
 ///
-/// One logical lock variable per voter ID; locks are written through the
-/// masking register so that up to `b` corrupt stations can neither forge a
-/// lock (blocking an honest voter) nor erase one (enabling repeat voting)
-/// except with the system's ε probability.
+/// One logical lock variable per voter ID, lazily instantiated in a
+/// [`RegisterMap`] of masking registers so that up to `b` corrupt stations
+/// can neither forge a lock (blocking an honest voter) nor erase one
+/// (enabling repeat voting) except with the system's ε probability.
 #[derive(Debug)]
 pub struct VoterLockService<'a, S: QuorumSystem + ?Sized> {
-    system: &'a S,
-    threshold: usize,
-    probe_margin: usize,
+    registers: RegisterMap<'a, S>,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
@@ -60,10 +62,9 @@ impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
     /// threshold (`k` of the masking construction, or `b + 1` for a strict
     /// masking system, or `1` when only crash failures are expected).
     pub fn new(system: &'a S, threshold: usize) -> Self {
+        let threshold = threshold.max(1);
         VoterLockService {
-            system,
-            threshold: threshold.max(1),
-            probe_margin: 0,
+            registers: RegisterMap::new(system, RegisterFlavor::Masking { threshold }, 1),
         }
     }
 
@@ -71,18 +72,26 @@ impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
     /// `q` responders, so ballots keep flowing when many stations are
     /// offline.
     pub fn with_probe_margin(mut self, margin: usize) -> Self {
-        self.probe_margin = margin;
+        self.registers.set_probe_margin(margin);
         self
     }
 
     /// The configured probe margin.
     pub fn probe_margin(&self) -> usize {
-        self.probe_margin
+        self.registers.probe_margin()
     }
 
     /// The read-acceptance threshold in use.
     pub fn threshold(&self) -> usize {
-        self.threshold
+        match self.registers.flavor() {
+            RegisterFlavor::Masking { threshold } => *threshold,
+            _ => unreachable!("the voter-lock service only builds masking registers"),
+        }
+    }
+
+    /// Number of voters whose lock variable has been touched.
+    pub fn touched_locks(&self) -> usize {
+        self.registers.len()
     }
 
     /// Attempts to cast a vote for `voter` at `station`.
@@ -91,22 +100,22 @@ impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
     /// voter's lock record through a quorum; if a lock is visible, reject;
     /// otherwise write a lock naming the station and accept.
     pub fn cast_vote(
-        &self,
+        &mut self,
         cluster: &mut Cluster,
         rng: &mut dyn RngCore,
         station: StationId,
         voter: VoterId,
     ) -> VoteOutcome {
         let variable = lock_variable(voter);
-        let mut register =
-            MaskingRegister::for_variable(self.system, self.threshold, station, variable)
-                .with_probe_margin(self.probe_margin);
-        match register.read(cluster, rng) {
+        match self.registers.get(cluster, rng, variable) {
             Err(_) => VoteOutcome::Unavailable,
             Ok(Some(existing)) => VoteOutcome::RejectedAlreadyVoted {
                 locked_by: decode_station(&existing.value),
             },
-            Ok(None) => match register.write(cluster, rng, encode_lock(station)) {
+            Ok(None) => match self
+                .registers
+                .put(cluster, rng, variable, encode_lock(station))
+            {
                 Ok(_) => VoteOutcome::Accepted,
                 Err(_) => VoteOutcome::Unavailable,
             },
@@ -120,10 +129,7 @@ impl<'a, S: QuorumSystem + ?Sized> VoterLockService<'a, S> {
         rng: &mut dyn RngCore,
         voter: VoterId,
     ) -> Option<StationId> {
-        let mut register =
-            MaskingRegister::for_variable(self.system, self.threshold, 0, lock_variable(voter))
-                .with_probe_margin(self.probe_margin);
-        match register.read(cluster, rng) {
+        match self.registers.get(cluster, rng, lock_variable(voter)) {
             Ok(Some(existing)) => Some(decode_station(&existing.value)),
             _ => None,
         }
@@ -160,7 +166,7 @@ impl RepeatVotingStats {
 /// once, then each makes `repeat_attempts` additional attempts from other
 /// stations.  Returns detection statistics.
 pub fn repeat_voting_experiment<S: QuorumSystem + ?Sized>(
-    service: &VoterLockService<'_, S>,
+    service: &mut VoterLockService<'_, S>,
     cluster: &mut Cluster,
     rng: &mut dyn RngCore,
     voters: u64,
@@ -220,13 +226,15 @@ mod tests {
     #[test]
     fn single_vote_accepted_then_repeat_rejected() {
         let (sys, mut cluster) = service_and_cluster(100, 4);
-        let service = VoterLockService::new(&sys, sys.read_threshold());
+        let mut service = VoterLockService::new(&sys, sys.read_threshold());
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert_eq!(service.threshold(), sys.read_threshold());
+        assert_eq!(service.touched_locks(), 0);
         assert_eq!(
             service.cast_vote(&mut cluster, &mut rng, 10, 777),
             VoteOutcome::Accepted
         );
+        assert_eq!(service.touched_locks(), 1);
         match service.cast_vote(&mut cluster, &mut rng, 11, 777) {
             VoteOutcome::RejectedAlreadyVoted { locked_by } => assert_eq!(locked_by, 10),
             other => panic!("expected rejection, got {other:?}"),
@@ -238,7 +246,7 @@ mod tests {
     #[test]
     fn distinct_voters_do_not_interfere() {
         let (sys, mut cluster) = service_and_cluster(100, 4);
-        let service = VoterLockService::new(&sys, sys.read_threshold());
+        let mut service = VoterLockService::new(&sys, sys.read_threshold());
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         for voter in 0..20u64 {
             assert_eq!(
@@ -247,14 +255,15 @@ mod tests {
                 "voter {voter}"
             );
         }
+        assert_eq!(service.touched_locks(), 20);
     }
 
     #[test]
     fn repeat_experiment_detects_virtually_all_repeats() {
         let (sys, mut cluster) = service_and_cluster(100, 4);
-        let service = VoterLockService::new(&sys, sys.read_threshold());
+        let mut service = VoterLockService::new(&sys, sys.read_threshold());
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let stats = repeat_voting_experiment(&service, &mut cluster, &mut rng, 200, 3);
+        let stats = repeat_voting_experiment(&mut service, &mut cluster, &mut rng, 200, 3);
         assert_eq!(stats.first_attempts_accepted, 200);
         assert_eq!(stats.unavailable, 0);
         // With epsilon <= 1e-3 per attempt, 600 repeats should essentially
@@ -269,7 +278,7 @@ mod tests {
         // Corrupt 4 replicas: they forge values, but below the threshold k
         // their fabrications are ignored.
         cluster.corrupt_all((0..4).map(ServerId::new), Behavior::ByzantineForge);
-        let service = VoterLockService::new(&sys, sys.read_threshold());
+        let mut service = VoterLockService::new(&sys, sys.read_threshold());
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         assert_eq!(
             service.cast_vote(&mut cluster, &mut rng, 1, 42),
@@ -295,10 +304,10 @@ mod tests {
         for margin in [0usize, 12] {
             let mut cluster = Cluster::new(sys.universe());
             cluster.crash_all((60..100).map(ServerId::new));
-            let service =
+            let mut service =
                 VoterLockService::new(&sys, sys.read_threshold()).with_probe_margin(margin);
             assert_eq!(service.probe_margin(), margin);
-            let stats = repeat_voting_experiment(&service, &mut cluster, &mut rng, 100, 2);
+            let stats = repeat_voting_experiment(&mut service, &mut cluster, &mut rng, 100, 2);
             rates.push(stats.undetected_repeat_rate());
         }
         assert!(
@@ -316,9 +325,9 @@ mod tests {
         // needs 55 live servers per quorum and would already be shaky; the
         // probabilistic system keeps accepting ballots and detecting repeats.
         cluster.crash_all((80..100).map(ServerId::new));
-        let service = VoterLockService::new(&sys, sys.read_threshold());
+        let mut service = VoterLockService::new(&sys, sys.read_threshold());
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let stats = repeat_voting_experiment(&service, &mut cluster, &mut rng, 50, 1);
+        let stats = repeat_voting_experiment(&mut service, &mut cluster, &mut rng, 50, 1);
         assert_eq!(stats.unavailable, 0);
         assert_eq!(stats.first_attempts_accepted, 50);
         // Detection degrades gracefully with crashes (fewer lock holders

@@ -10,6 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqs_core::prelude::*;
 use pqs_sim::latency::LatencyModel;
 use pqs_sim::runner::{ProtocolKind, SimConfig, Simulation};
+use pqs_sim::workload::KeySpace;
 use std::time::Instant;
 
 fn engine_config(arrival_rate: f64) -> SimConfig {
@@ -62,6 +63,23 @@ fn bench_engine_throughput(c: &mut Criterion) {
         config.probe_margin = 8;
         bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
     });
+    group.finish();
+
+    // The sharded key space: the per-variable session table (register map,
+    // per-key write logs, per-key metrics) must not cost events/sec as the
+    // key count grows. A regression here is the session-table overhead.
+    let mut group = c.benchmark_group("event_engine_multi_key");
+    for &keys in &[1u64, 64, 4096] {
+        group.bench_with_input(BenchmarkId::new("zipf_run", keys), &keys, |bench, &keys| {
+            let mut config = engine_config(500.0);
+            config.keyspace = if keys == 1 {
+                KeySpace::single()
+            } else {
+                KeySpace::zipf(keys, 1.0)
+            };
+            bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
+        });
+    }
     group.finish();
 
     let mask = ProbabilisticMasking::with_target_epsilon(100, 5, 1e-3).unwrap();

@@ -17,6 +17,7 @@
 //! | `validate_masking` | Lemmas 5.7, 5.9 / Theorem 5.10 |
 //! | `validate_protocols` | Theorems 3.2, 4.2, 5.2 (simulation) |
 //! | `validate_load` | Theorems 3.9, 5.5 and Table I load bounds |
+//! | `validate_sharding` | per-server load invariance and per-key popularity of the sharded KV store |
 //!
 //! All binaries print an aligned text table to stdout and write the same
 //! rows as CSV under `target/experiments/`.

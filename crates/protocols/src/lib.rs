@@ -26,7 +26,8 @@
 //!   injection and per-server access accounting.
 //! * [`register`] — the three client protocols: safe ([`register::SafeRegister`]),
 //!   dissemination ([`register::DisseminationRegister`]) and masking
-//!   ([`register::MaskingRegister`]).
+//!   ([`register::MaskingRegister`]), plus the sharded key–value facade
+//!   ([`register::RegisterMap`]) that instantiates any of them per key.
 //! * [`diffusion`] — epidemic propagation of the freshest value between
 //!   correct servers.
 //!

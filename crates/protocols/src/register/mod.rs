@@ -14,13 +14,20 @@
 //!   reported by at least `k` servers, then pick the highest timestamp
 //!   (`⊥` if none qualifies).  Tolerates `b` Byzantine servers for
 //!   arbitrary data (Theorem 5.2).
+//!
+//! [`RegisterMap`] lifts any of the three into a sharded key–value store:
+//! one lazily created register (and writer timestamp chain) per
+//! [`VariableId`](crate::server::VariableId), all sharing the quorum system
+//! and the replica cluster.
 
 mod dissemination;
+pub mod map;
 mod masking;
 mod safe;
 pub mod session;
 
 pub use dissemination::DisseminationRegister;
+pub use map::{RegisterFlavor, RegisterMap, WriteRecord};
 pub use masking::MaskingRegister;
 pub use safe::{SafeRegister, WriteReceipt};
 pub use session::{ProbeSet, ReadMode, ReadSession, SessionStatus, WriteSession};

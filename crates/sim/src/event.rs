@@ -23,6 +23,8 @@
 //!   a server that crashed mid-flight simply fails to answer.
 //! * [`Event::OpTimeout`] — the per-operation timer fires; the attempt is
 //!   cut short (condense what arrived, or resample a fresh probe set).
+//! * [`Event::RetryAttempt`] — an exponentially backed-off retry becomes
+//!   due and starts its attempt on a fresh probe set.
 //! * [`Event::FailureTransition`] — a scheduled crash or recovery flips a
 //!   server's behaviour.
 
@@ -57,6 +59,18 @@ pub enum Event {
         /// The operation.
         op: OpId,
         /// The attempt the timer was armed for.
+        attempt: u32,
+    },
+    /// A backed-off retry becomes due: the operation starts the given
+    /// attempt on a fresh probe set.  Only scheduled when
+    /// [`SimConfig::retry_backoff`](crate::runner::SimConfig::retry_backoff)
+    /// is positive — with the default immediate-retry policy the next
+    /// attempt starts inline and no such event exists.
+    RetryAttempt {
+        /// The operation.
+        op: OpId,
+        /// The attempt to start (the op's attempt counter at scheduling
+        /// time; a stale event — e.g. after the op finished — is ignored).
         attempt: u32,
     },
     /// A scheduled crash (`crash == true`) or recovery of one server.

@@ -9,23 +9,29 @@
 //! message with its own latency draw, servers crash or recover **mid-run**
 //! according to a failure plan, and the simulator records per-kind latency
 //! percentiles, stale-read rates, per-server load, in-flight concurrency
-//! and availability.
+//! and availability.  One run drives a whole *key space* of replicated
+//! variables (uniform or Zipf popularity), each with its own writer and
+//! per-key metrics, so the simulator is a key–value store under test, not
+//! just a register.
 //!
 //! ## Layout
 //!
 //! * [`time`] — simulation time and the deterministic event queue.
 //! * [`event`] — the event vocabulary (`OpArrival`, `ProbeReply`,
-//!   `OpTimeout`, `FailureTransition`) and the [`event::EventEngine`]
-//!   driver with its throughput/concurrency accounting.
+//!   `OpTimeout`, `RetryAttempt`, `FailureTransition`) and the
+//!   [`event::EventEngine`] driver with its throughput/concurrency
+//!   accounting.
 //! * [`latency`] — per-message latency models (fixed, uniform, exponential,
 //!   Pareto long-tail).
 //! * [`workload`] — open-loop workload generation (Poisson arrivals,
-//!   read/write mix).
+//!   read/write mix) sharded over a [`workload::KeySpace`].
 //! * [`failure`] — failure plans: initial Byzantine placement, crash
 //!   schedules, crash waves and independent crash probabilities.
-//! * [`metrics`] — what the simulator measures, including p50/p95/p99.
-//! * [`runner`] — the simulation driver: many concurrent client sessions,
-//!   first-`q`-of-probed quorum access, timeout-and-resample retry.
+//! * [`metrics`] — what the simulator measures, including p50/p95/p99 and
+//!   the per-key breakdown ([`metrics::VariableReport`]).
+//! * [`runner`] — the simulation driver: many concurrent client sessions
+//!   over a per-variable register table, first-`q`-of-probed quorum access,
+//!   timeout-and-resample retry with optional exponential backoff.
 //!
 //! ## Example
 //!

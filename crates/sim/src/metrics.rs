@@ -2,6 +2,7 @@
 
 use crate::time::SimTime;
 use pqs_math::mc::RunningStats;
+use pqs_protocols::server::VariableId;
 
 /// A collection of latency samples supporting percentile queries.
 ///
@@ -97,6 +98,65 @@ impl LatencySamples {
     }
 }
 
+/// Per-variable (per-key) breakdown of one simulation run.
+///
+/// The sharded workload spreads operations over a
+/// [`KeySpace`](crate::workload::KeySpace); each key's consistency, availability
+/// and latency is accounted separately so skewed-popularity runs can show
+/// where the hot keys sit.  Summing any op-count field over all variables
+/// reproduces the corresponding [`SimReport`] aggregate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VariableReport {
+    /// The key this row describes.
+    pub variable: VariableId,
+    /// Reads of this key that completed.
+    pub completed_reads: u64,
+    /// Writes of this key that completed.
+    pub completed_writes: u64,
+    /// Stale reads of this key.
+    pub stale_reads: u64,
+    /// Reads of this key that returned ⊥ despite a completed write.
+    pub empty_reads: u64,
+    /// Operations on this key that failed outright.
+    pub unavailable_ops: u64,
+    /// Reads of this key concurrent with a write of the same key.
+    pub concurrent_reads: u64,
+    /// Zero-reply attempts on this key that were resampled.
+    pub retries: u64,
+    /// Attempts on this key cut short by the per-operation timeout.
+    pub timed_out_attempts: u64,
+    /// Latencies of this key's completed operations (reads and writes).
+    pub latency: LatencySamples,
+}
+
+impl VariableReport {
+    /// Total operations issued against this key (completed + failed).
+    pub fn operations(&self) -> u64 {
+        self.completed_reads + self.completed_writes + self.unavailable_ops
+    }
+
+    /// Fraction of this key's non-concurrent reads that were stale or
+    /// empty — the key's empirical ε.
+    pub fn stale_read_rate(&self) -> f64 {
+        let eligible = self.completed_reads.saturating_sub(self.concurrent_reads);
+        if eligible == 0 {
+            0.0
+        } else {
+            (self.stale_reads + self.empty_reads) as f64 / eligible as f64
+        }
+    }
+
+    /// Mean operation latency on this key in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// 99th-percentile latency on this key.
+    pub fn p99_latency(&self) -> f64 {
+        self.latency.p99()
+    }
+}
+
 /// Aggregated results of one simulation run.
 ///
 /// Two reports of the same `SimConfig` + seed compare equal (`PartialEq`):
@@ -140,6 +200,9 @@ pub struct SimReport {
     pub per_server_accesses: Vec<u64>,
     /// Total quorum operations issued (for load normalisation).
     pub total_operations: u64,
+    /// Per-key breakdown, one entry per key of the run's
+    /// [`KeySpace`](crate::workload::KeySpace) (index == key id).
+    pub per_variable: Vec<VariableReport>,
 }
 
 impl SimReport {
@@ -191,6 +254,45 @@ impl SimReport {
                 .chain(self.write_latency.samples_iter()),
         );
         merged.p99()
+    }
+
+    /// Total operations summed over the per-key breakdown; equals
+    /// `completed_reads + completed_writes + unavailable_ops` on every run
+    /// (the sharded accounting must not lose operations).
+    pub fn summed_per_variable_ops(&self) -> u64 {
+        self.per_variable.iter().map(|v| v.operations()).sum()
+    }
+
+    /// The key that absorbed the most operations (ties broken by lowest
+    /// key id); `None` when the run recorded no per-key data.
+    pub fn hottest_variable(&self) -> Option<&VariableReport> {
+        self.per_variable.iter().max_by(|a, b| {
+            a.operations()
+                .cmp(&b.operations())
+                .then(b.variable.cmp(&a.variable))
+        })
+    }
+
+    /// Hot-key load imbalance: the busiest key's operation count divided by
+    /// the mean per-key operation count (1.0 = perfectly balanced; a
+    /// Zipf(1) workload over k keys approaches `k / H_k`).  Returns 0 when
+    /// no per-key data was recorded.
+    pub fn key_load_imbalance(&self) -> f64 {
+        if self.per_variable.is_empty() {
+            return 0.0;
+        }
+        let total = self.summed_per_variable_ops();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self
+            .per_variable
+            .iter()
+            .map(|v| v.operations())
+            .max()
+            .unwrap_or(0);
+        let mean = total as f64 / self.per_variable.len() as f64;
+        max as f64 / mean
     }
 }
 
@@ -261,6 +363,47 @@ mod tests {
         }
         r.write_latency.record(1.0);
         assert!((r.p99_latency() - 0.099).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_variable_breakdown_helpers() {
+        let mut r = SimReport::default();
+        assert_eq!(r.summed_per_variable_ops(), 0);
+        assert!(r.hottest_variable().is_none());
+        assert_eq!(r.key_load_imbalance(), 0.0);
+        for (i, ops) in [(0u64, 60u64), (1, 30), (2, 10)] {
+            let mut v = VariableReport {
+                variable: i,
+                completed_reads: ops - 2,
+                completed_writes: 1,
+                unavailable_ops: 1,
+                ..VariableReport::default()
+            };
+            v.latency.record(0.001 * (i + 1) as f64);
+            r.per_variable.push(v);
+        }
+        assert_eq!(r.summed_per_variable_ops(), 100);
+        let hot = r.hottest_variable().unwrap();
+        assert_eq!(hot.variable, 0);
+        assert_eq!(hot.operations(), 60);
+        // max 60 over mean 100/3.
+        assert!((r.key_load_imbalance() - 60.0 / (100.0 / 3.0)).abs() < 1e-12);
+        assert!((hot.mean_latency() - 0.001).abs() < 1e-12);
+        assert_eq!(hot.p99_latency(), 0.001);
+    }
+
+    #[test]
+    fn variable_report_stale_rate() {
+        let v = VariableReport {
+            variable: 3,
+            completed_reads: 50,
+            concurrent_reads: 10,
+            stale_reads: 3,
+            empty_reads: 1,
+            ..VariableReport::default()
+        };
+        assert!((v.stale_read_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(VariableReport::default().stale_read_rate(), 0.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The simulation driver: a discrete-event engine over per-message probes.
 //!
 //! A [`Simulation`] ties together a quorum system, one of the three register
-//! protocols, a replica cluster, a latency model, a workload and a failure
-//! plan, and produces a [`SimReport`].
+//! protocols, a replica cluster, a latency model, a sharded workload and a
+//! failure plan, and produces a [`SimReport`].
 //!
 //! ## The access model
 //!
@@ -25,26 +25,40 @@
 //!    under partial quorum responses.
 //! 4. An attempt that gathered *zero* replies resamples a fresh probe set
 //!    (timeout-and-resample), up to [`SimConfig::max_retries`] times, before
-//!    the operation counts as unavailable.
+//!    the operation counts as unavailable.  With a positive
+//!    [`SimConfig::retry_backoff`] each resample waits an exponentially
+//!    growing delay first ([`Event::RetryAttempt`]).
 //!
-//! Many operations are therefore in flight at once; the report's
+//! ## The key space
+//!
+//! One run drives **many replicated variables concurrently**: the workload
+//! spreads operations over a [`KeySpace`] (uniform or Zipf popularity), and
+//! the engine keeps one register client — with its own writer timestamp
+//! chain, write log and staleness accounting — per key through a
+//! [`RegisterMap`].  Sessions for different keys interleave freely in the
+//! event queue; the report carries a per-variable breakdown
+//! ([`SimReport::per_variable`]) next to the aggregates.  The default
+//! single-key space reproduces the classic one-register runs exactly
+//! (bit-identical reports per seed).
+//!
+//! Many operations are in flight at once; the report's
 //! `mean_in_flight`/`max_in_flight` gauges and per-kind latency percentiles
 //! quantify exactly the regimes the atomic model could not reach.
 
 use crate::event::{Event, EventEngine, OpId};
 use crate::failure::FailurePlan;
 use crate::latency::LatencyModel;
-use crate::metrics::SimReport;
+use crate::metrics::{SimReport, VariableReport};
 use crate::time::SimTime;
-use crate::workload::{OpKind, WorkloadConfig};
+use crate::workload::{KeySpace, OpKind, WorkloadConfig};
 use pqs_core::system::QuorumSystem;
 use pqs_core::universe::ServerId;
 use pqs_protocols::cluster::Cluster;
-use pqs_protocols::crypto::{KeyRegistry, SignedValue};
-use pqs_protocols::register::session::{ProbeSet, ReadSession, WriteSession};
-use pqs_protocols::register::{DisseminationRegister, MaskingRegister, SafeRegister};
-use pqs_protocols::server::Behavior;
-use pqs_protocols::value::{TaggedValue, Value};
+use pqs_protocols::crypto::KeyRegistry;
+use pqs_protocols::register::session::{ReadSession, WriteSession};
+use pqs_protocols::register::{RegisterFlavor, RegisterMap, WriteRecord};
+use pqs_protocols::server::{Behavior, VariableId};
+use pqs_protocols::value::Value;
 use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -75,6 +89,10 @@ pub struct SimConfig {
     pub arrival_rate: f64,
     /// Fraction of operations that are reads.
     pub read_fraction: f64,
+    /// The key space operations shard over: number of replicated variables
+    /// and their popularity law.  [`KeySpace::single`] (the default) drives
+    /// one variable, reproducing the classic single-register run.
+    pub keyspace: KeySpace,
     /// Latency model for individual client–server probes (drawn once per
     /// probe, not once per quorum).
     pub latency: LatencyModel,
@@ -94,24 +112,33 @@ pub struct SimConfig {
     /// How many times a zero-reply attempt is resampled onto a fresh probe
     /// set before the operation counts as unavailable.
     pub max_retries: u32,
+    /// Exponential-backoff factor between resampled attempts: retry `k`
+    /// (1-based) waits `retry_backoff · op_timeout · 2^(k−1)` simulated
+    /// seconds before sampling its fresh probe set.  The default `0.0`
+    /// retries immediately — the classic behaviour, preserved event for
+    /// event.
+    pub retry_backoff: f64,
     /// RNG seed; the run is fully deterministic given the seed.
     pub seed: u64,
 }
 
 impl Default for SimConfig {
-    /// 60 simulated seconds, 10 op/s, 90% reads, 1 ms fixed latency, no
-    /// failures, no probe margin, a 1-second timeout with one retry, seed 0.
+    /// 60 simulated seconds, 10 op/s, 90% reads, one key, 1 ms fixed
+    /// latency, no failures, no probe margin, a 1-second timeout with one
+    /// immediate retry, seed 0.
     fn default() -> Self {
         SimConfig {
             duration: 60.0,
             arrival_rate: 10.0,
             read_fraction: 0.9,
+            keyspace: KeySpace::single(),
             latency: LatencyModel::default(),
             crash_probability: 0.0,
             byzantine: 0,
             probe_margin: 0,
             op_timeout: 1.0,
             max_retries: 1,
+            retry_backoff: 0.0,
             seed: 0,
         }
     }
@@ -137,10 +164,12 @@ struct WriteWindow {
     failed: bool,
 }
 
-/// The write windows of a run, pruned as simulated time advances so the
-/// per-read staleness checks scan only windows that can still matter —
+/// The write windows of one variable, pruned as simulated time advances so
+/// the per-read staleness checks scan only windows that can still matter —
 /// without pruning the event loop would be O(reads × writes), quadratic in
-/// run duration.
+/// run duration.  The sharded engine keeps one log per key: staleness is a
+/// per-variable property (a write of key 3 cannot make a read of key 5
+/// stale).
 #[derive(Debug, Default)]
 struct WriteLog {
     windows: Vec<WriteWindow>,
@@ -216,49 +245,30 @@ impl WriteLog {
 }
 
 /// What one in-flight operation sends to servers and how it tracks replies.
+/// The write record is plain or signed according to the protocol flavor
+/// ([`WriteRecord`]), so one variant covers all three protocols.
 #[derive(Debug)]
 enum OpSession {
     Read(ReadSession),
-    PlainWrite(TaggedValue, WriteSession),
-    SignedWrite(SignedValue, WriteSession),
+    Write(WriteRecord, WriteSession),
 }
 
 /// Book-keeping for one client operation across its attempts.
 #[derive(Debug)]
 struct OpState {
     kind: OpKind,
+    /// The key the operation targets.
+    variable: VariableId,
     start: SimTime,
     attempt: u32,
     outstanding: usize,
     done: bool,
     session: Option<OpSession>,
-    /// Index into the write-window vector (writes only).
+    /// The value a write pushes: its variable's write sequence number,
+    /// assigned at arrival (reads leave it 0).
+    sequence: u64,
+    /// Handle into the variable's write log (writes only).
     window: Option<usize>,
-}
-
-/// A retried write re-sends its original record under its original
-/// timestamp (it is the *same* logical write, aimed at a fresh probe set);
-/// only the first attempt issues a fresh record via `begin`.
-fn resume_write<R>(
-    prev: Option<(R, WriteSession)>,
-    probe: &ProbeSet,
-    begin: impl FnOnce() -> (R, WriteSession),
-) -> (R, WriteSession) {
-    match prev {
-        Some((record, old)) => (
-            record,
-            WriteSession::new(old.timestamp(), probe.needed, probe.probed()),
-        ),
-        None => begin(),
-    }
-}
-
-/// The three protocol clients; only the one matching `ProtocolKind` is used,
-/// but all are constructed so RNG-independent setup stays uniform.
-struct Clients<'a, S: QuorumSystem + ?Sized> {
-    safe: SafeRegister<'a, S>,
-    dissemination: DisseminationRegister<'a, S>,
-    masking: Option<MaskingRegister<'a, S>>,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
@@ -316,29 +326,29 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         };
         cluster.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
 
-        // Workload.
+        // Workload, sharded over the key space.
         let ops = WorkloadConfig {
             duration: self.config.duration,
             arrival_rate: self.config.arrival_rate,
             read_fraction: self.config.read_fraction,
+            keyspace: self.config.keyspace,
         }
         .generate(&mut rng);
 
-        // Protocol clients.
+        // The per-variable session table: one register client per key,
+        // instantiated lazily on the key's first operation.
         let mut registry = KeyRegistry::new();
         let signing_key = registry.register(1, self.config.seed ^ 0xabcdef);
-        let margin = self.config.probe_margin as usize;
-        let mut clients = Clients {
-            safe: SafeRegister::new(self.system, 1).with_probe_margin(margin),
-            dissemination: DisseminationRegister::new(self.system, signing_key, registry.clone())
-                .with_probe_margin(margin),
-            masking: match self.kind {
-                ProtocolKind::Masking { threshold } => {
-                    Some(MaskingRegister::new(self.system, threshold, 1).with_probe_margin(margin))
-                }
-                _ => None,
+        let flavor = match self.kind {
+            ProtocolKind::Safe => RegisterFlavor::Safe,
+            ProtocolKind::Dissemination => RegisterFlavor::Dissemination {
+                key: signing_key,
+                registry: registry.clone(),
             },
+            ProtocolKind::Masking { threshold } => RegisterFlavor::Masking { threshold },
         };
+        let mut registers = RegisterMap::new(self.system, flavor, 1)
+            .with_probe_margin(self.config.probe_margin as usize);
 
         // Seed the event queue: every arrival and every failure transition.
         let mut engine = EventEngine::new();
@@ -359,33 +369,34 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
             .iter()
             .map(|op| OpState {
                 kind: op.kind,
+                variable: op.variable,
                 start: op.at,
                 attempt: 0,
                 outstanding: 0,
                 done: false,
                 session: None,
+                sequence: 0,
                 window: None,
             })
             .collect();
 
-        // Every simulated client drives the same logical variable; derive
-        // it from the active register so `for_variable` clients would work.
-        let variable = match self.kind {
-            ProtocolKind::Safe => clients.safe.variable(),
-            ProtocolKind::Dissemination => clients.dissemination.variable(),
-            ProtocolKind::Masking { .. } => clients
-                .masking
-                .as_ref()
-                .expect("masking client exists for masking runs")
-                .variable(),
+        let nvars = self.config.keyspace.keys as usize;
+        let mut report = SimReport {
+            per_variable: (0..nvars)
+                .map(|i| VariableReport {
+                    variable: i as VariableId,
+                    ..VariableReport::default()
+                })
+                .collect(),
+            ..SimReport::default()
         };
-
-        let mut report = SimReport::default();
-        let mut writes = WriteLog::default();
-        let mut next_value: u64 = 0;
+        // One write log and sequence counter per variable: staleness and
+        // write ordering are per-key properties.
+        let mut writes: Vec<WriteLog> = (0..nvars).map(|_| WriteLog::default()).collect();
+        let mut sequences: Vec<u64> = vec![0; nvars];
         // Ops arrive in time order, so the first not-done entry bounds the
         // earliest start any unfinished operation can have — the pruning
-        // horizon for the write log.
+        // horizon for the write logs.
         let mut oldest_active: usize = 0;
 
         while let Some((t, event)) = engine.next_event() {
@@ -396,18 +407,20 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     while oldest_active < states.len() && states[oldest_active].done {
                         oldest_active += 1;
                     }
-                    writes.advance(states[oldest_active.min(idx)].start);
+                    let horizon = states[oldest_active.min(idx)].start;
+                    let var = states[idx].variable as usize;
+                    writes[var].advance(horizon);
                     if states[idx].kind == OpKind::Write {
-                        next_value += 1;
-                        let handle = writes.open(t, next_value);
+                        sequences[var] += 1;
+                        states[idx].sequence = sequences[var];
+                        let handle = writes[var].open(t, sequences[var]);
                         states[idx].window = Some(handle);
                     }
                     self.start_attempt(
                         op,
                         t,
-                        next_value,
                         &mut states[idx],
-                        &mut clients,
+                        &mut registers,
                         &mut cluster,
                         &mut engine,
                         &mut rng,
@@ -421,32 +434,24 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     let idx = op as usize;
                     // The probe's server-side effect happens regardless of
                     // whether the client still cares: the message was sent.
-                    let fed = self.deliver_probe(
-                        &mut states[idx],
-                        server,
-                        &mut cluster,
-                        attempt,
-                        variable,
-                    );
+                    let fed = Self::deliver_probe(&mut states[idx], server, &mut cluster, attempt);
                     if fed {
                         let state = &mut states[idx];
                         state.outstanding -= 1;
                         let complete = match state.session.as_ref() {
                             Some(OpSession::Read(s)) => s.is_complete(),
-                            Some(OpSession::PlainWrite(_, s))
-                            | Some(OpSession::SignedWrite(_, s)) => s.is_complete(),
+                            Some(OpSession::Write(_, s)) => s.is_complete(),
                             None => false,
                         };
                         if complete {
-                            self.finalize(op, t, &mut states[idx], &mut writes, &mut report);
+                            self.finalize(t, &mut states[idx], &mut writes, &mut report);
                             engine.op_finished();
                         } else if states[idx].outstanding == 0 {
                             self.end_attempt(
                                 op,
                                 t,
-                                next_value,
                                 &mut states[idx],
-                                &mut clients,
+                                &mut registers,
                                 &mut cluster,
                                 &mut engine,
                                 &mut rng,
@@ -460,17 +465,33 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     let idx = op as usize;
                     if !states[idx].done && states[idx].attempt == attempt {
                         report.timed_out_attempts += 1;
+                        report.per_variable[states[idx].variable as usize].timed_out_attempts += 1;
                         self.end_attempt(
                             op,
                             t,
-                            next_value,
                             &mut states[idx],
-                            &mut clients,
+                            &mut registers,
                             &mut cluster,
                             &mut engine,
                             &mut rng,
                             &mut writes,
                             &mut report,
+                        );
+                    }
+                }
+                Event::RetryAttempt { op, attempt } => {
+                    let idx = op as usize;
+                    // Stale retry events (the op finished meanwhile, or a
+                    // newer attempt superseded this one) are ignored.
+                    if !states[idx].done && states[idx].attempt == attempt {
+                        self.start_attempt(
+                            op,
+                            t,
+                            &mut states[idx],
+                            &mut registers,
+                            &mut cluster,
+                            &mut engine,
+                            &mut rng,
                         );
                     }
                 }
@@ -493,89 +514,46 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         report
     }
 
-    /// Samples a probe set, creates the attempt's session, and schedules one
-    /// probe-reply event per probed server plus the attempt timeout.
+    /// Samples a probe set, creates the attempt's session through the
+    /// per-variable register table, and schedules one probe-reply event per
+    /// probed server plus the attempt timeout.
     #[allow(clippy::too_many_arguments)]
     fn start_attempt(
         &self,
         op: OpId,
         now: SimTime,
-        sequence: u64,
         state: &mut OpState,
-        clients: &mut Clients<'_, S>,
+        registers: &mut RegisterMap<'a, S>,
         cluster: &mut Cluster,
         engine: &mut EventEngine,
         rng: &mut dyn RngCore,
     ) {
         cluster.note_operation();
-        let probe: ProbeSet;
+        let probe = registers.sample_probe_set(rng);
         match state.kind {
             OpKind::Write => {
-                let value = Value::from_u64(sequence);
-                match self.kind {
-                    ProtocolKind::Safe => {
-                        probe = clients.safe.sample_probe_set(rng);
-                        let prev = match state.session.take() {
-                            Some(OpSession::PlainWrite(record, old)) => Some((record, old)),
-                            _ => None,
-                        };
-                        let (record, session) = resume_write(prev, &probe, || {
-                            clients
-                                .safe
-                                .begin_write(value, probe.needed, probe.probed())
-                        });
-                        state.session = Some(OpSession::PlainWrite(record, session));
+                // A retried write re-sends its original record under its
+                // original timestamp (it is the *same* logical write, aimed
+                // at a fresh probe set); only the first attempt issues a
+                // fresh record through the variable's timestamp chain.
+                let (record, session) = match state.session.take() {
+                    Some(OpSession::Write(record, old)) => {
+                        let session =
+                            WriteSession::new(old.timestamp(), probe.needed, probe.probed());
+                        (record, session)
                     }
-                    ProtocolKind::Masking { .. } => {
-                        let masking = clients
-                            .masking
-                            .as_mut()
-                            .expect("masking client exists for masking runs");
-                        probe = masking.sample_probe_set(rng);
-                        let prev = match state.session.take() {
-                            Some(OpSession::PlainWrite(record, old)) => Some((record, old)),
-                            _ => None,
-                        };
-                        let (record, session) = resume_write(prev, &probe, || {
-                            masking.begin_write(value, probe.needed, probe.probed())
-                        });
-                        state.session = Some(OpSession::PlainWrite(record, session));
-                    }
-                    ProtocolKind::Dissemination => {
-                        probe = clients.dissemination.sample_probe_set(rng);
-                        let prev = match state.session.take() {
-                            Some(OpSession::SignedWrite(record, old)) => Some((record, old)),
-                            _ => None,
-                        };
-                        let (record, session) = resume_write(prev, &probe, || {
-                            clients
-                                .dissemination
-                                .begin_write(value, probe.needed, probe.probed())
-                        });
-                        state.session = Some(OpSession::SignedWrite(record, session));
-                    }
-                }
+                    _ => registers.begin_write(
+                        state.variable,
+                        Value::from_u64(state.sequence),
+                        probe.needed,
+                        probe.probed(),
+                    ),
+                };
+                state.session = Some(OpSession::Write(record, session));
             }
-            OpKind::Read => match self.kind {
-                ProtocolKind::Safe => {
-                    probe = clients.safe.sample_probe_set(rng);
-                    state.session = Some(OpSession::Read(clients.safe.begin_read(probe.needed)));
-                }
-                ProtocolKind::Dissemination => {
-                    probe = clients.dissemination.sample_probe_set(rng);
-                    state.session = Some(OpSession::Read(
-                        clients.dissemination.begin_read(probe.needed),
-                    ));
-                }
-                ProtocolKind::Masking { .. } => {
-                    let masking = clients
-                        .masking
-                        .as_ref()
-                        .expect("masking client exists for masking runs");
-                    probe = masking.sample_probe_set(rng);
-                    state.session = Some(OpSession::Read(masking.begin_read(probe.needed)));
-                }
-            },
+            OpKind::Read => {
+                state.session = Some(OpSession::Read(registers.begin_read(probe.needed)));
+            }
         }
         state.outstanding = probe.probed();
         for &server in &probe.servers {
@@ -602,24 +580,16 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
     /// about this attempt, feeds the reply into the session.  Returns whether
     /// the session consumed the probe.
     fn deliver_probe(
-        &self,
         state: &mut OpState,
         server: ServerId,
         cluster: &mut Cluster,
         attempt: u32,
-        variable: u64,
     ) -> bool {
         let live = !state.done && state.attempt == attempt;
+        let variable = state.variable;
         match state.session.as_mut() {
-            Some(OpSession::PlainWrite(record, session)) => {
-                let acked = cluster.probe_write_plain(server, variable, record);
-                if live {
-                    session.on_ack(acked);
-                }
-                live
-            }
-            Some(OpSession::SignedWrite(record, session)) => {
-                let acked = cluster.probe_write_signed(server, variable, record);
+            Some(OpSession::Write(record, session)) => {
+                let acked = RegisterMap::<S>::apply_write(cluster, server, variable, record);
                 if live {
                     session.on_ack(acked);
                 }
@@ -645,63 +615,91 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         }
     }
 
+    /// The simulated-seconds delay before retry number `attempt` (1-based)
+    /// starts: `retry_backoff · op_timeout · 2^(attempt−1)`, 0 with the
+    /// default immediate-retry policy.
+    fn retry_delay(&self, attempt: u32) -> SimTime {
+        if self.config.retry_backoff <= 0.0 {
+            return 0.0;
+        }
+        let doublings = attempt.saturating_sub(1).min(62);
+        self.config.retry_backoff * self.config.op_timeout.max(0.0) * (1u64 << doublings) as f64
+    }
+
     /// An attempt ran out of probes or timed out: condense partial replies,
-    /// retry on a fresh probe set, or give up.
+    /// retry on a fresh probe set (immediately or after the backoff delay),
+    /// or give up.
     #[allow(clippy::too_many_arguments)]
     fn end_attempt(
         &self,
         op: OpId,
         now: SimTime,
-        sequence: u64,
         state: &mut OpState,
-        clients: &mut Clients<'_, S>,
+        registers: &mut RegisterMap<'a, S>,
         cluster: &mut Cluster,
         engine: &mut EventEngine,
         rng: &mut dyn RngCore,
-        writes: &mut WriteLog,
+        writes: &mut [WriteLog],
         report: &mut SimReport,
     ) {
         let responders = match state.session.as_ref() {
             Some(OpSession::Read(s)) => s.responders(),
-            Some(OpSession::PlainWrite(_, s)) | Some(OpSession::SignedWrite(_, s)) => s.acks(),
+            Some(OpSession::Write(_, s)) => s.acks(),
             None => 0,
         };
         if responders > 0 {
-            self.finalize(op, now, state, writes, report);
+            self.finalize(now, state, writes, report);
             engine.op_finished();
         } else if state.attempt < self.config.max_retries {
             state.attempt += 1;
             report.retries += 1;
-            self.start_attempt(op, now, sequence, state, clients, cluster, engine, rng);
+            report.per_variable[state.variable as usize].retries += 1;
+            let delay = self.retry_delay(state.attempt);
+            if delay > 0.0 {
+                engine.schedule(
+                    now + delay,
+                    Event::RetryAttempt {
+                        op,
+                        attempt: state.attempt,
+                    },
+                );
+            } else {
+                self.start_attempt(op, now, state, registers, cluster, engine, rng);
+            }
         } else {
             state.done = true;
             engine.op_finished();
             report.unavailable_ops += 1;
+            report.per_variable[state.variable as usize].unavailable_ops += 1;
             if let Some(handle) = state.window {
-                writes.fail(handle, now);
+                writes[state.variable as usize].fail(handle, now);
             }
         }
     }
 
     /// A session gathered its replies (all `q`, or a non-empty partial set):
-    /// close the operation and account for it.
+    /// close the operation and account for it, in the aggregates and in the
+    /// variable's own breakdown.
     fn finalize(
         &self,
-        _op: OpId,
         now: SimTime,
         state: &mut OpState,
-        writes: &mut WriteLog,
+        writes: &mut [WriteLog],
         report: &mut SimReport,
     ) {
         state.done = true;
         let latency = now - state.start;
+        let var = state.variable as usize;
         match state.session.as_ref() {
-            Some(OpSession::PlainWrite(_, _)) | Some(OpSession::SignedWrite(_, _)) => {
+            Some(OpSession::Write(_, _)) => {
                 report.completed_writes += 1;
                 report.latency.record(latency);
                 report.write_latency.record(latency);
+                let pv = &mut report.per_variable[var];
+                pv.completed_writes += 1;
+                pv.latency.record(latency);
                 if let Some(handle) = state.window {
-                    writes.close(handle, now);
+                    writes[var].close(handle, now);
                 }
             }
             Some(OpSession::Read(session)) => {
@@ -711,23 +709,31 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                 report.completed_reads += 1;
                 report.latency.record(latency);
                 report.read_latency.record(latency);
+                let pv = &mut report.per_variable[var];
+                pv.completed_reads += 1;
+                pv.latency.record(latency);
                 let read_start = state.start;
                 let read_end = now;
-                if writes.concurrent_with(read_start, read_end) {
+                if writes[var].concurrent_with(read_start, read_end) {
                     report.concurrent_reads += 1;
+                    report.per_variable[var].concurrent_reads += 1;
                 } else {
-                    // The freshest write completed before this read started
-                    // is the expected result.
-                    let expected = writes.latest_completed_before(read_start);
+                    // The freshest write of this variable completed before
+                    // this read started is the expected result.
+                    let expected = writes[var].latest_completed_before(read_start);
                     match (expected, result) {
                         (None, _) => {}
                         (Some(seq), Some(tv)) => {
                             let got = tv.value.as_u64().unwrap_or(0);
                             if got < seq {
                                 report.stale_reads += 1;
+                                report.per_variable[var].stale_reads += 1;
                             }
                         }
-                        (Some(_), None) => report.empty_reads += 1,
+                        (Some(_), None) => {
+                            report.empty_reads += 1;
+                            report.per_variable[var].empty_reads += 1;
+                        }
                     }
                 }
             }
@@ -791,6 +797,12 @@ mod tests {
         // Every op probes |Q| servers and the engine processes one event per
         // probe plus arrival and timeout events.
         assert!(report.events_processed > report.total_operations);
+        // The single-key run books everything under variable 0.
+        assert_eq!(report.per_variable.len(), 1);
+        assert_eq!(
+            report.summed_per_variable_ops(),
+            report.completed_reads + report.completed_writes + report.unavailable_ops
+        );
     }
 
     #[test]
@@ -1033,5 +1045,132 @@ mod tests {
         let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
         assert!((report.mean_latency() - 2e-3).abs() < 1e-9);
         assert!((report.read_latency.p99() - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_run_books_every_op_under_its_variable() {
+        let sys = EpsilonIntersecting::new(100, 22).unwrap();
+        let mut config = quick_config(16);
+        config.duration = 100.0;
+        config.arrival_rate = 60.0;
+        config.read_fraction = 0.7;
+        config.keyspace = KeySpace::zipf(64, 1.0);
+        let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        assert_eq!(report.per_variable.len(), 64);
+        // No operation is lost or double-counted across the breakdown.
+        assert_eq!(
+            report.summed_per_variable_ops(),
+            report.completed_reads + report.completed_writes + report.unavailable_ops
+        );
+        let sum_reads: u64 = report.per_variable.iter().map(|v| v.completed_reads).sum();
+        let sum_writes: u64 = report.per_variable.iter().map(|v| v.completed_writes).sum();
+        let sum_stale: u64 = report.per_variable.iter().map(|v| v.stale_reads).sum();
+        let sum_concurrent: u64 = report.per_variable.iter().map(|v| v.concurrent_reads).sum();
+        assert_eq!(sum_reads, report.completed_reads);
+        assert_eq!(sum_writes, report.completed_writes);
+        assert_eq!(sum_stale, report.stale_reads);
+        assert_eq!(sum_concurrent, report.concurrent_reads);
+        // Zipf(1) over 64 keys: the hottest key dominates the mean share.
+        let hot = report.hottest_variable().unwrap();
+        assert_eq!(hot.variable, 0, "Zipf rank 0 must be hottest");
+        assert!(
+            report.key_load_imbalance() > 5.0,
+            "imbalance {}",
+            report.key_load_imbalance()
+        );
+        // Cross-key isolation: per-key staleness stays near epsilon even
+        // though 64 write chains interleave in one event queue.
+        assert!(report.stale_read_rate() < 0.05);
+    }
+
+    #[test]
+    fn sharding_does_not_change_server_load_balance() {
+        // The paper's load bound is per-server; spreading the same op
+        // stream over many keys must leave the per-server empirical load
+        // unchanged (all keys share the access strategy).
+        let sys = EpsilonIntersecting::new(100, 22).unwrap();
+        let mut config = quick_config(17);
+        config.duration = 100.0;
+        config.arrival_rate = 50.0;
+        let one = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.keyspace = KeySpace::zipf(256, 1.2);
+        let many = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        use pqs_core::system::QuorumSystem;
+        assert!((one.empirical_load() - sys.load()).abs() < 0.05);
+        assert!((many.empirical_load() - sys.load()).abs() < 0.05);
+    }
+
+    #[test]
+    fn retry_backoff_delays_resamples_through_an_outage() {
+        // All servers down from t=10 to t=30. Immediate retries burn every
+        // attempt inside the outage and the op dies; backed-off retries
+        // reach past the recovery and complete.
+        let sys = Majority::new(9).unwrap();
+        let wave = || {
+            let mut plan = FailurePlan::none();
+            for i in 0..9 {
+                plan = plan
+                    .with_transition(10.0, ServerId::new(i), true)
+                    .with_transition(30.0, ServerId::new(i), false);
+            }
+            plan
+        };
+        let mut config = quick_config(18);
+        config.duration = 60.0;
+        config.op_timeout = 0.5;
+        config.max_retries = 6;
+        let immediate = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(wave())
+            .run();
+        config.retry_backoff = 2.0;
+        let backed_off = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(wave())
+            .run();
+        assert!(immediate.unavailable_ops > 0, "immediate retries give up");
+        assert!(
+            backed_off.unavailable_ops < immediate.unavailable_ops,
+            "backoff {} vs immediate {}",
+            backed_off.unavailable_ops,
+            immediate.unavailable_ops
+        );
+        assert!(backed_off.retries > 0);
+        // Ops that waited out the outage pay for it in latency.
+        assert!(backed_off.p99_latency() > immediate.p99_latency());
+    }
+
+    #[test]
+    fn larger_backoff_factors_stretch_the_retry_schedule() {
+        // Same 20-second outage, same retry budget: a larger factor spreads
+        // the budget over a longer horizon, so more operations survive into
+        // the recovery instead of burning every attempt inside the outage.
+        let sys = Majority::new(9).unwrap();
+        let wave = || {
+            let mut plan = FailurePlan::none();
+            for i in 0..9 {
+                plan = plan
+                    .with_transition(10.0, ServerId::new(i), true)
+                    .with_transition(30.0, ServerId::new(i), false);
+            }
+            plan
+        };
+        let mut config = quick_config(19);
+        config.duration = 60.0;
+        config.op_timeout = 0.5;
+        config.max_retries = 4;
+        let mut unavailable = Vec::new();
+        for factor in [1.0, 8.0] {
+            config.retry_backoff = factor;
+            let report = Simulation::new(&sys, ProtocolKind::Safe, config)
+                .with_failure_plan(wave())
+                .run();
+            assert!(report.retries > 0, "factor {factor} must retry");
+            unavailable.push(report.unavailable_ops);
+        }
+        assert!(
+            unavailable[1] < unavailable[0],
+            "factor 8 unavailable {} must beat factor 1 {}",
+            unavailable[1],
+            unavailable[0]
+        );
     }
 }

@@ -1,18 +1,26 @@
-//! Open-loop workload generation.
+//! Open-loop workload generation over a sharded key space.
 //!
 //! Clients issue operations following a Poisson arrival process with a
 //! configurable read/write mix — the standard open-loop model for a
 //! replicated service such as the location directory of Section 1.1, where
 //! device moves (writes) are far rarer than caller lookups (reads).
+//!
+//! Each operation targets one key of a [`KeySpace`]: the directory holds one
+//! replicated variable per device, and real key popularity is skewed — a few
+//! hot devices absorb most lookups.  The key space models that with a
+//! uniform or Zipf popularity law ([`Skew`]); the per-key arrival stream the
+//! simulator sees is exactly the per-variable load profile the paper's
+//! ε/load analysis is stated against.
 
 use crate::time::SimTime;
+use pqs_protocols::server::VariableId;
 use rand::Rng;
 use rand::RngCore;
 
 /// The kind of a client operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
-    /// A read of the replicated variable.
+    /// A read of a replicated variable.
     Read,
     /// A write of a fresh value.
     Write,
@@ -25,6 +33,166 @@ pub struct Operation {
     pub at: SimTime,
     /// Whether it is a read or a write.
     pub kind: OpKind,
+    /// The key (replicated variable) the operation targets.
+    pub variable: VariableId,
+}
+
+/// How key popularity is distributed across the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every key is equally likely.
+    Uniform,
+    /// Key `i` (0-based) is drawn with probability proportional to
+    /// `1 / (i + 1)^exponent` — the classic Zipf law; exponent 0 is
+    /// uniform, exponent 1 the canonical web/cache skew.
+    Zipf {
+        /// The Zipf exponent (≥ 0).
+        exponent: f64,
+    },
+}
+
+/// The key space one workload shards over: how many keys exist and how
+/// popular each is.
+///
+/// The single-key space ([`KeySpace::single`], the default) reproduces the
+/// one-register workloads exactly: key 0 is assigned without consuming any
+/// randomness, so a 1-key trace is RNG-stream-identical to the pre-sharding
+/// generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeySpace {
+    /// Number of distinct keys (≥ 1).
+    pub keys: u64,
+    /// Popularity law across the keys.
+    pub skew: Skew,
+}
+
+impl Default for KeySpace {
+    /// One key — the single-register workload.
+    fn default() -> Self {
+        KeySpace::single()
+    }
+}
+
+impl KeySpace {
+    /// The single-register key space (key 0 only).
+    pub fn single() -> Self {
+        KeySpace {
+            keys: 1,
+            skew: Skew::Uniform,
+        }
+    }
+
+    /// A uniformly popular key space of `keys` keys.
+    pub fn uniform(keys: u64) -> Self {
+        KeySpace {
+            keys,
+            skew: Skew::Uniform,
+        }
+    }
+
+    /// A Zipf-skewed key space of `keys` keys.
+    pub fn zipf(keys: u64, exponent: f64) -> Self {
+        KeySpace {
+            keys,
+            skew: Skew::Zipf { exponent },
+        }
+    }
+
+    /// Validates the key space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are zero keys or the Zipf exponent is negative or
+    /// non-finite.
+    fn validate(&self) {
+        assert!(self.keys >= 1, "key space must hold at least one key");
+        if let Skew::Zipf { exponent } = self.skew {
+            assert!(
+                exponent >= 0.0 && exponent.is_finite(),
+                "zipf exponent must be finite and non-negative, got {exponent}"
+            );
+        }
+    }
+
+    /// The popularity of each key: a probability vector over `0..keys`,
+    /// non-increasing in the key index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid key space (see [`sampler`](Self::sampler)).
+    pub fn popularity(&self) -> Vec<f64> {
+        self.validate();
+        match self.skew {
+            Skew::Uniform => vec![1.0 / self.keys as f64; self.keys as usize],
+            Skew::Zipf { exponent } => {
+                let weights: Vec<f64> = (0..self.keys)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                weights.into_iter().map(|w| w / total).collect()
+            }
+        }
+    }
+
+    /// Builds the per-operation key sampler (precomputes the Zipf CDF once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are zero keys or the Zipf exponent is invalid.
+    pub fn sampler(&self) -> KeySampler {
+        self.validate();
+        // One key, uniform skew, or a zero Zipf exponent: sampled directly,
+        // no CDF table needed.
+        let skewed =
+            self.keys > 1 && matches!(self.skew, Skew::Zipf { exponent } if exponent > 0.0);
+        let cdf = if skewed {
+            let mut acc = 0.0;
+            let mut cdf = Vec::with_capacity(self.keys as usize);
+            for p in self.popularity() {
+                acc += p;
+                cdf.push(acc);
+            }
+            cdf
+        } else {
+            Vec::new()
+        };
+        KeySampler {
+            keys: self.keys,
+            cdf,
+        }
+    }
+}
+
+/// Draws keys according to a [`KeySpace`]'s popularity law.
+///
+/// A single-key sampler returns key 0 **without consuming randomness**, so
+/// 1-key workloads replay the exact RNG stream of the unsharded generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeySampler {
+    keys: u64,
+    /// Cumulative popularity for Zipf draws; empty for the uniform (and
+    /// single-key) fast paths.
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Number of keys this sampler draws from.
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> VariableId {
+        if self.keys <= 1 {
+            return 0;
+        }
+        if self.cdf.is_empty() {
+            return rng.gen_range(0..self.keys);
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c <= u) as u64;
+        idx.min(self.keys - 1)
+    }
 }
 
 /// Configuration of the arrival process.
@@ -36,15 +204,18 @@ pub struct WorkloadConfig {
     pub arrival_rate: f64,
     /// Fraction of operations that are reads (the rest are writes).
     pub read_fraction: f64,
+    /// The key space operations are spread over.
+    pub keyspace: KeySpace,
 }
 
 impl Default for WorkloadConfig {
-    /// 60 seconds, 10 op/s, 90% reads.
+    /// 60 seconds, 10 op/s, 90% reads, a single key.
     fn default() -> Self {
         WorkloadConfig {
             duration: 60.0,
             arrival_rate: 10.0,
             read_fraction: 0.9,
+            keyspace: KeySpace::single(),
         }
     }
 }
@@ -54,12 +225,13 @@ impl WorkloadConfig {
     ///
     /// Inter-arrival times are exponential with mean `1/arrival_rate`
     /// (Poisson process); each operation is independently a read with
-    /// probability `read_fraction`.
+    /// probability `read_fraction` and targets a key drawn from the
+    /// key space's popularity law.
     ///
     /// # Panics
     ///
-    /// Panics if the duration or rate is non-positive, or the read fraction
-    /// is outside `[0, 1]`.
+    /// Panics if the duration or rate is non-positive, the read fraction is
+    /// outside `[0, 1]`, or the key space is invalid.
     pub fn generate(&self, rng: &mut dyn RngCore) -> Vec<Operation> {
         assert!(
             self.duration > 0.0 && self.duration.is_finite(),
@@ -73,6 +245,7 @@ impl WorkloadConfig {
             (0.0..=1.0).contains(&self.read_fraction),
             "read fraction must be in [0,1]"
         );
+        let sampler = self.keyspace.sampler();
         let mut ops = Vec::new();
         let mut t = 0.0;
         loop {
@@ -86,7 +259,12 @@ impl WorkloadConfig {
             } else {
                 OpKind::Write
             };
-            ops.push(Operation { at: t, kind });
+            let variable = sampler.sample(rng);
+            ops.push(Operation {
+                at: t,
+                kind,
+                variable,
+            });
         }
         ops
     }
@@ -105,6 +283,7 @@ mod tests {
             duration: 200.0,
             arrival_rate: 20.0,
             read_fraction: 0.75,
+            keyspace: KeySpace::single(),
         };
         let ops = config.generate(&mut rng);
         // Expect about 4000 operations.
@@ -115,6 +294,8 @@ mod tests {
         // Arrival times are sorted and within the duration.
         assert!(ops.windows(2).all(|w| w[0].at <= w[1].at));
         assert!(ops.iter().all(|o| o.at > 0.0 && o.at <= 200.0));
+        // Single key: every operation targets variable 0.
+        assert!(ops.iter().all(|o| o.variable == 0));
     }
 
     #[test]
@@ -162,5 +343,128 @@ mod tests {
         assert_eq!(c.duration, 60.0);
         assert_eq!(c.arrival_rate, 10.0);
         assert_eq!(c.read_fraction, 0.9);
+        assert_eq!(c.keyspace, KeySpace::single());
+        assert_eq!(KeySpace::default(), KeySpace::single());
+    }
+
+    #[test]
+    fn single_key_trace_is_rng_stream_identical_to_multi_field() {
+        // The sharded generator with one key must replay the exact stream
+        // of the pre-sharding generator: the key draw is skipped entirely.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let base = WorkloadConfig {
+            duration: 50.0,
+            arrival_rate: 30.0,
+            read_fraction: 0.5,
+            keyspace: KeySpace::single(),
+        };
+        let ops = base.generate(&mut a);
+        // Replay by hand without any key logic.
+        let mut t = 0.0;
+        let mut expect = Vec::new();
+        loop {
+            let u: f64 = b.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / base.arrival_rate;
+            if t > base.duration {
+                break;
+            }
+            let kind = if b.gen_bool(base.read_fraction) {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            expect.push(Operation {
+                at: t,
+                kind,
+                variable: 0,
+            });
+        }
+        assert_eq!(ops, expect);
+    }
+
+    #[test]
+    fn uniform_keys_cover_the_space_evenly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let config = WorkloadConfig {
+            duration: 400.0,
+            arrival_rate: 25.0,
+            read_fraction: 0.5,
+            keyspace: KeySpace::uniform(8),
+        };
+        let ops = config.generate(&mut rng);
+        let mut counts = [0u64; 8];
+        for op in &ops {
+            assert!(op.variable < 8);
+            counts[op.variable as usize] += 1;
+        }
+        let mean = ops.len() as f64 / 8.0;
+        for (k, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - mean).abs() < mean * 0.2,
+                "key {k}: {c} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_keys() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let keyspace = KeySpace::zipf(64, 1.0);
+        let sampler = keyspace.sampler();
+        let popularity = keyspace.popularity();
+        let mut counts = vec![0u64; 64];
+        let draws = 40_000u64;
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        // The hottest key's share tracks its predicted mass.
+        let hot_share = counts[0] as f64 / draws as f64;
+        assert!(
+            (hot_share - popularity[0]).abs() < 0.02,
+            "hot share {hot_share} vs predicted {}",
+            popularity[0]
+        );
+        // And it dominates the coldest key by an order of magnitude.
+        assert!(counts[0] > counts[63] * 10);
+    }
+
+    #[test]
+    fn popularity_is_a_distribution() {
+        for ks in [
+            KeySpace::single(),
+            KeySpace::uniform(17),
+            KeySpace::zipf(33, 0.8),
+            KeySpace::zipf(5, 0.0),
+        ] {
+            let p = ks.popularity();
+            assert_eq!(p.len(), ks.keys as usize);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{ks:?}");
+            assert!(p.iter().all(|&x| x > 0.0));
+            assert!(p.windows(2).all(|w| w[0] >= w[1] - 1e-15), "{ks:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let zipf0 = KeySpace::zipf(16, 0.0).sampler();
+        let uniform = KeySpace::uniform(16).sampler();
+        for _ in 0..200 {
+            assert_eq!(zipf0.sample(&mut a), uniform.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn rejects_empty_keyspace() {
+        let _ = KeySpace::uniform(0).sampler();
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn rejects_negative_zipf_exponent() {
+        let _ = KeySpace::zipf(4, -1.0).sampler();
     }
 }

@@ -36,10 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.corrupt_all((0..byzantine).map(ServerId::new), Behavior::ByzantineForge);
     cluster.crash_all((byzantine..byzantine + offline).map(ServerId::new));
 
-    let service = VoterLockService::new(&system, system.read_threshold());
+    let mut service = VoterLockService::new(&system, system.read_threshold());
     let voters = 2000u64;
     let repeats = 2u32;
-    let stats = repeat_voting_experiment(&service, &mut cluster, &mut rng, voters, repeats);
+    let stats = repeat_voting_experiment(&mut service, &mut cluster, &mut rng, voters, repeats);
 
     println!("\nelection-day run: {voters} voters, {repeats} repeat attempts each");
     println!("  first votes accepted : {}", stats.first_attempts_accepted);

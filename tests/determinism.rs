@@ -1,12 +1,18 @@
 //! Determinism of the discrete-event engine: the same `SimConfig` + seed
-//! must produce **bit-identical** `SimReport`s for every protocol, however
-//! hostile the configuration.  Everything random flows from the single
-//! seeded ChaCha stream, and the event queue breaks time ties FIFO, so two
-//! runs replay the exact same event interleaving.
+//! must produce **bit-identical** `SimReport`s for every protocol and every
+//! key space, however hostile the configuration.  Everything random flows
+//! from the single seeded ChaCha stream, and the event queue breaks time
+//! ties FIFO, so two runs replay the exact same event interleaving.
+//!
+//! The sharding refactor adds a second obligation, checked by the pinned
+//! fingerprint below: a **1-key** run must be byte-identical to the
+//! pre-refactor single-register engine — same RNG stream, same event
+//! trajectory, same aggregates.
 
 use probabilistic_quorums::core::prelude::*;
 use probabilistic_quorums::sim::latency::LatencyModel;
 use probabilistic_quorums::sim::runner::{ProtocolKind, SimConfig, Simulation};
+use probabilistic_quorums::sim::workload::KeySpace;
 
 fn hostile_config(seed: u64) -> SimConfig {
     // Crashes, Byzantine placement, probe margin, a tight timeout and a
@@ -25,6 +31,7 @@ fn hostile_config(seed: u64) -> SimConfig {
         op_timeout: 0.05,
         max_retries: 2,
         seed,
+        ..SimConfig::default()
     }
 }
 
@@ -65,4 +72,109 @@ fn masking_runs_are_bit_identical_per_seed() {
     let b = Simulation::new(&sys, kind, config).run();
     assert_eq!(a, b);
     assert!(a.completed_reads > 0);
+}
+
+#[test]
+fn multi_key_runs_are_bit_identical_per_seed() {
+    // A hostile 1024-key Zipf(1.0) run: the per-variable session table,
+    // per-key write logs and per-key metrics must replay exactly.
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = hostile_config(77);
+    config.keyspace = KeySpace::zipf(1024, 1.0);
+    let a = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    let b = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    assert_eq!(a, b, "same seed must give identical per-variable reports");
+    assert_eq!(a.per_variable.len(), 1024);
+    // The per-key breakdown loses nothing: summed op counts equal the
+    // aggregate (the sharding acceptance criterion).
+    assert_eq!(
+        a.summed_per_variable_ops(),
+        a.completed_reads + a.completed_writes + a.unavailable_ops
+    );
+    let per_key_retries: u64 = a.per_variable.iter().map(|v| v.retries).sum();
+    let per_key_timeouts: u64 = a.per_variable.iter().map(|v| v.timed_out_attempts).sum();
+    let per_key_stale: u64 = a.per_variable.iter().map(|v| v.stale_reads).sum();
+    assert_eq!(per_key_retries, a.retries);
+    assert_eq!(per_key_timeouts, a.timed_out_attempts);
+    assert_eq!(per_key_stale, a.stale_reads);
+    // A different key space genuinely changes the trajectory.
+    let mut other = config;
+    other.keyspace = KeySpace::uniform(1024);
+    let c = Simulation::new(&sys, ProtocolKind::Safe, other).run();
+    assert_ne!(a, c);
+}
+
+/// The pre-refactor engine (PR 2, single hard-wired variable) was run once
+/// with this exact configuration and its report captured field by field.
+/// The sharded engine with the default 1-key `KeySpace` must reproduce the
+/// trajectory bit for bit: same workload draws, same probe sets, same event
+/// count, same latencies to the last ulp.
+#[test]
+// The pinned constants carry every digit the pre-refactor engine printed;
+// trimming them would weaken the bit-identity claim.
+#[allow(clippy::excessive_precision)]
+fn one_key_run_is_byte_identical_to_the_pre_sharding_engine() {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let config = SimConfig {
+        duration: 30.0,
+        arrival_rate: 40.0,
+        read_fraction: 0.8,
+        latency: LatencyModel::Pareto {
+            scale: 1e-3,
+            shape: 1.9,
+        },
+        crash_probability: 0.1,
+        byzantine: 0,
+        probe_margin: 3,
+        op_timeout: 0.05,
+        max_retries: 2,
+        seed: 20260730,
+        ..SimConfig::default()
+    };
+    assert_eq!(config.keyspace, KeySpace::single());
+    let r = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    // Aggregates captured from the pre-refactor engine.
+    assert_eq!(r.completed_reads, 955);
+    assert_eq!(r.completed_writes, 240);
+    assert_eq!(r.stale_reads, 1);
+    assert_eq!(r.empty_reads, 0);
+    assert_eq!(r.unavailable_ops, 0);
+    assert_eq!(r.concurrent_reads, 86);
+    assert_eq!(r.retries, 0);
+    assert_eq!(r.timed_out_attempts, 8);
+    assert_eq!(r.events_processed, 33467);
+    assert_eq!(r.max_in_flight, 5);
+    assert_eq!(r.total_operations, 1195);
+    // Floating-point trajectories, pinned to the bit.
+    assert_eq!(r.mean_in_flight, 2.25968262519286561e-1);
+    assert_eq!(r.mean_latency(), 5.67331531849552938e-3);
+    assert_eq!(r.p99_latency(), 3.95265509594331377e-2);
+    // Per-server access vector, pinned through an order-sensitive hash.
+    let hash = r
+        .per_server_accesses
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &c)| {
+            acc.wrapping_mul(1000003).wrapping_add(c ^ i as u64)
+        });
+    assert_eq!(hash, 5534836463059940724);
+    // The per-key breakdown degenerates to one row equal to the aggregates.
+    assert_eq!(r.per_variable.len(), 1);
+    assert_eq!(r.per_variable[0].completed_reads, r.completed_reads);
+    assert_eq!(r.per_variable[0].completed_writes, r.completed_writes);
+    assert_eq!(r.per_variable[0].stale_reads, r.stale_reads);
+
+    // A second protocol, same obligation (captured the same way).
+    let sys2 = ProbabilisticDissemination::with_target_epsilon(100, 10, 1e-3).unwrap();
+    let mut c2 = config;
+    c2.crash_probability = 0.0;
+    c2.byzantine = 10;
+    c2.probe_margin = 0;
+    c2.seed = 777;
+    let r2 = Simulation::new(&sys2, ProtocolKind::Dissemination, c2).run();
+    assert_eq!(r2.completed_reads, 970);
+    assert_eq!(r2.completed_writes, 203);
+    assert_eq!(r2.stale_reads, 0);
+    assert_eq!(r2.events_processed, 31671);
+    assert_eq!(r2.mean_latency(), 9.18659539915855916e-3);
 }

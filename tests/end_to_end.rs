@@ -167,8 +167,8 @@ fn applications_end_to_end() {
     let mask = ProbabilisticMasking::with_target_epsilon(225, 7, 1e-3).unwrap();
     let mut cluster = Cluster::new(mask.universe());
     cluster.corrupt_all((0..7).map(ServerId::new), Behavior::ByzantineForge);
-    let service = VoterLockService::new(&mask, mask.read_threshold());
-    let stats = repeat_voting_experiment(&service, &mut cluster, &mut rng, 300, 2);
+    let mut service = VoterLockService::new(&mask, mask.read_threshold());
+    let stats = repeat_voting_experiment(&mut service, &mut cluster, &mut rng, 300, 2);
     assert_eq!(stats.first_attempts_accepted, 300);
     assert!(stats.undetected_repeat_rate() < 0.01);
 

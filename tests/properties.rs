@@ -9,6 +9,10 @@ use probabilistic_quorums::core::probabilistic::params::{
 use probabilistic_quorums::math::binomial::Binomial;
 use probabilistic_quorums::math::bounds;
 use probabilistic_quorums::math::hypergeometric::Hypergeometric;
+use probabilistic_quorums::protocols::cluster::Cluster;
+use probabilistic_quorums::protocols::register::{RegisterFlavor, RegisterMap};
+use probabilistic_quorums::protocols::value::Value;
+use probabilistic_quorums::sim::workload::{KeySpace, Skew};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -182,6 +186,97 @@ proptest! {
         prop_assert_eq!(a.intersection(&a).len(), a.len());
         prop_assert_eq!(a.difference(&a).len(), 0);
         prop_assert!(a.is_subset_of(&a));
+    }
+
+    /// `KeySpace` popularity is a valid probability distribution for any
+    /// admissible parameters: sums to 1, every key has positive mass, and
+    /// the mass is non-increasing in the key rank (hot keys first).  The
+    /// sampler only ever produces in-range keys, and its empirical hot-key
+    /// share tracks the predicted mass.
+    #[test]
+    fn keyspace_popularity_is_a_distribution(
+        keys in 1u64..600,
+        exponent in 0.0f64..2.5,
+        uniform in 0u32..2,
+        seed in 0u64..10_000,
+    ) {
+        let ks = if uniform == 1 {
+            KeySpace::uniform(keys)
+        } else {
+            KeySpace::zipf(keys, exponent)
+        };
+        let p = ks.popularity();
+        prop_assert_eq!(p.len(), keys as usize);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x > 0.0));
+        prop_assert!(p.windows(2).all(|w| w[0] >= w[1] - 1e-15));
+        if let Skew::Zipf { .. } = ks.skew {
+            // Zipf mass ratios follow the power law exactly.
+            if keys >= 2 {
+                let ratio = p[0] / p[1];
+                prop_assert!((ratio - 2f64.powf(exponent)).abs() < 1e-9);
+            }
+        }
+        let sampler = ks.sampler();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let draws = 2000u64;
+        let mut hot = 0u64;
+        for _ in 0..draws {
+            let k = sampler.sample(&mut rng);
+            prop_assert!(k < keys);
+            if k == 0 {
+                hot += 1;
+            }
+        }
+        // Generous sampling slack: 2000 draws, tolerance ~4 sigma.
+        let share = hot as f64 / draws as f64;
+        let sigma = (p[0] * (1.0 - p[0]) / draws as f64).sqrt();
+        prop_assert!(
+            (share - p[0]).abs() < 4.0 * sigma + 1e-3,
+            "hot share {} vs predicted {}", share, p[0]
+        );
+    }
+
+    /// `RegisterMap` get/put round-trips per key over a strict system:
+    /// every key returns exactly its latest value, regardless of how many
+    /// other keys interleave, for both plain and masking flavors.
+    #[test]
+    fn register_map_round_trips_per_key(
+        n in 3u32..40,
+        keys in 1u64..24,
+        masking in 0u32..2,
+        seed in 0u64..10_000,
+    ) {
+        let sys = Majority::new(n).unwrap();
+        let mut cluster = Cluster::new(sys.universe());
+        let flavor = if masking == 1 {
+            // Threshold 1 over a strict majority: deterministic reads.
+            RegisterFlavor::Masking { threshold: 1 }
+        } else {
+            RegisterFlavor::Safe
+        };
+        let mut map = RegisterMap::new(&sys, flavor, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Interleaved writes: two rounds so every key is overwritten once.
+        for round in 0..2u64 {
+            for key in 0..keys {
+                let value = 1 + round * 1000 + key;
+                prop_assert!(map
+                    .put(&mut cluster, &mut rng, key, Value::from_u64(value))
+                    .is_ok());
+            }
+        }
+        for key in 0..keys {
+            let got = map.get(&mut cluster, &mut rng, key).unwrap();
+            prop_assert_eq!(
+                got.map(|tv| tv.value),
+                Some(Value::from_u64(1001 + key)),
+                "key {} must return its own latest value", key
+            );
+        }
+        // A never-written key reads as empty, not as some other key's value.
+        let got = map.get(&mut cluster, &mut rng, keys + 7).unwrap();
+        prop_assert_eq!(got, None);
     }
 
     /// Byzantine strict systems: sampled quorum overlaps always meet the
