@@ -1,16 +1,31 @@
-//! Criterion benchmark for the discrete-event engine's hot loop.
+//! Criterion benchmark for the discrete-event engine's hot loop, plus the
+//! CI throughput floor.
 //!
 //! Reports engine throughput in **events per second**: each simulated
 //! operation costs one arrival event, one probe-reply event per probed
-//! server and one timeout event, so `events/sec` is the honest unit for
+//! server and one timeout event (and, with diffusion on, one event per
+//! gossip round and per push), so `events/sec` is the honest unit for
 //! "how fast can this simulator chew through a workload" — it is invariant
 //! under quorum-size changes, unlike ops/sec.
+//!
+//! Two environment knobs wire this bench into CI:
+//!
+//! * `PQS_BENCH_QUICK=1` — run only the timed reference runs (a few
+//!   hundred milliseconds), skipping the criterion statistics; the mode
+//!   the `bench-floor` CI job uses.
+//! * `PQS_BENCH_FLOOR=<events/sec>` — after measuring, exit nonzero if the
+//!   best observed engine throughput falls below the floor.
+//!
+//! Every invocation writes the measured numbers to
+//! `target/experiments/BENCH_engine.json` so the perf trajectory can be
+//! tracked per push as a CI artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqs_core::prelude::*;
 use pqs_sim::latency::LatencyModel;
-use pqs_sim::runner::{ProtocolKind, SimConfig, Simulation};
+use pqs_sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
 use pqs_sim::workload::KeySpace;
+use std::io::Write as _;
 use std::time::Instant;
 
 fn engine_config(arrival_rate: f64) -> SimConfig {
@@ -24,26 +39,134 @@ fn engine_config(arrival_rate: f64) -> SimConfig {
     }
 }
 
-/// Measures and prints events/sec directly (the number the acceptance
-/// criterion asks for), then hands the same closure to criterion for its
-/// statistics.
-fn bench_engine_throughput(c: &mut Criterion) {
-    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+fn diffusion_config(arrival_rate: f64) -> SimConfig {
+    let mut config = engine_config(arrival_rate);
+    config.keyspace = KeySpace::zipf(64, 1.0);
+    config.diffusion = Some(DiffusionPolicy {
+        period: 0.25,
+        fanout: 2,
+        push_latency: LatencyModel::Exponential { mean: 2e-3 },
+    });
+    config
+}
 
-    // One timed reference run per load level, printed as events/sec.
-    for &rate in &[100.0f64, 500.0] {
-        let config = engine_config(rate);
+/// One timed reference run: name, events processed, wall-clock seconds.
+struct Measured {
+    name: &'static str,
+    events: u64,
+    seconds: f64,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.events as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs each reference configuration once under a wall clock and prints
+/// events/sec — the numbers the floor is enforced against.
+fn reference_runs(sys: &EpsilonIntersecting) -> Vec<Measured> {
+    let mut measured = Vec::new();
+    let mut time_run = |name: &'static str, config: SimConfig| {
         let start = Instant::now();
-        let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
-        let elapsed = start.elapsed().as_secs_f64();
+        let report = Simulation::new(sys, ProtocolKind::Safe, config).run();
+        let seconds = start.elapsed().as_secs_f64();
+        let m = Measured {
+            name,
+            events: report.events_processed,
+            seconds,
+        };
         println!(
-            "engine_throughput(arrival_rate={rate}): {} events in {:.3}s -> {:.0} events/sec \
+            "engine_throughput({name}): {} events in {:.3}s -> {:.0} events/sec \
              (max in-flight {})",
-            report.events_processed,
-            elapsed,
-            report.events_processed as f64 / elapsed,
+            m.events,
+            seconds,
+            m.events_per_sec(),
             report.max_in_flight,
         );
+        measured.push(m);
+    };
+    time_run("safe_run/100", engine_config(100.0));
+    time_run("safe_run/500", engine_config(500.0));
+    time_run("diffusion_run/500", diffusion_config(500.0));
+    measured
+}
+
+/// Serialises the measurements (and the floor verdict) as JSON by hand —
+/// the vendored serde shim's derives are no-ops, so formatting is explicit.
+fn write_json(measured: &[Measured], floor: Option<f64>, pass: bool) {
+    let best = measured
+        .iter()
+        .map(Measured::events_per_sec)
+        .fold(0.0, f64::max);
+    let runs: Vec<String> = measured
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.6}, \
+                 \"events_per_sec\": {:.0}}}",
+                m.name,
+                m.events,
+                m.seconds,
+                m.events_per_sec()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"event_engine\",\n  \"floor_events_per_sec\": {},\n  \
+         \"best_events_per_sec\": {:.0},\n  \"pass\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        floor.map_or("null".to_string(), |f| format!("{f:.0}")),
+        best,
+        pass,
+        runs.join(",\n")
+    );
+    let dir = pqs_bench::output_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("BENCH_engine.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("(bench json written to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Measures and prints events/sec directly (the number the floor enforces),
+/// then — unless `PQS_BENCH_QUICK=1` — hands the same closures to criterion
+/// for its statistics.
+fn bench_engine_throughput(c: &mut Criterion) {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let quick = std::env::var("PQS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let floor: Option<f64> = std::env::var("PQS_BENCH_FLOOR")
+        .ok()
+        .map(|v| v.parse().expect("PQS_BENCH_FLOOR must be a number"));
+
+    let measured = reference_runs(&sys);
+    let best = measured
+        .iter()
+        .map(Measured::events_per_sec)
+        .fold(0.0, f64::max);
+    let pass = floor.is_none_or(|f| best >= f);
+    write_json(&measured, floor, pass);
+    if let Some(f) = floor {
+        if pass {
+            println!("bench floor: best {best:.0} events/sec >= floor {f:.0} — ok");
+        } else {
+            eprintln!(
+                "bench floor VIOLATED: best {best:.0} events/sec < floor {f:.0} \
+                 — the engine hot loop regressed"
+            );
+            std::process::exit(1);
+        }
+    }
+    if quick {
+        println!("PQS_BENCH_QUICK=1: skipping criterion statistics");
+        return;
     }
 
     let mut group = c.benchmark_group("event_engine");
@@ -61,6 +184,12 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.bench_function("safe_run_margin_8", |bench| {
         let mut config = engine_config(100.0);
         config.probe_margin = 8;
+        bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
+    });
+    // Anti-entropy competes for the same event loop: measure what a default
+    // gossip policy costs next to the plain run at the same arrival rate.
+    group.bench_function("diffusion_run_500", |bench| {
+        let config = diffusion_config(500.0);
         bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
     });
     group.finish();

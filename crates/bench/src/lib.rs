@@ -18,6 +18,7 @@
 //! | `validate_protocols` | Theorems 3.2, 4.2, 5.2 (simulation) |
 //! | `validate_load` | Theorems 3.9, 5.5 and Table I load bounds |
 //! | `validate_sharding` | per-server load invariance and per-key popularity of the sharded KV store |
+//! | `validate_diffusion` | Section 1.1 write-diffusion: stale-read-rate cut on hot keys, per-key convergence |
 //!
 //! All binaries print an aligned text table to stdout and write the same
 //! rows as CSV under `target/experiments/`.
@@ -146,8 +147,15 @@ impl ExperimentTable {
     }
 }
 
-/// Directory experiment CSVs are written to.
+/// Directory experiment CSVs (and the bench JSON) are written to:
+/// `$PQS_EXPERIMENTS_DIR` if set (CI uses this to pin the artifact path
+/// regardless of the process working directory — cargo runs benches from
+/// the package directory, not the workspace root), otherwise
+/// `$CARGO_TARGET_DIR/experiments`, otherwise `target/experiments`.
 pub fn output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PQS_EXPERIMENTS_DIR") {
+        return PathBuf::from(dir);
+    }
     PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
         .join("experiments")
 }

@@ -10,13 +10,40 @@
 //! keep it if it is newer.  Coupled with the register protocols this drives
 //! the probability that a read misses the latest write toward zero once the
 //! write has had a few rounds to spread.
+//!
+//! # Two drivers, one mechanism
+//!
+//! The gossip process is factored into two incremental steps so that both
+//! the synchronous harness and the discrete-event engine run the *same*
+//! mechanism:
+//!
+//! * [`plan_round`] / [`plan_cluster_round`] — snapshot the senders and
+//!   draw the peers of one round, producing a batch of [`GossipPush`]
+//!   messages (no state is mutated while planning, so a round is a
+//!   synchronous exchange).
+//! * [`deliver`] — apply one push to its receiver, evaluated at delivery
+//!   time (the engine delays each push by its own latency draw, so a
+//!   receiver that crashed mid-flight simply drops the message).
+//!
+//! The run-to-completion helpers [`diffuse_plain`] / [`diffuse_signed`]
+//! compose the two steps back into the classic synchronous-rounds loop.
+//!
+//! Failure semantics are identical in both drivers: **crashed** servers
+//! neither push nor receive, and **Byzantine** servers receive pushes
+//! (harmlessly — they drop or suppress them) but never push, modelling the
+//! fact that correct servers cannot rely on them to help dissemination.
+//! Both the plain records of the safe/masking protocols and the signed,
+//! self-verifying records of the dissemination protocol diffuse.
 
 use crate::cluster::Cluster;
+use crate::crypto::SignedValue;
 use crate::server::{Behavior, VariableId};
 use crate::timestamp::Timestamp;
+use crate::value::TaggedValue;
 use pqs_core::universe::ServerId;
 use rand::Rng;
 use rand::RngCore;
+use std::collections::HashMap;
 
 /// Configuration of the gossip process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,8 +65,216 @@ impl Default for DiffusionConfig {
     }
 }
 
-/// Runs push-gossip for one variable and returns the number of *correct*
-/// servers holding the globally freshest record after the final round.
+/// The record one gossip push carries: plain for the safe and masking
+/// protocols, signed for dissemination (mirroring
+/// [`WriteRecord`](crate::register::WriteRecord) on the client side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipRecord {
+    /// An unsigned value–timestamp pair.
+    Plain(TaggedValue),
+    /// A signed, self-verifying value–timestamp pair.
+    Signed(SignedValue),
+}
+
+impl GossipRecord {
+    /// The timestamp the record was written under.
+    pub fn timestamp(&self) -> Timestamp {
+        match self {
+            GossipRecord::Plain(tv) => tv.timestamp,
+            GossipRecord::Signed(sv) => sv.tagged.timestamp,
+        }
+    }
+
+    /// Whether the record is the never-written initial value (timestamp
+    /// zero) — such records are not worth a message.
+    pub fn is_initial(&self) -> bool {
+        self.timestamp() == Timestamp::ZERO
+    }
+}
+
+/// One server-to-server gossip message: `from` pushes its freshest record
+/// for `variable` to `to`.  Planned by [`plan_round`] /
+/// [`plan_cluster_round`], applied by [`deliver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipPush {
+    /// The (correct) sender.
+    pub from: ServerId,
+    /// The receiver.
+    pub to: ServerId,
+    /// The variable the record belongs to.
+    pub variable: VariableId,
+    /// The sender's record at planning (send) time.
+    pub record: GossipRecord,
+}
+
+/// Plans one synchronous round of push gossip for a single `variable`.
+///
+/// Every *correct* server draws `fanout` uniform peers (self-draws are
+/// consumed but skipped, preserving the classic RNG stream); a push is
+/// emitted for each draw whose sender actually holds a non-initial record.
+/// Nothing is mutated: the returned batch is a snapshot-consistent
+/// exchange, to be applied with [`deliver`].
+pub fn plan_round(
+    cluster: &Cluster,
+    variable: VariableId,
+    fanout: usize,
+    signed: bool,
+    rng: &mut dyn RngCore,
+) -> Vec<GossipPush> {
+    let n = cluster.len();
+    let mut pushes = Vec::new();
+    for i in 0..n as u32 {
+        let sender = cluster.server(ServerId::new(i));
+        if sender.behavior() != Behavior::Correct {
+            continue;
+        }
+        let record = if signed {
+            GossipRecord::Signed(sender.stored_signed(variable))
+        } else {
+            GossipRecord::Plain(sender.stored_plain(variable))
+        };
+        for _ in 0..fanout {
+            let peer = rng.gen_range(0..n);
+            if peer == i as usize || record.is_initial() {
+                continue;
+            }
+            pushes.push(GossipPush {
+                from: ServerId::new(i),
+                to: ServerId::new(peer as u32),
+                variable,
+                record: record.clone(),
+            });
+        }
+    }
+    pushes
+}
+
+/// The freshest timestamp held by correct servers for one variable, and how
+/// many of them hold it — the unit of the engine's per-key
+/// rounds-to-coverage accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariableCoverage {
+    /// The variable.
+    pub variable: VariableId,
+    /// The freshest timestamp any correct server holds for it.
+    pub freshest: Timestamp,
+    /// Number of correct servers holding exactly that timestamp.
+    pub holders: u32,
+}
+
+/// One planned engine round: the pushes of every correct server for every
+/// variable it holds, plus the coverage snapshot the planner computed on
+/// the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPlan {
+    /// The round's messages, in deterministic (sender id, variable) order.
+    pub pushes: Vec<GossipPush>,
+    /// Per-variable coverage among correct servers at planning time,
+    /// sorted by variable id.
+    pub coverage: Vec<VariableCoverage>,
+    /// Number of correct servers at planning time (the coverage
+    /// denominator).
+    pub correct_servers: u32,
+}
+
+/// Plans one engine round of push gossip over **every** variable held
+/// anywhere in the cluster: each correct server pushes its freshest record
+/// for each variable it stores to `fanout` uniform peers.
+///
+/// Variables are visited in sorted order per sender so the RNG consumption
+/// (and hence the whole simulation) is deterministic.  The same pass also
+/// produces the per-variable [`VariableCoverage`] snapshot used by the
+/// convergence metrics.
+pub fn plan_cluster_round(
+    cluster: &Cluster,
+    fanout: usize,
+    signed: bool,
+    rng: &mut dyn RngCore,
+) -> RoundPlan {
+    let n = cluster.len();
+    let mut pushes = Vec::new();
+    let mut coverage: HashMap<VariableId, (Timestamp, u32)> = HashMap::new();
+    let mut correct_servers = 0u32;
+    for i in 0..n as u32 {
+        let sender = cluster.server(ServerId::new(i));
+        if sender.behavior() != Behavior::Correct {
+            continue;
+        }
+        correct_servers += 1;
+        let mut variables: Vec<VariableId> = if signed {
+            sender.signed_variables().collect()
+        } else {
+            sender.plain_variables().collect()
+        };
+        variables.sort_unstable();
+        for variable in variables {
+            let record = if signed {
+                GossipRecord::Signed(sender.stored_signed(variable))
+            } else {
+                GossipRecord::Plain(sender.stored_plain(variable))
+            };
+            if record.is_initial() {
+                continue;
+            }
+            let entry = coverage.entry(variable).or_insert((Timestamp::ZERO, 0));
+            let ts = record.timestamp();
+            if ts > entry.0 {
+                *entry = (ts, 1);
+            } else if ts == entry.0 {
+                entry.1 += 1;
+            }
+            for _ in 0..fanout {
+                let peer = rng.gen_range(0..n);
+                if peer == i as usize {
+                    continue;
+                }
+                pushes.push(GossipPush {
+                    from: ServerId::new(i),
+                    to: ServerId::new(peer as u32),
+                    variable,
+                    record: record.clone(),
+                });
+            }
+        }
+    }
+    let mut coverage: Vec<VariableCoverage> = coverage
+        .into_iter()
+        .map(|(variable, (freshest, holders))| VariableCoverage {
+            variable,
+            freshest,
+            holders,
+        })
+        .collect();
+    coverage.sort_unstable_by_key(|c| c.variable);
+    RoundPlan {
+        pushes,
+        coverage,
+        correct_servers,
+    }
+}
+
+/// Delivers one gossip push, evaluating the receiver's behaviour *now*:
+/// correct receivers merge by freshest-timestamp, crashed receivers are
+/// unreachable and Byzantine receivers drop the record (all they can do
+/// undetectably is suppress it).  Returns `true` if the receiver's stored
+/// record actually became fresher.
+pub fn deliver(cluster: &mut Cluster, push: &GossipPush) -> bool {
+    if cluster.server(push.to).behavior() != Behavior::Correct {
+        return false;
+    }
+    match &push.record {
+        GossipRecord::Plain(tv) => cluster
+            .server_mut(push.to)
+            .store_plain_if_fresher(push.variable, tv.clone()),
+        GossipRecord::Signed(sv) => cluster
+            .server_mut(push.to)
+            .store_signed_if_fresher(push.variable, sv.clone()),
+    }
+}
+
+/// Runs synchronous push-gossip of plain records for one variable and
+/// returns the number of *correct* servers holding the globally freshest
+/// record after the final round.
 ///
 /// Crashed servers neither push nor receive; Byzantine servers receive
 /// pushes (harmlessly) but never push, modelling the fact that correct
@@ -50,34 +285,32 @@ pub fn diffuse_plain(
     config: DiffusionConfig,
     rng: &mut dyn RngCore,
 ) -> usize {
-    let n = cluster.len();
     for _ in 0..config.rounds {
-        // Snapshot sender states first so a round is a synchronous exchange.
-        let snapshot: Vec<_> = (0..n as u32)
-            .map(|i| {
-                let server = cluster.server(ServerId::new(i));
-                (server.behavior(), server.stored_plain(variable))
-            })
-            .collect();
-        for (i, (behavior, record)) in snapshot.iter().enumerate() {
-            if *behavior != Behavior::Correct {
-                continue;
-            }
-            for _ in 0..config.fanout {
-                let peer = rng.gen_range(0..n);
-                if peer == i {
-                    continue;
-                }
-                let peer_id = ServerId::new(peer as u32);
-                if cluster.server(peer_id).behavior() == Behavior::Correct {
-                    cluster
-                        .server_mut(peer_id)
-                        .store_plain_if_fresher(variable, record.clone());
-                }
-            }
+        let pushes = plan_round(cluster, variable, config.fanout, false, rng);
+        for push in &pushes {
+            deliver(cluster, push);
         }
     }
     count_fresh_correct(cluster, variable)
+}
+
+/// [`diffuse_plain`] for the signed records of the dissemination protocol:
+/// the same push-gossip process, merging by the timestamp of the signed
+/// record.  Byzantine servers cannot forge a verifying record, so the worst
+/// they do here is exactly what they do on the plain path — refuse to help.
+pub fn diffuse_signed(
+    cluster: &mut Cluster,
+    variable: VariableId,
+    config: DiffusionConfig,
+    rng: &mut dyn RngCore,
+) -> usize {
+    for _ in 0..config.rounds {
+        let pushes = plan_round(cluster, variable, config.fanout, true, rng);
+        for push in &pushes {
+            deliver(cluster, push);
+        }
+    }
+    count_fresh_correct_signed(cluster, variable)
 }
 
 /// Number of correct servers holding the freshest record currently present
@@ -103,9 +336,35 @@ pub fn count_fresh_correct(cluster: &Cluster, variable: VariableId) -> usize {
         .count()
 }
 
+/// [`count_fresh_correct`] over the signed storage of the dissemination
+/// protocol.
+pub fn count_fresh_correct_signed(cluster: &Cluster, variable: VariableId) -> usize {
+    let freshest: Timestamp = (0..cluster.len() as u32)
+        .map(|i| {
+            cluster
+                .server(ServerId::new(i))
+                .stored_signed(variable)
+                .tagged
+                .timestamp
+        })
+        .max()
+        .unwrap_or(Timestamp::ZERO);
+    if freshest == Timestamp::ZERO {
+        return 0;
+    }
+    (0..cluster.len() as u32)
+        .filter(|&i| {
+            let s = cluster.server(ServerId::new(i));
+            s.behavior() == Behavior::Correct
+                && s.stored_signed(variable).tagged.timestamp == freshest
+        })
+        .count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crypto::KeyRegistry;
     use crate::register::SafeRegister;
     use crate::value::Value;
     use pqs_core::probabilistic::EpsilonIntersecting;
@@ -201,11 +460,159 @@ mod tests {
     fn empty_cluster_state_counts_zero_fresh() {
         let cluster = Cluster::new(Universe::new(5));
         assert_eq!(count_fresh_correct(&cluster, 0), 0);
+        assert_eq!(count_fresh_correct_signed(&cluster, 0), 0);
         let mut cluster = cluster;
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         assert_eq!(
             diffuse_plain(&mut cluster, 0, DiffusionConfig::default(), &mut rng),
             0
         );
+        assert_eq!(
+            diffuse_signed(&mut cluster, 0, DiffusionConfig::default(), &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn signed_records_diffuse_like_plain_ones() {
+        // Identical initial holders, identical RNG seed: the signed and
+        // plain planners draw the same peers (record kind never touches the
+        // RNG), so coverage after diffusion is identical.
+        use crate::timestamp::Timestamp;
+        let universe = Universe::new(40);
+        let mut plain_cluster = Cluster::new(universe);
+        let mut signed_cluster = Cluster::new(universe);
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, 11);
+        let tv = TaggedValue::new(Value::from_u64(7), Timestamp::new(3, 1));
+        let sv = SignedValue::create(&key, Value::from_u64(7), Timestamp::new(3, 1));
+        for i in [0u32, 5, 9] {
+            plain_cluster
+                .server_mut(ServerId::new(i))
+                .store_plain_if_fresher(2, tv.clone());
+            signed_cluster
+                .server_mut(ServerId::new(i))
+                .store_signed_if_fresher(2, sv.clone());
+        }
+        let config = DiffusionConfig {
+            fanout: 2,
+            rounds: 4,
+        };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(8);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(8);
+        let plain = diffuse_plain(&mut plain_cluster, 2, config, &mut rng_a);
+        let signed = diffuse_signed(&mut signed_cluster, 2, config, &mut rng_b);
+        assert_eq!(plain, signed);
+        assert!(plain > 3, "diffusion must actually spread, got {plain}");
+        // The signed records survive verification after gossip hops.
+        for i in 0..40u32 {
+            let stored = signed_cluster.server(ServerId::new(i)).stored_signed(2);
+            if stored.tagged.timestamp != Timestamp::ZERO {
+                assert!(registry.verify_signed(&stored));
+            }
+        }
+    }
+
+    #[test]
+    fn byzantine_receivers_drop_pushes_in_both_flavors() {
+        use crate::timestamp::Timestamp;
+        let mut cluster = Cluster::new(Universe::new(4));
+        cluster.set_behavior(ServerId::new(1), Behavior::ByzantineForge);
+        cluster.set_behavior(ServerId::new(2), Behavior::Crashed);
+        let tv = TaggedValue::new(Value::from_u64(1), Timestamp::new(1, 1));
+        let push = |to: u32| GossipPush {
+            from: ServerId::new(0),
+            to: ServerId::new(to),
+            variable: 0,
+            record: GossipRecord::Plain(tv.clone()),
+        };
+        assert!(!deliver(&mut cluster, &push(1)), "byzantine receiver");
+        assert!(!deliver(&mut cluster, &push(2)), "crashed receiver");
+        assert!(deliver(&mut cluster, &push(3)), "correct receiver stores");
+        assert!(!deliver(&mut cluster, &push(3)), "duplicate is a no-op");
+        assert_eq!(
+            cluster.server(ServerId::new(1)).stored_plain(0).timestamp,
+            Timestamp::ZERO
+        );
+    }
+
+    #[test]
+    fn cluster_round_plan_covers_all_variables_and_skips_faulty_senders() {
+        use crate::timestamp::Timestamp;
+        let mut cluster = Cluster::new(Universe::new(10));
+        let record = |v: u64, c: u64| TaggedValue::new(Value::from_u64(v), Timestamp::new(c, 1));
+        // Server 0 holds vars 3 and 7; server 1 holds var 3 (staler);
+        // server 2 holds var 7 but is Byzantine.
+        cluster
+            .server_mut(ServerId::new(0))
+            .store_plain_if_fresher(3, record(30, 2));
+        cluster
+            .server_mut(ServerId::new(0))
+            .store_plain_if_fresher(7, record(70, 1));
+        cluster
+            .server_mut(ServerId::new(1))
+            .store_plain_if_fresher(3, record(29, 1));
+        cluster
+            .server_mut(ServerId::new(2))
+            .store_plain_if_fresher(7, record(70, 1));
+        cluster.set_behavior(ServerId::new(2), Behavior::ByzantineStale);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let plan = plan_cluster_round(&cluster, 2, false, &mut rng);
+        assert_eq!(plan.correct_servers, 9);
+        // Coverage rows are sorted and count only correct holders of the
+        // per-variable freshest timestamp.
+        assert_eq!(plan.coverage.len(), 2);
+        assert_eq!(plan.coverage[0].variable, 3);
+        assert_eq!(plan.coverage[0].freshest, Timestamp::new(2, 1));
+        assert_eq!(plan.coverage[0].holders, 1);
+        assert_eq!(plan.coverage[1].variable, 7);
+        assert_eq!(plan.coverage[1].holders, 1, "byzantine holder not counted");
+        // Every push originates from a correct holder of a real record.
+        assert!(!plan.pushes.is_empty());
+        for push in &plan.pushes {
+            assert_ne!(push.from, ServerId::new(2), "byzantine servers never push");
+            assert_ne!(push.from, push.to);
+            assert!(!push.record.is_initial());
+        }
+        // Applying the whole plan only ever freshens receivers.
+        let before = count_fresh_correct(&cluster, 3);
+        for push in &plan.pushes {
+            deliver(&mut cluster, push);
+        }
+        assert!(count_fresh_correct(&cluster, 3) >= before);
+    }
+
+    #[test]
+    fn incremental_rounds_match_the_run_to_completion_loop() {
+        // Stepping plan_round + deliver by hand is exactly diffuse_plain.
+        let universe = Universe::new(30);
+        let seed_cluster = || {
+            let mut c = Cluster::new(universe);
+            c.server_mut(ServerId::new(4)).store_plain_if_fresher(
+                1,
+                TaggedValue::new(Value::from_u64(9), Timestamp::new(5, 2)),
+            );
+            c
+        };
+        let config = DiffusionConfig {
+            fanout: 2,
+            rounds: 3,
+        };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(12);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(12);
+        let mut whole = seed_cluster();
+        let fresh = diffuse_plain(&mut whole, 1, config, &mut rng_a);
+        let mut stepped = seed_cluster();
+        let mut last = 0;
+        for _ in 0..config.rounds {
+            let pushes = plan_round(&stepped, 1, config.fanout, false, &mut rng_b);
+            for push in &pushes {
+                deliver(&mut stepped, push);
+            }
+            let now = count_fresh_correct(&stepped, 1);
+            assert!(now >= last, "coverage is monotone in rounds");
+            last = now;
+        }
+        assert_eq!(fresh, last);
     }
 }

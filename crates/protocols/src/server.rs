@@ -165,25 +165,39 @@ impl ReplicaServer {
     }
 
     /// Stores a plain record if it is fresher than the current one — also
-    /// the merge rule used by the diffusion mechanism.
-    pub fn store_plain_if_fresher(&mut self, var: VariableId, incoming: TaggedValue) {
+    /// the merge rule used by the diffusion mechanism.  Returns `true` if
+    /// the incoming record replaced the stored one (it was strictly
+    /// fresher), which the gossip layer uses to count effective pushes.
+    pub fn store_plain_if_fresher(&mut self, var: VariableId, incoming: TaggedValue) -> bool {
         let current = self.stored_plain(var);
         if incoming.timestamp > current.timestamp {
             self.plain.insert(var, incoming);
+            true
+        } else {
+            false
         }
     }
 
     /// Stores a signed record if it is fresher than the current one.
-    pub fn store_signed_if_fresher(&mut self, var: VariableId, incoming: SignedValue) {
+    /// Returns `true` if the incoming record replaced the stored one.
+    pub fn store_signed_if_fresher(&mut self, var: VariableId, incoming: SignedValue) -> bool {
         let current = self.stored_signed(var);
         if incoming.tagged.timestamp > current.tagged.timestamp {
             self.signed.insert(var, incoming);
+            true
+        } else {
+            false
         }
     }
 
     /// All variables for which this server holds a plain record.
     pub fn plain_variables(&self) -> impl Iterator<Item = VariableId> + '_ {
         self.plain.keys().copied()
+    }
+
+    /// All variables for which this server holds a signed record.
+    pub fn signed_variables(&self) -> impl Iterator<Item = VariableId> + '_ {
+        self.signed.keys().copied()
     }
 }
 
@@ -275,5 +289,23 @@ mod tests {
     #[test]
     fn default_behavior_is_correct() {
         assert_eq!(Behavior::default(), Behavior::Correct);
+    }
+
+    #[test]
+    fn store_if_fresher_reports_whether_it_stored() {
+        let mut s = ReplicaServer::new(ServerId::new(0));
+        assert!(s.store_plain_if_fresher(0, tv(1, 1)));
+        // Same timestamp or older: kept, not replaced.
+        assert!(!s.store_plain_if_fresher(0, tv(9, 1)));
+        assert!(!s.store_plain_if_fresher(0, tv(9, 0)));
+        assert!(s.store_plain_if_fresher(0, tv(2, 2)));
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, 5);
+        let v1 = SignedValue::create(&key, Value::from_u64(1), Timestamp::new(1, 1));
+        let v2 = SignedValue::create(&key, Value::from_u64(2), Timestamp::new(2, 1));
+        assert!(s.store_signed_if_fresher(3, v1.clone()));
+        assert!(!s.store_signed_if_fresher(3, v1));
+        assert!(s.store_signed_if_fresher(3, v2));
+        assert!(s.signed_variables().eq(std::iter::once(3)));
     }
 }

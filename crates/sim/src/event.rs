@@ -27,6 +27,12 @@
 //!   due and starts its attempt on a fresh probe set.
 //! * [`Event::FailureTransition`] — a scheduled crash or recovery flips a
 //!   server's behaviour.
+//! * [`Event::GossipRound`] — a periodic anti-entropy round fires: every
+//!   correct server plans pushes of its freshest records to random peers
+//!   (see [`DiffusionPolicy`](crate::runner::DiffusionPolicy)).
+//! * [`Event::GossipPush`] — one server-to-server gossip message arrives
+//!   at its receiver after its own latency draw, competing for simulated
+//!   time with the foreground client probes.
 
 use crate::time::{EventQueue, SimTime};
 use pqs_core::universe::ServerId;
@@ -79,6 +85,25 @@ pub enum Event {
         server: ServerId,
         /// `true` for a crash, `false` for a recovery.
         crash: bool,
+    },
+    /// A periodic write-diffusion round fires: the scheduler snapshots
+    /// every correct server's stored records and turns them into
+    /// individually scheduled [`Event::GossipPush`] messages.  Only
+    /// scheduled when [`SimConfig::diffusion`](crate::runner::SimConfig::diffusion)
+    /// carries a policy — with `None` no gossip event ever exists and the
+    /// run is bit-identical to the diffusion-free engine.
+    GossipRound {
+        /// 1-based index of the round (round `r` fires at `r · period`).
+        round: u64,
+    },
+    /// One server-to-server gossip push arrives at its receiver.  The
+    /// payload (sender, receiver, variable, record) lives in the runner's
+    /// pending-push table under this id; the receiver's behaviour is
+    /// evaluated at delivery time, so a server that crashed while the
+    /// message was in flight simply drops it.
+    GossipPush {
+        /// Id of the pending push being delivered.
+        push: u64,
     },
 }
 

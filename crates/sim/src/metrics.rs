@@ -125,6 +125,18 @@ pub struct VariableReport {
     pub retries: u64,
     /// Attempts on this key cut short by the per-operation timeout.
     pub timed_out_attempts: u64,
+    /// Gossip pushes carrying this key's records that were delivered
+    /// (whether or not they freshened the receiver).
+    pub gossip_pushes: u64,
+    /// Gossip pushes of this key that actually freshened their receiver's
+    /// stored record — the effective anti-entropy work done for the key.
+    pub gossip_stores: u64,
+    /// Summed rounds-to-coverage over this key's coverage events: each time
+    /// a fresh record first reaches the coverage target (90% of correct
+    /// servers), the number of gossip rounds it took is added here.
+    pub coverage_rounds_sum: u64,
+    /// Number of records of this key that reached the coverage target.
+    pub coverage_events: u64,
     /// Latencies of this key's completed operations (reads and writes).
     pub latency: LatencySamples,
 }
@@ -154,6 +166,19 @@ impl VariableReport {
     /// 99th-percentile latency on this key.
     pub fn p99_latency(&self) -> f64 {
         self.latency.p99()
+    }
+
+    /// Mean number of gossip rounds it took this key's fresh records to
+    /// reach the coverage target (90% of correct servers), or `None` if no
+    /// record of this key ever converged (e.g. diffusion was off).  0 means
+    /// the foreground write itself already covered the target before the
+    /// first round observed it.
+    pub fn mean_rounds_to_coverage(&self) -> Option<f64> {
+        if self.coverage_events == 0 {
+            None
+        } else {
+            Some(self.coverage_rounds_sum as f64 / self.coverage_events as f64)
+        }
     }
 }
 
@@ -190,6 +215,13 @@ pub struct SimReport {
     pub retries: u64,
     /// Attempts cut short by the per-operation timeout.
     pub timed_out_attempts: u64,
+    /// Write-diffusion rounds the engine scheduled (0 with
+    /// [`SimConfig::diffusion`](crate::runner::SimConfig::diffusion) off).
+    pub gossip_rounds: u64,
+    /// Server-to-server gossip pushes delivered.
+    pub gossip_pushes: u64,
+    /// Gossip pushes that freshened their receiver's stored record.
+    pub gossip_stores: u64,
     /// Total discrete events processed by the engine.
     pub events_processed: u64,
     /// Largest number of simultaneously in-flight operations.
@@ -390,6 +422,21 @@ mod tests {
         assert!((r.key_load_imbalance() - 60.0 / (100.0 / 3.0)).abs() < 1e-12);
         assert!((hot.mean_latency() - 0.001).abs() < 1e-12);
         assert_eq!(hot.p99_latency(), 0.001);
+    }
+
+    #[test]
+    fn rounds_to_coverage_is_a_mean_over_coverage_events() {
+        let mut v = VariableReport::default();
+        assert_eq!(v.mean_rounds_to_coverage(), None);
+        v.coverage_rounds_sum = 7;
+        v.coverage_events = 2;
+        assert_eq!(v.mean_rounds_to_coverage(), Some(3.5));
+        // Covered instantly by the foreground write: a genuine 0.
+        let instant = VariableReport {
+            coverage_events: 4,
+            ..VariableReport::default()
+        };
+        assert_eq!(instant.mean_rounds_to_coverage(), Some(0.0));
     }
 
     #[test]

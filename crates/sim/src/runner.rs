@@ -44,6 +44,27 @@
 //! Many operations are in flight at once; the report's
 //! `mean_in_flight`/`max_in_flight` gauges and per-kind latency percentiles
 //! quantify exactly the regimes the atomic model could not reach.
+//!
+//! ## Write diffusion
+//!
+//! With a [`DiffusionPolicy`] configured, the engine additionally runs the
+//! Section 1.1 anti-entropy mechanism *inside* simulated time: every
+//! `period` seconds an [`Event::GossipRound`] snapshots the correct
+//! servers' stored records ([`pqs_protocols::diffusion::plan_cluster_round`])
+//! and turns them into individually scheduled [`Event::GossipPush`]
+//! messages, each with its own latency draw, so gossip traffic genuinely
+//! interleaves with in-flight client probes.  Crashed servers skip rounds
+//! and drop in-flight pushes; Byzantine servers receive but never push —
+//! the same semantics as the synchronous
+//! [`diffuse_plain`](pqs_protocols::diffusion::diffuse_plain) harness.  All
+//! three register flavors diffuse (signed records for the dissemination
+//! protocol).  Gossip draws come from a **separate** RNG stream, so a
+//! diffusion run replays the exact foreground trajectory (same workload,
+//! probe sets, latencies and per-server accesses) of the diffusion-off run
+//! with the same seed — only the staleness outcomes differ, which is what
+//! makes the with/without comparison of [`VariableReport`] stale-read
+//! rates meaningful.  `diffusion: None` (the default) schedules no gossip event
+//! at all and is bit-identical to the pre-diffusion engine.
 
 use crate::event::{Event, EventEngine, OpId};
 use crate::failure::FailurePlan;
@@ -55,13 +76,69 @@ use pqs_core::system::QuorumSystem;
 use pqs_core::universe::ServerId;
 use pqs_protocols::cluster::Cluster;
 use pqs_protocols::crypto::KeyRegistry;
+use pqs_protocols::diffusion;
 use pqs_protocols::register::session::{ReadSession, WriteSession};
 use pqs_protocols::register::{RegisterFlavor, RegisterMap, WriteRecord};
 use pqs_protocols::server::{Behavior, VariableId};
+use pqs_protocols::timestamp::Timestamp;
 use pqs_protocols::value::Value;
 use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Fraction of correct servers a fresh record must reach for the per-key
+/// rounds-to-coverage accounting to call it converged.
+const COVERAGE_TARGET: f64 = 0.9;
+
+/// How the engine schedules epidemic write-diffusion (anti-entropy) rounds
+/// between the servers, competing for simulated time with foreground
+/// client traffic.  `None` in [`SimConfig::diffusion`] disables the
+/// mechanism entirely (and preserves the classic RNG stream and report bit
+/// for bit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffusionPolicy {
+    /// Simulated seconds between gossip rounds (> 0); round `r` fires at
+    /// `r · period`, and rounds stop firing once foreground arrivals stop
+    /// ([`SimConfig::duration`]).
+    pub period: SimTime,
+    /// Peers each correct server pushes each of its stored records to per
+    /// round (≥ 1).
+    pub fanout: u32,
+    /// Latency model for individual server-to-server pushes (drawn once
+    /// per push from the dedicated gossip RNG stream).
+    pub push_latency: LatencyModel,
+}
+
+impl Default for DiffusionPolicy {
+    /// A round every 250 ms, fanout 2, 1 ms fixed push latency.
+    fn default() -> Self {
+        DiffusionPolicy {
+            period: 0.25,
+            fanout: 2,
+            push_latency: LatencyModel::Fixed(1e-3),
+        }
+    }
+}
+
+/// Per-variable state of the rounds-to-coverage accounting: which record
+/// generation is being tracked and when (at which round) it was first seen.
+#[derive(Debug, Clone, Copy)]
+struct ConvergenceTracker {
+    freshest: Timestamp,
+    birth_round: u64,
+    covered: bool,
+}
+
+impl Default for ConvergenceTracker {
+    fn default() -> Self {
+        ConvergenceTracker {
+            freshest: Timestamp::ZERO,
+            birth_round: 0,
+            covered: true,
+        }
+    }
+}
 
 /// Which register protocol the simulated clients run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +195,11 @@ pub struct SimConfig {
     /// retries immediately — the classic behaviour, preserved event for
     /// event.
     pub retry_backoff: f64,
+    /// Epidemic write-diffusion between the servers, scheduled as engine
+    /// events (see the [module docs](self)).  `None` — the default —
+    /// schedules no gossip at all and reproduces the diffusion-free engine
+    /// bit for bit.
+    pub diffusion: Option<DiffusionPolicy>,
     /// RNG seed; the run is fully deterministic given the seed.
     pub seed: u64,
 }
@@ -125,7 +207,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     /// 60 simulated seconds, 10 op/s, 90% reads, one key, 1 ms fixed
     /// latency, no failures, no probe margin, a 1-second timeout with one
-    /// immediate retry, seed 0.
+    /// immediate retry, no diffusion, seed 0.
     fn default() -> Self {
         SimConfig {
             duration: 60.0,
@@ -139,6 +221,7 @@ impl Default for SimConfig {
             op_timeout: 1.0,
             max_retries: 1,
             retry_backoff: 0.0,
+            diffusion: None,
             seed: 0,
         }
     }
@@ -365,6 +448,23 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
             );
         }
 
+        // Write diffusion: gossip draws come from their own RNG stream so a
+        // diffusion run replays the diffusion-off foreground trajectory
+        // exactly; with `None` no gossip event is ever scheduled and the
+        // main stream is untouched.
+        let mut gossip_rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let gossip_signed = matches!(self.kind, ProtocolKind::Dissemination);
+        let mut pending_pushes: HashMap<u64, diffusion::GossipPush> = HashMap::new();
+        let mut next_push: u64 = 0;
+        if let Some(policy) = self.config.diffusion {
+            assert!(
+                policy.period > 0.0 && policy.period.is_finite(),
+                "diffusion period must be positive and finite"
+            );
+            assert!(policy.fanout >= 1, "diffusion fanout must be at least 1");
+            engine.schedule(policy.period, Event::GossipRound { round: 1 });
+        }
+
         let mut states: Vec<OpState> = ops
             .iter()
             .map(|op| OpState {
@@ -394,6 +494,8 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         // write ordering are per-key properties.
         let mut writes: Vec<WriteLog> = (0..nvars).map(|_| WriteLog::default()).collect();
         let mut sequences: Vec<u64> = vec![0; nvars];
+        // Rounds-to-coverage accounting, one tracker per variable.
+        let mut trackers: Vec<ConvergenceTracker> = vec![ConvergenceTracker::default(); nvars];
         // Ops arrive in time order, so the first not-done entry bounds the
         // earliest start any unfinished operation can have — the pruning
         // horizon for the write logs.
@@ -502,6 +604,68 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                         Behavior::Correct
                     };
                     cluster.set_behavior(server, behavior);
+                }
+                Event::GossipRound { round } => {
+                    let policy = self
+                        .config
+                        .diffusion
+                        .expect("gossip rounds are only scheduled with a policy");
+                    let plan = diffusion::plan_cluster_round(
+                        &cluster,
+                        policy.fanout as usize,
+                        gossip_signed,
+                        &mut gossip_rng,
+                    );
+                    report.gossip_rounds += 1;
+                    // Convergence accounting against the planner's coverage
+                    // snapshot: a fresher record restarts its variable's
+                    // clock; reaching the target closes it.
+                    let target =
+                        ((plan.correct_servers as f64 * COVERAGE_TARGET).ceil() as u32).max(1);
+                    for cov in &plan.coverage {
+                        let tracker = &mut trackers[cov.variable as usize];
+                        if cov.freshest > tracker.freshest {
+                            tracker.freshest = cov.freshest;
+                            tracker.birth_round = round;
+                            tracker.covered = false;
+                        }
+                        // The holder count only speaks for the tracked
+                        // generation if it is still the freshest one: when
+                        // every correct holder of a newer record crashes,
+                        // the snapshot regresses to an older timestamp
+                        // whose coverage must not close the newer clock.
+                        if !tracker.covered
+                            && cov.freshest == tracker.freshest
+                            && cov.holders >= target
+                        {
+                            tracker.covered = true;
+                            let pv = &mut report.per_variable[cov.variable as usize];
+                            pv.coverage_rounds_sum += round - tracker.birth_round;
+                            pv.coverage_events += 1;
+                        }
+                    }
+                    for push in plan.pushes {
+                        let rtt = policy.push_latency.sample(&mut gossip_rng);
+                        pending_pushes.insert(next_push, push);
+                        engine.schedule(t + rtt, Event::GossipPush { push: next_push });
+                        next_push += 1;
+                    }
+                    // Rounds stop with the foreground arrivals; in-flight
+                    // pushes still drain.
+                    if t + policy.period <= self.config.duration {
+                        engine.schedule(t + policy.period, Event::GossipRound { round: round + 1 });
+                    }
+                }
+                Event::GossipPush { push } => {
+                    if let Some(p) = pending_pushes.remove(&push) {
+                        let var = p.variable as usize;
+                        report.gossip_pushes += 1;
+                        report.per_variable[var].gossip_pushes += 1;
+                        if diffusion::deliver(&mut cluster, &p) {
+                            report.gossip_stores += 1;
+                            report.per_variable[var].gossip_stores += 1;
+                        }
+                    }
                 }
             }
         }
@@ -1136,6 +1300,87 @@ mod tests {
         assert!(backed_off.retries > 0);
         // Ops that waited out the outage pay for it in latency.
         assert!(backed_off.p99_latency() > immediate.p99_latency());
+    }
+
+    #[test]
+    fn diffusion_cuts_stale_reads_without_touching_the_foreground() {
+        // A loose system (epsilon ~ 0.3) over a skewed key space: gossip
+        // must cut staleness, and because it draws from its own RNG stream
+        // the foreground trajectory (completions, accesses, latencies) of
+        // the diffusion run replays the diffusion-off run exactly.
+        let sys = EpsilonIntersecting::new(64, 8).unwrap();
+        let mut config = quick_config(30);
+        config.duration = 40.0;
+        config.arrival_rate = 50.0;
+        config.read_fraction = 0.85;
+        config.keyspace = KeySpace::zipf(8, 1.0);
+        config.latency = LatencyModel::Exponential { mean: 2e-3 };
+        let off = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.diffusion = Some(DiffusionPolicy {
+            period: 0.1,
+            fanout: 3,
+            push_latency: LatencyModel::Fixed(1e-3),
+        });
+        let on = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        // Identical foreground: gossip never consumes main-stream RNG,
+        // never answers client probes and never counts as an access.
+        assert_eq!(on.completed_reads, off.completed_reads);
+        assert_eq!(on.completed_writes, off.completed_writes);
+        assert_eq!(on.unavailable_ops, off.unavailable_ops);
+        assert_eq!(on.retries, off.retries);
+        assert_eq!(on.per_server_accesses, off.per_server_accesses);
+        assert_eq!(on.total_operations, off.total_operations);
+        // Gossip genuinely ran and did work.
+        assert!(on.gossip_rounds > 100, "rounds {}", on.gossip_rounds);
+        assert!(on.gossip_pushes > on.gossip_rounds);
+        assert!(on.gossip_stores > 0);
+        assert!(on.events_processed > off.events_processed);
+        // Staleness: dominated per read (gossip only freshens servers), so
+        // the cut is deterministic, and it must be substantial.
+        assert!(off.stale_reads > 50, "baseline stale {}", off.stale_reads);
+        assert!(
+            (on.stale_reads as f64) < 0.7 * off.stale_reads as f64,
+            "diffusion stale {} vs baseline {}",
+            on.stale_reads,
+            off.stale_reads
+        );
+        // Per-key: the hot key converges and its metrics are populated.
+        let hot = &on.per_variable[0];
+        assert!(hot.gossip_pushes > 0 && hot.gossip_stores > 0);
+        assert!(hot.coverage_events > 0);
+        assert!(hot.mean_rounds_to_coverage().is_some());
+        assert!(hot.stale_reads <= off.per_variable[0].stale_reads);
+    }
+
+    #[test]
+    fn diffusion_off_schedules_no_gossip_and_stays_bit_identical() {
+        let sys = EpsilonIntersecting::new(64, 8).unwrap();
+        let config = quick_config(31);
+        assert_eq!(config.diffusion, None, "off is the default");
+        let a = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        let b = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        assert_eq!(a, b);
+        assert_eq!(a.gossip_rounds, 0);
+        assert_eq!(a.gossip_pushes, 0);
+        assert_eq!(a.gossip_stores, 0);
+        assert!(a.per_variable[0].mean_rounds_to_coverage().is_none());
+    }
+
+    #[test]
+    fn signed_records_diffuse_in_dissemination_runs() {
+        // The dissemination protocol stores signed records; the engine's
+        // gossip must diffuse those (the plain path would find nothing).
+        let sys = ProbabilisticDissemination::with_target_epsilon(100, 10, 1e-3).unwrap();
+        let mut config = quick_config(32);
+        config.byzantine = 10;
+        config.diffusion = Some(DiffusionPolicy::default());
+        let report = Simulation::new(&sys, ProtocolKind::Dissemination, config).run();
+        assert!(report.completed_reads > 0);
+        assert!(report.gossip_rounds > 0);
+        assert!(
+            report.gossip_stores > 0,
+            "signed records must spread through gossip"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use probabilistic_quorums::core::prelude::*;
 use probabilistic_quorums::sim::latency::LatencyModel;
-use probabilistic_quorums::sim::runner::{ProtocolKind, SimConfig, Simulation};
+use probabilistic_quorums::sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
 use probabilistic_quorums::sim::workload::KeySpace;
 
 fn hostile_config(seed: u64) -> SimConfig {
@@ -104,6 +104,38 @@ fn multi_key_runs_are_bit_identical_per_seed() {
     assert_ne!(a, c);
 }
 
+#[test]
+fn gossip_runs_are_bit_identical_per_seed() {
+    // Diffusion adds two event kinds, a pending-push table and a second RNG
+    // stream; none of it may perturb determinism, even with crashes and a
+    // probe margin in the mix.
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = hostile_config(55);
+    config.keyspace = KeySpace::zipf(64, 1.0);
+    config.diffusion = Some(DiffusionPolicy {
+        period: 0.2,
+        fanout: 2,
+        push_latency: LatencyModel::Exponential { mean: 2e-3 },
+    });
+    let a = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    let b = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    assert_eq!(a, b, "gossip runs must replay bit for bit");
+    assert!(a.gossip_rounds > 0 && a.gossip_pushes > 0 && a.gossip_stores > 0);
+    // The per-key gossip accounting sums to the aggregates.
+    let pushes: u64 = a.per_variable.iter().map(|v| v.gossip_pushes).sum();
+    let stores: u64 = a.per_variable.iter().map(|v| v.gossip_stores).sum();
+    assert_eq!(pushes, a.gossip_pushes);
+    assert_eq!(stores, a.gossip_stores);
+    // And turning diffusion off genuinely changes the trajectory's
+    // consistency outcomes while replaying the identical foreground.
+    config.diffusion = None;
+    let off = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    assert_eq!(off.completed_reads, a.completed_reads);
+    assert_eq!(off.per_server_accesses, a.per_server_accesses);
+    assert_eq!(off.gossip_rounds, 0);
+    assert!(off.stale_reads >= a.stale_reads);
+}
+
 /// The pre-refactor engine (PR 2, single hard-wired variable) was run once
 /// with this exact configuration and its report captured field by field.
 /// The sharded engine with the default 1-key `KeySpace` must reproduce the
@@ -132,7 +164,11 @@ fn one_key_run_is_byte_identical_to_the_pre_sharding_engine() {
         ..SimConfig::default()
     };
     assert_eq!(config.keyspace, KeySpace::single());
+    assert_eq!(config.diffusion, None, "the pinned run is diffusion-free");
     let r = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    // A `DiffusionPolicy::None` run schedules no gossip event at all.
+    assert_eq!(r.gossip_rounds, 0);
+    assert_eq!(r.gossip_pushes, 0);
     // Aggregates captured from the pre-refactor engine.
     assert_eq!(r.completed_reads, 955);
     assert_eq!(r.completed_writes, 240);

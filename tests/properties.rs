@@ -10,8 +10,15 @@ use probabilistic_quorums::math::binomial::Binomial;
 use probabilistic_quorums::math::bounds;
 use probabilistic_quorums::math::hypergeometric::Hypergeometric;
 use probabilistic_quorums::protocols::cluster::Cluster;
+use probabilistic_quorums::protocols::diffusion::{
+    self, count_fresh_correct, diffuse_plain, DiffusionConfig,
+};
 use probabilistic_quorums::protocols::register::{RegisterFlavor, RegisterMap};
-use probabilistic_quorums::protocols::value::Value;
+use probabilistic_quorums::protocols::server::VariableId;
+use probabilistic_quorums::protocols::timestamp::Timestamp;
+use probabilistic_quorums::protocols::value::{TaggedValue, Value};
+use probabilistic_quorums::sim::latency::LatencyModel;
+use probabilistic_quorums::sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
 use probabilistic_quorums::sim::workload::{KeySpace, Skew};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -277,6 +284,147 @@ proptest! {
         // A never-written key reads as empty, not as some other key's value.
         let got = map.get(&mut cluster, &mut rng, keys + 7).unwrap();
         prop_assert_eq!(got, None);
+    }
+
+    /// Post-gossip coverage is monotone in rounds: stepping the incremental
+    /// plan/deliver rounds on one cluster can only ever add holders of the
+    /// freshest record (the merge rule never discards fresh state).
+    #[test]
+    fn gossip_coverage_is_monotone_in_rounds(
+        n in 10u32..150,
+        holders in 1u32..6,
+        fanout in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        use probabilistic_quorums::core::universe::{ServerId, Universe};
+        let mut cluster = Cluster::new(Universe::new(n));
+        let record = TaggedValue::new(Value::from_u64(7), Timestamp::new(3, 1));
+        for i in 0..holders.min(n) {
+            cluster
+                .server_mut(ServerId::new(i))
+                .store_plain_if_fresher(0, record.clone());
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut last = count_fresh_correct(&cluster, 0);
+        for _ in 0..6 {
+            let pushes = diffusion::plan_round(&cluster, 0, fanout, false, &mut rng);
+            for push in &pushes {
+                diffusion::deliver(&mut cluster, push);
+            }
+            let now = count_fresh_correct(&cluster, 0);
+            prop_assert!(now >= last, "coverage shrank: {} -> {}", last, now);
+            last = now;
+        }
+        prop_assert!(last >= holders.min(n) as usize);
+    }
+
+    /// Post-gossip coverage is monotone in fanout: pushing to 4 peers per
+    /// round spreads (at least) as far as pushing to 1, summed over a few
+    /// seeds to wash out individual draw luck.
+    #[test]
+    fn gossip_coverage_is_monotone_in_fanout(n in 30u32..120, seed in 0u64..10_000) {
+        use probabilistic_quorums::core::universe::{ServerId, Universe};
+        let record = TaggedValue::new(Value::from_u64(1), Timestamp::new(1, 1));
+        let run = |fanout: usize, sub: u64| {
+            let mut cluster = Cluster::new(Universe::new(n));
+            cluster
+                .server_mut(ServerId::new(0))
+                .store_plain_if_fresher(0, record.clone());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ sub);
+            diffuse_plain(
+                &mut cluster,
+                0,
+                DiffusionConfig { fanout, rounds: 3 },
+                &mut rng,
+            )
+        };
+        let narrow: usize = (0..3).map(|s| run(1, s)).sum();
+        let wide: usize = (0..3).map(|s| run(4, s)).sum();
+        prop_assert!(
+            wide >= narrow,
+            "fanout 4 covered {} but fanout 1 covered {}",
+            wide,
+            narrow
+        );
+    }
+
+    /// Plain and signed diffusion are the same process: with identical
+    /// initial holders and the same RNG seed the planners draw identical
+    /// peers, so final coverage is identical.
+    #[test]
+    fn plain_and_signed_diffusion_agree(
+        n in 10u32..100,
+        variable in 0u64..50,
+        fanout in 1usize..4,
+        rounds in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        use probabilistic_quorums::core::universe::{ServerId, Universe};
+        use probabilistic_quorums::protocols::crypto::{KeyRegistry, SignedValue};
+        let variable: VariableId = variable;
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, seed);
+        let mut plain_cluster = Cluster::new(Universe::new(n));
+        let mut signed_cluster = Cluster::new(Universe::new(n));
+        let ts = Timestamp::new(2, 1);
+        for i in 0..3u32.min(n) {
+            plain_cluster
+                .server_mut(ServerId::new(i))
+                .store_plain_if_fresher(variable, TaggedValue::new(Value::from_u64(9), ts));
+            signed_cluster
+                .server_mut(ServerId::new(i))
+                .store_signed_if_fresher(variable, SignedValue::create(&key, Value::from_u64(9), ts));
+        }
+        let config = DiffusionConfig { fanout, rounds };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let plain = diffuse_plain(&mut plain_cluster, variable, config, &mut rng_a);
+        let signed = diffusion::diffuse_signed(&mut signed_cluster, variable, config, &mut rng_b);
+        prop_assert_eq!(plain, signed);
+    }
+
+    /// Engine dominance: because gossip only ever freshens server state and
+    /// draws from its own RNG stream, a diffusion run completes the exact
+    /// same operations as the diffusion-off run with the same seed and its
+    /// stale-read count can only be lower — for every seed, period and
+    /// fanout, on every key.
+    #[test]
+    fn engine_diffusion_never_hurts_consistency(
+        seed in 0u64..10_000,
+        period_idx in 0usize..3,
+        fanout in 1u32..4,
+    ) {
+        let sys = EpsilonIntersecting::new(49, 7).unwrap();
+        let mut config = SimConfig {
+            duration: 8.0,
+            arrival_rate: 40.0,
+            read_fraction: 0.8,
+            keyspace: KeySpace::zipf(4, 1.0),
+            latency: LatencyModel::Exponential { mean: 2e-3 },
+            seed,
+            ..SimConfig::default()
+        };
+        let off = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.diffusion = Some(DiffusionPolicy {
+            period: [0.05, 0.2, 0.5][period_idx],
+            fanout,
+            push_latency: LatencyModel::Fixed(1e-3),
+        });
+        let on = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        prop_assert_eq!(on.completed_reads, off.completed_reads);
+        prop_assert_eq!(on.completed_writes, off.completed_writes);
+        prop_assert_eq!(&on.per_server_accesses, &off.per_server_accesses);
+        // Gossip can convert an *empty* read (no probed server held any
+        // record) into a merely *stale* one, so only the combined
+        // stale + empty failure count is dominated read by read.
+        prop_assert!(on.stale_reads + on.empty_reads <= off.stale_reads + off.empty_reads);
+        for (v_on, v_off) in on.per_variable.iter().zip(off.per_variable.iter()) {
+            prop_assert!(
+                v_on.stale_reads + v_on.empty_reads <= v_off.stale_reads + v_off.empty_reads
+            );
+            prop_assert_eq!(v_on.completed_reads, v_off.completed_reads);
+        }
+        prop_assert!(on.gossip_rounds > 0);
     }
 
     /// Byzantine strict systems: sampled quorum overlaps always meet the
