@@ -42,11 +42,10 @@ fn engine_config(arrival_rate: f64) -> SimConfig {
 fn diffusion_config(arrival_rate: f64) -> SimConfig {
     let mut config = engine_config(arrival_rate);
     config.keyspace = KeySpace::zipf(64, 1.0);
-    config.diffusion = Some(DiffusionPolicy {
-        period: 0.25,
-        fanout: 2,
-        push_latency: LatencyModel::Exponential { mean: 2e-3 },
-    });
+    config.diffusion = Some(
+        DiffusionPolicy::full_push(0.25, 2)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+    );
     config
 }
 

@@ -109,11 +109,10 @@ fn main() {
         let mut row_hot = Vec::new();
         for &fanout in &fanouts {
             let mut cell = config;
-            cell.diffusion = Some(DiffusionPolicy {
-                period,
-                fanout,
-                push_latency: LatencyModel::Exponential { mean: 2e-3 },
-            });
+            cell.diffusion = Some(
+                DiffusionPolicy::full_push(period, fanout)
+                    .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+            );
             let report = Simulation::new(&sys, ProtocolKind::Safe, cell).run();
 
             // Invariant 1: the foreground trajectory is untouched — gossip

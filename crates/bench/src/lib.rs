@@ -19,6 +19,7 @@
 //! | `validate_load` | Theorems 3.9, 5.5 and Table I load bounds |
 //! | `validate_sharding` | per-server load invariance and per-key popularity of the sharded KV store |
 //! | `validate_diffusion` | Section 1.1 write-diffusion: stale-read-rate cut on hot keys, per-key convergence |
+//! | `validate_adaptive_diffusion` | digest/delta gossip: ≥60% push-volume cut vs full-push at equal-or-better hot-key staleness and coverage speed |
 //!
 //! All binaries print an aligned text table to stdout and write the same
 //! rows as CSV under `target/experiments/`.

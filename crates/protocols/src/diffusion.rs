@@ -28,11 +28,40 @@
 //! The run-to-completion helpers [`diffuse_plain`] / [`diffuse_signed`]
 //! compose the two steps back into the classic synchronous-rounds loop.
 //!
-//! Failure semantics are identical in both drivers: **crashed** servers
-//! neither push nor receive, and **Byzantine** servers receive pushes
-//! (harmlessly — they drop or suppress them) but never push, modelling the
-//! fact that correct servers cannot rely on them to help dissemination.
-//! Both the plain records of the safe/masking protocols and the signed,
+//! # Digest/delta gossip
+//!
+//! Blind push gossip is wasteful once the cluster is mostly converged:
+//! almost every push carries a record its receiver already holds.  The
+//! digest/delta protocol replaces the blind push with a two-leg exchange
+//! (the classic anti-entropy optimisation of the gossip literature):
+//!
+//! * [`plan_digest`] — each correct server sends a [`GossipDigest`] — a
+//!   compact per-key *version summary* of its own store — to `fanout`
+//!   uniform peers.  A [`KeySelector`] filters which keys are advertised,
+//!   which is how per-key gossip policies (hot-first, recent-writes-only)
+//!   plug in.
+//! * [`diff_digest`] — the digest receiver compares the summary against its
+//!   own store and answers with a [`GossipDelta`] carrying **only the
+//!   records the digest sender provably lacks** (its stored timestamp beats
+//!   the advertised one).  The records the receiver holds but does *not*
+//!   send — because the digest proved them redundant — are counted as
+//!   avoided pushes, the savings metric.
+//! * [`deliver_delta`] — the delta is applied back at the digest sender,
+//!   evaluated at delivery time like every other gossip message.
+//!
+//! Information therefore flows *toward* the digest sender (pull-style
+//! anti-entropy); a fresh write spreads because every correct server keeps
+//! digesting random peers each round.  The run-to-completion helpers
+//! [`diffuse_digest_plain`] / [`diffuse_digest_signed`] compose the three
+//! steps into synchronous rounds, exactly like [`diffuse_plain`] does for
+//! the push protocol.
+//!
+//! Failure semantics are identical in both drivers and both protocols:
+//! **crashed** servers neither initiate nor answer, and **Byzantine**
+//! servers receive digests and pushes (harmlessly — they drop or suppress
+//! them) but never push and never answer with a delta, modelling the fact
+//! that correct servers cannot rely on them to help dissemination.  Both
+//! the plain records of the safe/masking protocols and the signed,
 //! self-verifying records of the dissemination protocol diffuse.
 
 use crate::cluster::Cluster;
@@ -43,7 +72,7 @@ use crate::value::TaggedValue;
 use pqs_core::universe::ServerId;
 use rand::Rng;
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Configuration of the gossip process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,23 +282,349 @@ pub fn plan_cluster_round(
     }
 }
 
-/// Delivers one gossip push, evaluating the receiver's behaviour *now*:
-/// correct receivers merge by freshest-timestamp, crashed receivers are
-/// unreachable and Byzantine receivers drop the record (all they can do
+/// Delivers one gossip record to `to`, evaluating the receiver's behaviour
+/// *now*: correct receivers merge by freshest-timestamp, crashed receivers
+/// are unreachable and Byzantine receivers drop the record (all they can do
 /// undetectably is suppress it).  Returns `true` if the receiver's stored
-/// record actually became fresher.
-pub fn deliver(cluster: &mut Cluster, push: &GossipPush) -> bool {
-    if cluster.server(push.to).behavior() != Behavior::Correct {
+/// record actually became fresher.  The shared core of [`deliver`] (push
+/// gossip) and [`deliver_delta`] (digest/delta gossip).
+pub fn deliver_record(
+    cluster: &mut Cluster,
+    to: ServerId,
+    variable: VariableId,
+    record: &GossipRecord,
+) -> bool {
+    if cluster.server(to).behavior() != Behavior::Correct {
         return false;
     }
-    match &push.record {
+    match record {
         GossipRecord::Plain(tv) => cluster
-            .server_mut(push.to)
-            .store_plain_if_fresher(push.variable, tv.clone()),
+            .server_mut(to)
+            .store_plain_if_fresher(variable, tv.clone()),
         GossipRecord::Signed(sv) => cluster
-            .server_mut(push.to)
-            .store_signed_if_fresher(push.variable, sv.clone()),
+            .server_mut(to)
+            .store_signed_if_fresher(variable, sv.clone()),
     }
+}
+
+/// Delivers one gossip push ([`deliver_record`] on the push's payload).
+pub fn deliver(cluster: &mut Cluster, push: &GossipPush) -> bool {
+    deliver_record(cluster, push.to, push.variable, &push.record)
+}
+
+/// Which keys a digest advertises — the hook the per-key gossip policies
+/// (uniform, hot-first, recent-writes-only) use to shape digest traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeySelector {
+    /// Advertise every key the sender holds: the digest is *complete*, so
+    /// its receiver may also answer with records for keys the digest never
+    /// mentioned (the sender provably holds nothing for them).
+    All,
+    /// Advertise exactly the listed keys — held or not (an unheld key is
+    /// advertised at [`Timestamp::ZERO`], i.e. "send me anything you
+    /// have").  The digest is *incomplete*: keys outside the set are not
+    /// part of the exchange at all.
+    Only(BTreeSet<VariableId>),
+}
+
+impl KeySelector {
+    /// Whether the digest covers everything its sender holds.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, KeySelector::All)
+    }
+}
+
+/// A per-key version summary of one server's store, sent to a peer as a
+/// pull request: "here is what I hold — answer with anything fresher".
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipDigest {
+    /// The (correct) digest sender — the server that will receive the
+    /// answering [`GossipDelta`].
+    pub from: ServerId,
+    /// The receiver, which computes the delta via [`diff_digest`].
+    pub to: ServerId,
+    /// Whether the exchange covers signed (dissemination) or plain records.
+    pub signed: bool,
+    /// `true` if `entries` covers every key the sender holds, so an absent
+    /// key means "I hold nothing for it" and the receiver may volunteer
+    /// records beyond the entries.
+    pub complete: bool,
+    /// `(key, freshest stored timestamp)` pairs, sorted by key.  Keys the
+    /// sender does not hold appear at [`Timestamp::ZERO`] when a
+    /// [`KeySelector::Only`] policy advertises them explicitly.
+    pub entries: Vec<(VariableId, Timestamp)>,
+}
+
+/// The answer to a [`GossipDigest`]: only the records the digest sender
+/// provably lacks, plus the count of transfers the digest made unnecessary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipDelta {
+    /// The responder (the digest's receiver).
+    pub from: ServerId,
+    /// The original digest sender, where [`deliver_delta`] applies the
+    /// records.
+    pub to: ServerId,
+    /// `(key, record)` pairs the digest sender provably lacks, sorted by
+    /// key.
+    pub records: Vec<(VariableId, GossipRecord)>,
+}
+
+/// One planned round of digest gossip: every correct server's digests to
+/// its `fanout` drawn peers, plus the same coverage snapshot
+/// [`plan_cluster_round`] produces (over **all** held keys, regardless of
+/// the selector, so convergence metrics stay comparable across policies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestRoundPlan {
+    /// The round's digest messages, in deterministic sender-id order.
+    pub digests: Vec<GossipDigest>,
+    /// Per-variable coverage among correct servers at planning time,
+    /// sorted by variable id.
+    pub coverage: Vec<VariableCoverage>,
+    /// Number of correct servers at planning time.
+    pub correct_servers: u32,
+}
+
+/// Plans one round of digest gossip: each correct server summarises the
+/// keys admitted by `selector` and addresses the summary to `fanout`
+/// uniformly drawn peers (self-draws are consumed but skipped, like the
+/// push planner's).  One digest per (sender, peer) pair covers every
+/// advertised key — this is where digest gossip spends messages, instead of
+/// one record-bearing push per (sender, peer, key).
+///
+/// Nothing is mutated; apply the exchange with [`diff_digest`] at each
+/// receiver and [`deliver_delta`] back at each sender.
+pub fn plan_digest(
+    cluster: &Cluster,
+    fanout: usize,
+    signed: bool,
+    selector: &KeySelector,
+    rng: &mut dyn RngCore,
+) -> DigestRoundPlan {
+    let n = cluster.len();
+    let mut digests = Vec::new();
+    let mut coverage: HashMap<VariableId, (Timestamp, u32)> = HashMap::new();
+    let mut correct_servers = 0u32;
+    for i in 0..n as u32 {
+        let sender = cluster.server(ServerId::new(i));
+        if sender.behavior() != Behavior::Correct {
+            continue;
+        }
+        correct_servers += 1;
+        let mut held: Vec<VariableId> = if signed {
+            sender.signed_variables().collect()
+        } else {
+            sender.plain_variables().collect()
+        };
+        held.sort_unstable();
+        let timestamp_of = |v: VariableId| {
+            if signed {
+                sender.stored_signed_timestamp(v)
+            } else {
+                sender.stored_plain_timestamp(v)
+            }
+        };
+        // One pass builds the coverage snapshot (over everything held,
+        // selector or not) and, for complete digests, the entry list —
+        // timestamps only, no record is ever cloned while planning.
+        let mut entries: Vec<(VariableId, Timestamp)> = Vec::new();
+        for &variable in &held {
+            let ts = timestamp_of(variable);
+            if ts == Timestamp::ZERO {
+                continue;
+            }
+            let entry = coverage.entry(variable).or_insert((Timestamp::ZERO, 0));
+            if ts > entry.0 {
+                *entry = (ts, 1);
+            } else if ts == entry.0 {
+                entry.1 += 1;
+            }
+            if selector.is_complete() {
+                entries.push((variable, ts));
+            }
+        }
+        if let KeySelector::Only(keys) = selector {
+            entries = keys.iter().map(|&v| (v, timestamp_of(v))).collect();
+        }
+        for _ in 0..fanout {
+            let peer = rng.gen_range(0..n);
+            if peer == i as usize {
+                continue;
+            }
+            digests.push(GossipDigest {
+                from: ServerId::new(i),
+                to: ServerId::new(peer as u32),
+                signed,
+                complete: selector.is_complete(),
+                entries: entries.clone(),
+            });
+        }
+    }
+    let mut coverage: Vec<VariableCoverage> = coverage
+        .into_iter()
+        .map(|(variable, (freshest, holders))| VariableCoverage {
+            variable,
+            freshest,
+            holders,
+        })
+        .collect();
+    coverage.sort_unstable_by_key(|c| c.variable);
+    DigestRoundPlan {
+        digests,
+        coverage,
+        correct_servers,
+    }
+}
+
+/// What [`diff_digest`] computed at a digest's receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestDiff {
+    /// The records the digest sender provably lacks, to be sent back.
+    pub delta: GossipDelta,
+    /// Keys (sorted) whose records the receiver holds within the
+    /// exchange's scope but the digest proved the sender already has —
+    /// exactly the transfers a blind push round would have wasted on this
+    /// pair, at most one per key per exchange.
+    pub avoided: Vec<VariableId>,
+}
+
+/// Computes the delta a digest's receiver owes its sender, evaluating the
+/// receiver's behaviour *now*: a crashed receiver is unreachable and a
+/// Byzantine receiver suppresses the exchange (it cannot forge a verifying
+/// signed record, and the model conservatively assumes it refuses to help
+/// on the plain path too) — both yield `None`, no reply.
+///
+/// For every advertised key the receiver answers with its stored record iff
+/// that record is strictly fresher than the advertised timestamp; when the
+/// digest is [`complete`](GossipDigest::complete) it additionally
+/// volunteers records for keys it holds that the digest never mentioned
+/// (the sender provably holds nothing for them).
+pub fn diff_digest(cluster: &Cluster, digest: &GossipDigest) -> Option<DigestDiff> {
+    let receiver = cluster.server(digest.to);
+    if receiver.behavior() != Behavior::Correct {
+        return None;
+    }
+    let timestamp_of = |variable: VariableId| {
+        if digest.signed {
+            receiver.stored_signed_timestamp(variable)
+        } else {
+            receiver.stored_plain_timestamp(variable)
+        }
+    };
+    let stored = |variable: VariableId| -> GossipRecord {
+        if digest.signed {
+            GossipRecord::Signed(receiver.stored_signed(variable))
+        } else {
+            GossipRecord::Plain(receiver.stored_plain(variable))
+        }
+    };
+    let mut records = Vec::new();
+    let mut avoided = Vec::new();
+    // Timestamps decide the diff; a record is cloned only when it actually
+    // rides in the delta (proving redundancy — the common case — is free).
+    for &(variable, advertised) in &digest.entries {
+        let mine = timestamp_of(variable);
+        if mine > advertised {
+            records.push((variable, stored(variable)));
+        } else if mine != Timestamp::ZERO {
+            avoided.push(variable);
+        }
+    }
+    if digest.complete {
+        let advertised: BTreeSet<VariableId> = digest.entries.iter().map(|&(v, _)| v).collect();
+        let mut extra: Vec<VariableId> = if digest.signed {
+            receiver.signed_variables().collect()
+        } else {
+            receiver.plain_variables().collect()
+        };
+        extra.sort_unstable();
+        for variable in extra {
+            if advertised.contains(&variable) || timestamp_of(variable) == Timestamp::ZERO {
+                continue;
+            }
+            records.push((variable, stored(variable)));
+        }
+        records.sort_unstable_by_key(|&(v, _)| v);
+    }
+    Some(DigestDiff {
+        delta: GossipDelta {
+            from: digest.to,
+            to: digest.from,
+            records,
+        },
+        avoided,
+    })
+}
+
+/// Applies a delta back at the digest sender, evaluating its behaviour at
+/// delivery time ([`deliver_record`] per record).  Returns the number of
+/// records that actually freshened the receiver's store — with a truthful
+/// responder that is every record, unless the sender's store moved while
+/// the delta was in flight.
+pub fn deliver_delta(cluster: &mut Cluster, delta: &GossipDelta) -> u64 {
+    delta
+        .records
+        .iter()
+        .filter(|(variable, record)| deliver_record(cluster, delta.to, *variable, record))
+        .count() as u64
+}
+
+/// Traffic accounting of one digest-gossip run: what
+/// [`diffuse_digest_plain`] / [`diffuse_digest_signed`] did on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DigestDiffusionStats {
+    /// Digest messages delivered.
+    pub digests: u64,
+    /// Records transferred inside deltas.
+    pub delta_records: u64,
+    /// Delta records that actually freshened their receiver.
+    pub stores: u64,
+    /// Redundant transfers a blind push exchange would have made that the
+    /// digests proved unnecessary.
+    pub redundant_avoided: u64,
+}
+
+/// Runs synchronous digest/delta gossip of plain records over the whole
+/// store (a [`KeySelector::All`] digest per pair) for `config.rounds`
+/// rounds, returning the traffic stats.  The same failure semantics as
+/// [`diffuse_plain`]: crashed servers neither initiate nor answer,
+/// Byzantine servers never answer.
+pub fn diffuse_digest_plain(
+    cluster: &mut Cluster,
+    config: DiffusionConfig,
+    rng: &mut dyn RngCore,
+) -> DigestDiffusionStats {
+    diffuse_digest(cluster, config, false, rng)
+}
+
+/// [`diffuse_digest_plain`] over the signed records of the dissemination
+/// protocol.
+pub fn diffuse_digest_signed(
+    cluster: &mut Cluster,
+    config: DiffusionConfig,
+    rng: &mut dyn RngCore,
+) -> DigestDiffusionStats {
+    diffuse_digest(cluster, config, true, rng)
+}
+
+fn diffuse_digest(
+    cluster: &mut Cluster,
+    config: DiffusionConfig,
+    signed: bool,
+    rng: &mut dyn RngCore,
+) -> DigestDiffusionStats {
+    let mut stats = DigestDiffusionStats::default();
+    for _ in 0..config.rounds {
+        let plan = plan_digest(cluster, config.fanout, signed, &KeySelector::All, rng);
+        for digest in &plan.digests {
+            stats.digests += 1;
+            if let Some(diff) = diff_digest(cluster, digest) {
+                stats.redundant_avoided += diff.avoided.len() as u64;
+                stats.delta_records += diff.delta.records.len() as u64;
+                stats.stores += deliver_delta(cluster, &diff.delta);
+            }
+        }
+    }
+    stats
 }
 
 /// Runs synchronous push-gossip of plain records for one variable and
@@ -580,6 +935,229 @@ mod tests {
             deliver(&mut cluster, push);
         }
         assert!(count_fresh_correct(&cluster, 3) >= before);
+    }
+
+    #[test]
+    fn digest_diffusion_converges_like_full_push() {
+        // One holder of the freshest record per key; after enough digest
+        // rounds every correct server holds every key's freshest record —
+        // the same fixed point full-push gossip reaches.
+        let universe = Universe::new(40);
+        let mut cluster = Cluster::new(universe);
+        for (var, holder) in [(0u64, 3u32), (5, 11), (9, 27)] {
+            cluster
+                .server_mut(ServerId::new(holder))
+                .store_plain_if_fresher(
+                    var,
+                    TaggedValue::new(Value::from_u64(var), Timestamp::new(4, 1)),
+                );
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let stats = diffuse_digest_plain(
+            &mut cluster,
+            DiffusionConfig {
+                fanout: 3,
+                rounds: 8,
+            },
+            &mut rng,
+        );
+        for var in [0u64, 5, 9] {
+            assert_eq!(count_fresh_correct(&cluster, var), 40, "key {var}");
+        }
+        assert!(stats.digests > 0);
+        // Deltas carried each record at most once per (receiver, key) that
+        // lacked it: far fewer transfers than 8 rounds of blind pushes.
+        // Every correct (server, key) pair went from empty to fresh exactly
+        // once; a few transfers race within a round (two exchanges planned
+        // against the same stale snapshot), so transfers ≥ stores.
+        assert_eq!(stats.stores, 39 * 3);
+        assert!(stats.delta_records >= stats.stores, "{stats:?}");
+        assert!(stats.redundant_avoided > 0, "{stats:?}");
+        let blind = 8 * 40 * 3 * 3; // rounds x servers x keys x fanout
+        assert!(
+            stats.delta_records < blind as u64 / 4,
+            "digest transfers {} should be far below blind {blind}",
+            stats.delta_records
+        );
+    }
+
+    #[test]
+    fn diff_digest_sends_only_what_the_sender_provably_lacks() {
+        let mut cluster = Cluster::new(Universe::new(4));
+        let record = |v: u64, c: u64| TaggedValue::new(Value::from_u64(v), Timestamp::new(c, 1));
+        // Receiver 1 holds: key 0 fresher than advertised, key 1 staler,
+        // key 2 equal, key 3 unadvertised.
+        let receiver = ServerId::new(1);
+        cluster
+            .server_mut(receiver)
+            .store_plain_if_fresher(0, record(10, 5));
+        cluster
+            .server_mut(receiver)
+            .store_plain_if_fresher(1, record(11, 1));
+        cluster
+            .server_mut(receiver)
+            .store_plain_if_fresher(2, record(12, 2));
+        cluster
+            .server_mut(receiver)
+            .store_plain_if_fresher(3, record(13, 7));
+        let digest = GossipDigest {
+            from: ServerId::new(0),
+            to: receiver,
+            signed: false,
+            complete: true,
+            entries: vec![
+                (0, Timestamp::new(2, 1)),
+                (1, Timestamp::new(9, 1)),
+                (2, Timestamp::new(2, 1)),
+            ],
+        };
+        let diff = diff_digest(&cluster, &digest).unwrap();
+        // Keys 0 (fresher) and 3 (volunteered: digest is complete) flow
+        // back; keys 1 and 2 are proven redundant.
+        let keys: Vec<VariableId> = diff.delta.records.iter().map(|&(v, _)| v).collect();
+        assert_eq!(keys, vec![0, 3]);
+        assert_eq!(diff.avoided, vec![1, 2]);
+        assert_eq!(diff.delta.from, receiver);
+        assert_eq!(diff.delta.to, ServerId::new(0));
+        // An incomplete digest must not volunteer unadvertised keys.
+        let partial = GossipDigest {
+            complete: false,
+            ..digest.clone()
+        };
+        let diff = diff_digest(&cluster, &partial).unwrap();
+        let keys: Vec<VariableId> = diff.delta.records.iter().map(|&(v, _)| v).collect();
+        assert_eq!(keys, vec![0], "key 3 is outside the exchange's scope");
+        // Applying the delta freshens the digest sender exactly once.
+        let full = diff_digest(&cluster, &digest).unwrap();
+        assert_eq!(deliver_delta(&mut cluster, &full.delta), 2);
+        assert_eq!(deliver_delta(&mut cluster, &full.delta), 0, "idempotent");
+        assert_eq!(
+            cluster.server(ServerId::new(0)).stored_plain(3).timestamp,
+            Timestamp::new(7, 1)
+        );
+    }
+
+    #[test]
+    fn faulty_receivers_never_answer_digests() {
+        let mut cluster = Cluster::new(Universe::new(5));
+        let record = TaggedValue::new(Value::from_u64(5), Timestamp::new(3, 1));
+        for i in 1..=2u32 {
+            cluster
+                .server_mut(ServerId::new(i))
+                .store_plain_if_fresher(0, record.clone());
+        }
+        cluster.set_behavior(ServerId::new(1), Behavior::Crashed);
+        cluster.set_behavior(ServerId::new(2), Behavior::ByzantineForge);
+        let digest = |to: u32| GossipDigest {
+            from: ServerId::new(0),
+            to: ServerId::new(to),
+            signed: false,
+            complete: true,
+            entries: Vec::new(),
+        };
+        assert!(diff_digest(&cluster, &digest(1)).is_none(), "crashed");
+        assert!(diff_digest(&cluster, &digest(2)).is_none(), "byzantine");
+        // A correct but empty receiver answers with an empty delta.
+        let diff = diff_digest(&cluster, &digest(3)).unwrap();
+        assert!(diff.delta.records.is_empty());
+        assert!(diff.avoided.is_empty());
+        // A delta aimed at a server that crashed mid-flight stores nothing.
+        let fresh = GossipDelta {
+            from: ServerId::new(3),
+            to: ServerId::new(1),
+            records: vec![(0, GossipRecord::Plain(record))],
+        };
+        assert_eq!(deliver_delta(&mut cluster, &fresh), 0);
+    }
+
+    #[test]
+    fn selective_digests_advertise_unheld_keys_at_timestamp_zero() {
+        use std::collections::BTreeSet;
+        let mut cluster = Cluster::new(Universe::new(6));
+        // Server 2 holds keys 1 and 4; the policy only admits keys 1 and 7.
+        let record = |v: u64, c: u64| TaggedValue::new(Value::from_u64(v), Timestamp::new(c, 1));
+        cluster
+            .server_mut(ServerId::new(2))
+            .store_plain_if_fresher(1, record(1, 2));
+        cluster
+            .server_mut(ServerId::new(2))
+            .store_plain_if_fresher(4, record(4, 3));
+        let selector = KeySelector::Only(BTreeSet::from([1u64, 7]));
+        assert!(!selector.is_complete());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let plan = plan_digest(&cluster, 2, false, &selector, &mut rng);
+        assert_eq!(plan.correct_servers, 6);
+        // The coverage snapshot still sees key 4 even though the selector
+        // filtered it from the digests (metrics stay policy-blind).
+        assert!(plan.coverage.iter().any(|c| c.variable == 4));
+        for digest in &plan.digests {
+            assert!(!digest.complete);
+            let vars: Vec<VariableId> = digest.entries.iter().map(|&(v, _)| v).collect();
+            assert_eq!(vars, vec![1, 7], "exactly the selected keys");
+            let ts7 = digest.entries.iter().find(|&&(v, _)| v == 7).unwrap().1;
+            assert_eq!(ts7, Timestamp::ZERO, "unheld keys pull from scratch");
+            if digest.from == ServerId::new(2) {
+                assert_eq!(digest.entries[0].1, Timestamp::new(2, 1));
+            }
+        }
+        // Round-trip: a holder of key 7 answers the pull.
+        cluster
+            .server_mut(ServerId::new(5))
+            .store_plain_if_fresher(7, record(7, 9));
+        let digest = plan
+            .digests
+            .iter()
+            .find(|d| d.to == ServerId::new(5))
+            .cloned()
+            .unwrap_or_else(|| GossipDigest {
+                from: ServerId::new(0),
+                to: ServerId::new(5),
+                signed: false,
+                complete: false,
+                entries: vec![(1, Timestamp::ZERO), (7, Timestamp::ZERO)],
+            });
+        let diff = diff_digest(&cluster, &digest).unwrap();
+        assert!(diff.delta.records.iter().any(|&(v, _)| v == 7));
+    }
+
+    #[test]
+    fn signed_digest_diffusion_matches_plain() {
+        // Mirrored clusters, same seed: record flavor never touches the
+        // RNG, so digest gossip spreads identically and the stats agree.
+        let universe = Universe::new(30);
+        let mut plain_cluster = Cluster::new(universe);
+        let mut signed_cluster = Cluster::new(universe);
+        let mut registry = KeyRegistry::new();
+        let key = registry.register(1, 31);
+        let ts = Timestamp::new(6, 1);
+        for i in [2u32, 8] {
+            plain_cluster
+                .server_mut(ServerId::new(i))
+                .store_plain_if_fresher(3, TaggedValue::new(Value::from_u64(5), ts));
+            signed_cluster
+                .server_mut(ServerId::new(i))
+                .store_signed_if_fresher(3, SignedValue::create(&key, Value::from_u64(5), ts));
+        }
+        let config = DiffusionConfig {
+            fanout: 2,
+            rounds: 6,
+        };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(14);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(14);
+        let plain = diffuse_digest_plain(&mut plain_cluster, config, &mut rng_a);
+        let signed = diffuse_digest_signed(&mut signed_cluster, config, &mut rng_b);
+        assert_eq!(plain, signed);
+        assert_eq!(
+            count_fresh_correct(&plain_cluster, 3),
+            count_fresh_correct_signed(&signed_cluster, 3)
+        );
+        // Gossip hops preserve signature validity.
+        for i in 0..30u32 {
+            let stored = signed_cluster.server(ServerId::new(i)).stored_signed(3);
+            if stored.tagged.timestamp != Timestamp::ZERO {
+                assert!(registry.verify_signed(&stored));
+            }
+        }
     }
 
     #[test]

@@ -29,7 +29,9 @@
 //!   ([`register::MaskingRegister`]), plus the sharded key–value facade
 //!   ([`register::RegisterMap`]) that instantiates any of them per key.
 //! * [`diffusion`] — epidemic propagation of the freshest value between
-//!   correct servers.
+//!   correct servers: blind push gossip and the digest/delta exchange
+//!   (per-key version summaries answered by only the records the summary's
+//!   sender provably lacks).
 //!
 //! ## Example
 //!
@@ -51,7 +53,7 @@
 //! assert_eq!(read.unwrap().value, Value::from_u64(42));
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;

@@ -113,6 +113,23 @@ impl ReplicaServer {
             .unwrap_or_else(SignedValue::unsigned_initial)
     }
 
+    /// Timestamp of the stored plain record for `var`
+    /// ([`Timestamp::ZERO`] when unheld) — a clone-free accessor for the
+    /// digest planner's per-key version summaries.
+    pub fn stored_plain_timestamp(&self, var: VariableId) -> Timestamp {
+        self.plain
+            .get(&var)
+            .map_or(Timestamp::ZERO, |tv| tv.timestamp)
+    }
+
+    /// Timestamp of the stored signed record for `var`
+    /// ([`Timestamp::ZERO`] when unheld), without cloning the signature.
+    pub fn stored_signed_timestamp(&self, var: VariableId) -> Timestamp {
+        self.signed
+            .get(&var)
+            .map_or(Timestamp::ZERO, |sv| sv.tagged.timestamp)
+    }
+
     /// Handles a plain read request. Returns `None` if the server does not
     /// answer (crashed).
     pub fn handle_read_plain(&self, var: VariableId) -> Option<TaggedValue> {

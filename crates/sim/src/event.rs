@@ -33,6 +33,11 @@
 //! * [`Event::GossipPush`] — one server-to-server gossip message arrives
 //!   at its receiver after its own latency draw, competing for simulated
 //!   time with the foreground client probes.
+//! * [`Event::GossipDigest`] / [`Event::GossipDelta`] — the two legs of a
+//!   digest/delta anti-entropy exchange
+//!   ([`GossipMode::DigestDelta`](crate::runner::GossipMode)): a per-key
+//!   version summary travels out, and only the records its sender provably
+//!   lacks travel back.
 
 use crate::time::{EventQueue, SimTime};
 use pqs_core::universe::ServerId;
@@ -104,6 +109,23 @@ pub enum Event {
     GossipPush {
         /// Id of the pending push being delivered.
         push: u64,
+    },
+    /// A gossip *digest* — a per-key version summary of its sender's store —
+    /// arrives at its receiver (digest/delta mode,
+    /// [`GossipMode::DigestDelta`](crate::runner::GossipMode)).  The
+    /// receiver, evaluated at delivery time, answers with a
+    /// [`Event::GossipDelta`] carrying only the records the digest's sender
+    /// provably lacks; crashed and Byzantine receivers never answer.
+    GossipDigest {
+        /// Id of the pending digest being delivered.
+        digest: u64,
+    },
+    /// A gossip *delta* — the records a digest's sender provably lacked —
+    /// arrives back at that sender, which merges each record by freshest
+    /// timestamp (behaviour evaluated at delivery time).
+    GossipDelta {
+        /// Id of the pending delta being delivered.
+        delta: u64,
     },
 }
 

@@ -31,7 +31,10 @@
 //!   the per-key breakdown ([`metrics::VariableReport`]).
 //! * [`runner`] — the simulation driver: many concurrent client sessions
 //!   over a per-variable register table, first-`q`-of-probed quorum access,
-//!   timeout-and-resample retry with optional exponential backoff.
+//!   timeout-and-resample retry with optional exponential backoff, and
+//!   engine-scheduled write diffusion ([`runner::DiffusionPolicy`]) in
+//!   either full-push or digest/delta gossip mode with per-key
+//!   advertisement policies ([`runner::KeyGossipPolicy`]).
 //!
 //! ## Example
 //!
@@ -59,7 +62,7 @@
 //! assert!(report.read_latency.p99() >= report.read_latency.p50());
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod event;

@@ -131,6 +131,15 @@ pub struct VariableReport {
     /// Gossip pushes of this key that actually freshened their receiver's
     /// stored record — the effective anti-entropy work done for the key.
     pub gossip_stores: u64,
+    /// Records of this key transferred inside digest-mode deltas (a subset
+    /// of `gossip_pushes`: every delta record is counted in both, so the
+    /// per-key push totals stay comparable across gossip modes).
+    pub gossip_delta_records: u64,
+    /// Transfers of this key's records that digest mode proved unnecessary:
+    /// the digest receiver held the record within the exchange's scope but
+    /// the summary showed the digest sender already had it — exactly the
+    /// redundant pushes a blind full-push exchange would have made.
+    pub gossip_redundant_pushes_avoided: u64,
     /// Summed rounds-to-coverage over this key's coverage events: each time
     /// a fresh record first reaches the coverage target (90% of correct
     /// servers), the number of gossip rounds it took is added here.
@@ -218,10 +227,20 @@ pub struct SimReport {
     /// Write-diffusion rounds the engine scheduled (0 with
     /// [`SimConfig::diffusion`](crate::runner::SimConfig::diffusion) off).
     pub gossip_rounds: u64,
-    /// Server-to-server gossip pushes delivered.
+    /// Server-to-server record transfers delivered by gossip: full-push
+    /// pushes plus digest-mode delta records — the *push volume* the
+    /// adaptive policies exist to cut.
     pub gossip_pushes: u64,
     /// Gossip pushes that freshened their receiver's stored record.
     pub gossip_stores: u64,
+    /// Digest messages delivered in digest/delta mode (0 in full-push mode
+    /// and with diffusion off).  A digest carries per-key timestamps, not
+    /// records, so it is counted separately from the push volume.
+    pub gossip_digests: u64,
+    /// Record transfers the digests proved unnecessary across all keys —
+    /// the redundant share of a blind push exchange that digest mode never
+    /// put on the wire.
+    pub gossip_redundant_pushes_avoided: u64,
     /// Total discrete events processed by the engine.
     pub events_processed: u64,
     /// Largest number of simultaneously in-flight operations.

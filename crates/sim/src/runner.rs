@@ -85,38 +85,207 @@ use pqs_protocols::value::Value;
 use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Fraction of correct servers a fresh record must reach for the per-key
 /// rounds-to-coverage accounting to call it converged.
 const COVERAGE_TARGET: f64 = 0.9;
+
+/// What each gossip round puts on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GossipMode {
+    /// Blind push gossip (the classic mechanism): every correct server
+    /// pushes every record it holds to `fanout` peers each round.  The
+    /// default, bit-identical to the pre-digest engine.
+    #[default]
+    PushAll,
+    /// Digest/delta gossip: every correct server sends a per-key version
+    /// *summary* to `fanout` peers; each peer answers with only the records
+    /// the summary proves its sender lacks.  The [`KeyGossipPolicy`] shapes
+    /// which keys the summaries advertise.
+    DigestDelta,
+}
+
+/// Which keys digest-mode summaries advertise each round — the per-key
+/// gossip rate knob.  Ignored in [`GossipMode::PushAll`], which always
+/// pushes everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyGossipPolicy {
+    /// Every digest advertises every key its sender holds.
+    Uniform,
+    /// Gossip hot keys faster: every round advertises the `hot_keys` keys
+    /// with the most observed writes so far (foreground state only, so the
+    /// policy never perturbs the gossip RNG stream); every `cold_every`-th
+    /// round falls back to a complete digest so cold keys still converge.
+    HotFirst {
+        /// How many of the most-written keys ride in every digest.
+        hot_keys: u32,
+        /// Period (in rounds, ≥ 1) of the complete catch-up digests; 1
+        /// degenerates to [`KeyGossipPolicy::Uniform`].
+        cold_every: u64,
+    },
+    /// Advertise only keys written within the trailing `window` simulated
+    /// seconds; every `cold_every`-th round falls back to a complete digest
+    /// so keys whose writes predate the window still converge.
+    RecentWrites {
+        /// Length of the trailing write window in simulated seconds.
+        window: SimTime,
+        /// Period (in rounds, ≥ 1) of the complete catch-up digests.
+        cold_every: u64,
+    },
+}
 
 /// How the engine schedules epidemic write-diffusion (anti-entropy) rounds
 /// between the servers, competing for simulated time with foreground
 /// client traffic.  `None` in [`SimConfig::diffusion`] disables the
 /// mechanism entirely (and preserves the classic RNG stream and report bit
 /// for bit).
+///
+/// Build one with the builder methods instead of hand-rolling the struct:
+///
+/// ```rust
+/// use pqs_sim::latency::LatencyModel;
+/// use pqs_sim::runner::{DiffusionPolicy, KeyGossipPolicy};
+///
+/// let push = DiffusionPolicy::full_push(0.1, 3);
+/// let digest = DiffusionPolicy::digest_delta(0.1, 3)
+///     .with_key_policy(KeyGossipPolicy::HotFirst { hot_keys: 4, cold_every: 8 })
+///     .with_push_latency(LatencyModel::Exponential { mean: 2e-3 });
+/// assert_ne!(push, digest);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiffusionPolicy {
     /// Simulated seconds between gossip rounds (> 0); round `r` fires at
     /// `r · period`, and rounds stop firing once foreground arrivals stop
     /// ([`SimConfig::duration`]).
     pub period: SimTime,
-    /// Peers each correct server pushes each of its stored records to per
-    /// round (≥ 1).
+    /// Peers each correct server gossips to per round (≥ 1): push targets
+    /// in [`GossipMode::PushAll`], digest targets in
+    /// [`GossipMode::DigestDelta`].
     pub fanout: u32,
-    /// Latency model for individual server-to-server pushes (drawn once
-    /// per push from the dedicated gossip RNG stream).
+    /// Latency model for individual server-to-server gossip messages
+    /// (pushes, digests and deltas; drawn once per message from the
+    /// dedicated gossip RNG stream).
     pub push_latency: LatencyModel,
+    /// Whether rounds push blindly or run the digest/delta exchange.
+    pub mode: GossipMode,
+    /// Which keys digest-mode summaries advertise (ignored in
+    /// [`GossipMode::PushAll`]).
+    pub key_policy: KeyGossipPolicy,
 }
 
 impl Default for DiffusionPolicy {
-    /// A round every 250 ms, fanout 2, 1 ms fixed push latency.
+    /// A full-push round every 250 ms, fanout 2, 1 ms fixed push latency.
     fn default() -> Self {
         DiffusionPolicy {
             period: 0.25,
             fanout: 2,
             push_latency: LatencyModel::Fixed(1e-3),
+            mode: GossipMode::PushAll,
+            key_policy: KeyGossipPolicy::Uniform,
+        }
+    }
+}
+
+impl DiffusionPolicy {
+    /// Classic blind-push gossip with the given round period and fanout.
+    pub fn full_push(period: SimTime, fanout: u32) -> Self {
+        DiffusionPolicy {
+            period,
+            fanout,
+            ..DiffusionPolicy::default()
+        }
+    }
+
+    /// Digest/delta gossip with the given round period and fanout, under
+    /// the [`KeyGossipPolicy::Uniform`] advertisement policy.
+    pub fn digest_delta(period: SimTime, fanout: u32) -> Self {
+        DiffusionPolicy {
+            period,
+            fanout,
+            mode: GossipMode::DigestDelta,
+            ..DiffusionPolicy::default()
+        }
+    }
+
+    /// Replaces the round period (simulated seconds, > 0).
+    pub fn with_period(mut self, period: SimTime) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Replaces the per-round fanout (≥ 1).
+    pub fn with_fanout(mut self, fanout: u32) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Replaces the per-message gossip latency model.
+    pub fn with_push_latency(mut self, push_latency: LatencyModel) -> Self {
+        self.push_latency = push_latency;
+        self
+    }
+
+    /// Replaces the gossip mode.
+    pub fn with_mode(mut self, mode: GossipMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the digest advertisement policy (only meaningful together
+    /// with [`GossipMode::DigestDelta`]).
+    pub fn with_key_policy(mut self, key_policy: KeyGossipPolicy) -> Self {
+        self.key_policy = key_policy;
+        self
+    }
+}
+
+/// Resolves the digest advertisement policy for one round into the concrete
+/// key set the digests carry, from foreground-observable state only (write
+/// counts and last-write times) — the selection itself never draws
+/// randomness, so every policy replays the identical foreground trajectory.
+fn digest_selector(
+    policy: KeyGossipPolicy,
+    round: u64,
+    now: SimTime,
+    write_counts: &[u64],
+    last_write_at: &[SimTime],
+) -> diffusion::KeySelector {
+    match policy {
+        KeyGossipPolicy::Uniform => diffusion::KeySelector::All,
+        KeyGossipPolicy::HotFirst {
+            hot_keys,
+            cold_every,
+        } => {
+            if cold_every <= 1 || round.is_multiple_of(cold_every) {
+                return diffusion::KeySelector::All;
+            }
+            let mut ranked: Vec<(u64, usize)> = write_counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w > 0)
+                .map(|(i, &w)| (w, i))
+                .collect();
+            ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let set: BTreeSet<VariableId> = ranked
+                .iter()
+                .take(hot_keys as usize)
+                .map(|&(_, i)| i as VariableId)
+                .collect();
+            diffusion::KeySelector::Only(set)
+        }
+        KeyGossipPolicy::RecentWrites { window, cold_every } => {
+            if cold_every <= 1 || round.is_multiple_of(cold_every) {
+                return diffusion::KeySelector::All;
+            }
+            let since = now - window;
+            let set: BTreeSet<VariableId> = last_write_at
+                .iter()
+                .enumerate()
+                .filter(|&(_, &at)| at >= since)
+                .map(|(i, _)| i as VariableId)
+                .collect();
+            diffusion::KeySelector::Only(set)
         }
     }
 }
@@ -455,7 +624,11 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         let mut gossip_rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x9e37_79b9_7f4a_7c15);
         let gossip_signed = matches!(self.kind, ProtocolKind::Dissemination);
         let mut pending_pushes: HashMap<u64, diffusion::GossipPush> = HashMap::new();
+        let mut pending_digests: HashMap<u64, diffusion::GossipDigest> = HashMap::new();
+        let mut pending_deltas: HashMap<u64, diffusion::GossipDelta> = HashMap::new();
         let mut next_push: u64 = 0;
+        let mut next_digest: u64 = 0;
+        let mut next_delta: u64 = 0;
         if let Some(policy) = self.config.diffusion {
             assert!(
                 policy.period > 0.0 && policy.period.is_finite(),
@@ -494,6 +667,10 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         // write ordering are per-key properties.
         let mut writes: Vec<WriteLog> = (0..nvars).map(|_| WriteLog::default()).collect();
         let mut sequences: Vec<u64> = vec![0; nvars];
+        // Arrival time of the latest write per variable — foreground state
+        // only, so the recent-writes digest policy never touches any RNG
+        // stream.
+        let mut last_write_at: Vec<SimTime> = vec![f64::NEG_INFINITY; nvars];
         // Rounds-to-coverage accounting, one tracker per variable.
         let mut trackers: Vec<ConvergenceTracker> = vec![ConvergenceTracker::default(); nvars];
         // Ops arrive in time order, so the first not-done entry bounds the
@@ -515,6 +692,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     if states[idx].kind == OpKind::Write {
                         sequences[var] += 1;
                         states[idx].sequence = sequences[var];
+                        last_write_at[var] = t;
                         let handle = writes[var].open(t, sequences[var]);
                         states[idx].window = Some(handle);
                     }
@@ -610,19 +788,60 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                         .config
                         .diffusion
                         .expect("gossip rounds are only scheduled with a policy");
-                    let plan = diffusion::plan_cluster_round(
-                        &cluster,
-                        policy.fanout as usize,
-                        gossip_signed,
-                        &mut gossip_rng,
-                    );
+                    // Plan the round and schedule its messages, each with
+                    // its own latency draw.  The full-push arm is the
+                    // pre-digest code path, RNG draw for draw.
+                    let (coverage, correct_servers) = match policy.mode {
+                        GossipMode::PushAll => {
+                            let plan = diffusion::plan_cluster_round(
+                                &cluster,
+                                policy.fanout as usize,
+                                gossip_signed,
+                                &mut gossip_rng,
+                            );
+                            for push in plan.pushes {
+                                let rtt = policy.push_latency.sample(&mut gossip_rng);
+                                pending_pushes.insert(next_push, push);
+                                engine.schedule(t + rtt, Event::GossipPush { push: next_push });
+                                next_push += 1;
+                            }
+                            (plan.coverage, plan.correct_servers)
+                        }
+                        GossipMode::DigestDelta => {
+                            let selector = digest_selector(
+                                policy.key_policy,
+                                round,
+                                t,
+                                &sequences,
+                                &last_write_at,
+                            );
+                            let plan = diffusion::plan_digest(
+                                &cluster,
+                                policy.fanout as usize,
+                                gossip_signed,
+                                &selector,
+                                &mut gossip_rng,
+                            );
+                            for digest in plan.digests {
+                                let rtt = policy.push_latency.sample(&mut gossip_rng);
+                                pending_digests.insert(next_digest, digest);
+                                engine.schedule(
+                                    t + rtt,
+                                    Event::GossipDigest {
+                                        digest: next_digest,
+                                    },
+                                );
+                                next_digest += 1;
+                            }
+                            (plan.coverage, plan.correct_servers)
+                        }
+                    };
                     report.gossip_rounds += 1;
                     // Convergence accounting against the planner's coverage
                     // snapshot: a fresher record restarts its variable's
                     // clock; reaching the target closes it.
-                    let target =
-                        ((plan.correct_servers as f64 * COVERAGE_TARGET).ceil() as u32).max(1);
-                    for cov in &plan.coverage {
+                    let target = ((correct_servers as f64 * COVERAGE_TARGET).ceil() as u32).max(1);
+                    for cov in &coverage {
                         let tracker = &mut trackers[cov.variable as usize];
                         if cov.freshest > tracker.freshest {
                             tracker.freshest = cov.freshest;
@@ -644,12 +863,6 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                             pv.coverage_events += 1;
                         }
                     }
-                    for push in plan.pushes {
-                        let rtt = policy.push_latency.sample(&mut gossip_rng);
-                        pending_pushes.insert(next_push, push);
-                        engine.schedule(t + rtt, Event::GossipPush { push: next_push });
-                        next_push += 1;
-                    }
                     // Rounds stop with the foreground arrivals; in-flight
                     // pushes still drain.
                     if t + policy.period <= self.config.duration {
@@ -664,6 +877,47 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                         if diffusion::deliver(&mut cluster, &p) {
                             report.gossip_stores += 1;
                             report.per_variable[var].gossip_stores += 1;
+                        }
+                    }
+                }
+                Event::GossipDigest { digest } => {
+                    if let Some(d) = pending_digests.remove(&digest) {
+                        let policy = self
+                            .config
+                            .diffusion
+                            .expect("gossip digests are only scheduled with a policy");
+                        report.gossip_digests += 1;
+                        // The receiver is evaluated now: crashed or
+                        // Byzantine receivers never answer.
+                        if let Some(diff) = diffusion::diff_digest(&cluster, &d) {
+                            for &var in &diff.avoided {
+                                report.gossip_redundant_pushes_avoided += 1;
+                                report.per_variable[var as usize]
+                                    .gossip_redundant_pushes_avoided += 1;
+                            }
+                            if !diff.delta.records.is_empty() {
+                                let rtt = policy.push_latency.sample(&mut gossip_rng);
+                                pending_deltas.insert(next_delta, diff.delta);
+                                engine.schedule(t + rtt, Event::GossipDelta { delta: next_delta });
+                                next_delta += 1;
+                            }
+                        }
+                    }
+                }
+                Event::GossipDelta { delta } => {
+                    if let Some(d) = pending_deltas.remove(&delta) {
+                        // Each delta record counts into the push volume, so
+                        // gossip_pushes compares across modes; the original
+                        // digest sender is evaluated at delivery time.
+                        for (var, record) in &d.records {
+                            let vi = *var as usize;
+                            report.gossip_pushes += 1;
+                            report.per_variable[vi].gossip_pushes += 1;
+                            report.per_variable[vi].gossip_delta_records += 1;
+                            if diffusion::deliver_record(&mut cluster, d.to, *var, record) {
+                                report.gossip_stores += 1;
+                                report.per_variable[vi].gossip_stores += 1;
+                            }
                         }
                     }
                 }
@@ -1316,11 +1570,7 @@ mod tests {
         config.keyspace = KeySpace::zipf(8, 1.0);
         config.latency = LatencyModel::Exponential { mean: 2e-3 };
         let off = Simulation::new(&sys, ProtocolKind::Safe, config).run();
-        config.diffusion = Some(DiffusionPolicy {
-            period: 0.1,
-            fanout: 3,
-            push_latency: LatencyModel::Fixed(1e-3),
-        });
+        config.diffusion = Some(DiffusionPolicy::full_push(0.1, 3));
         let on = Simulation::new(&sys, ProtocolKind::Safe, config).run();
         // Identical foreground: gossip never consumes main-stream RNG,
         // never answers client probes and never counts as an access.
@@ -1350,6 +1600,229 @@ mod tests {
         assert!(hot.coverage_events > 0);
         assert!(hot.mean_rounds_to_coverage().is_some());
         assert!(hot.stale_reads <= off.per_variable[0].stale_reads);
+    }
+
+    #[test]
+    fn digest_mode_cuts_staleness_like_full_push_at_a_fraction_of_the_volume() {
+        // Same loose system, same period and fanout: the digest/delta
+        // exchange must match full-push's consistency benefit while
+        // transferring far fewer records — the ~85% of blind pushes that
+        // freshen nobody never go on the wire.
+        let sys = EpsilonIntersecting::new(64, 8).unwrap();
+        let mut config = quick_config(33);
+        config.duration = 40.0;
+        config.arrival_rate = 50.0;
+        config.read_fraction = 0.85;
+        config.keyspace = KeySpace::zipf(8, 1.0);
+        config.latency = LatencyModel::Exponential { mean: 2e-3 };
+        let off = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.diffusion = Some(DiffusionPolicy::full_push(0.1, 3));
+        let push = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.diffusion = Some(DiffusionPolicy::digest_delta(0.1, 3));
+        let digest = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        // Identical foreground across all three runs.
+        assert_eq!(digest.completed_reads, off.completed_reads);
+        assert_eq!(digest.completed_writes, off.completed_writes);
+        assert_eq!(digest.per_server_accesses, off.per_server_accesses);
+        // Digest traffic ran: summaries out, deltas back, redundancy
+        // proven instead of transferred.
+        assert!(digest.gossip_digests > 0);
+        assert!(digest.gossip_pushes > 0);
+        assert!(digest.gossip_redundant_pushes_avoided > digest.gossip_pushes);
+        assert_eq!(push.gossip_digests, 0);
+        assert_eq!(push.gossip_redundant_pushes_avoided, 0);
+        // The volume cut is massive at equal policy settings...
+        assert!(
+            (digest.gossip_pushes as f64) < 0.25 * push.gossip_pushes as f64,
+            "digest transferred {} records vs full-push {}",
+            digest.gossip_pushes,
+            push.gossip_pushes
+        );
+        // ...while consistency stays in the same band: both dominate the
+        // gossip-free baseline, and digest stays within 2x of full-push's
+        // residual staleness (both tiny against the baseline).
+        assert!(off.stale_reads > 50);
+        assert!(digest.stale_reads + digest.empty_reads <= off.stale_reads + off.empty_reads);
+        assert!(
+            (digest.stale_reads as f64) <= (2.0 * push.stale_reads as f64).max(10.0),
+            "digest stale {} vs full-push stale {}",
+            digest.stale_reads,
+            push.stale_reads
+        );
+        // Nearly every digest-mode transfer freshens its receiver (the
+        // whole point); blind pushes mostly do not.
+        let digest_hit = digest.gossip_stores as f64 / digest.gossip_pushes as f64;
+        let push_hit = push.gossip_stores as f64 / push.gossip_pushes as f64;
+        assert!(
+            digest_hit > 0.5 && digest_hit > 5.0 * push_hit,
+            "digest hit rate {digest_hit:.3} vs push {push_hit:.3}"
+        );
+        // Per-key delta accounting sums to the aggregate volume.
+        let deltas: u64 = digest
+            .per_variable
+            .iter()
+            .map(|v| v.gossip_delta_records)
+            .sum();
+        assert_eq!(deltas, digest.gossip_pushes);
+        assert!(digest.per_variable[0].mean_rounds_to_coverage().is_some());
+    }
+
+    #[test]
+    fn selective_policies_gossip_fewer_records_and_still_converge_hot_keys() {
+        let sys = EpsilonIntersecting::new(64, 8).unwrap();
+        let mut config = quick_config(34);
+        config.duration = 40.0;
+        config.arrival_rate = 50.0;
+        config.read_fraction = 0.85;
+        config.keyspace = KeySpace::zipf(16, 1.2);
+        config.latency = LatencyModel::Exponential { mean: 2e-3 };
+        config.diffusion = Some(DiffusionPolicy::digest_delta(0.1, 3));
+        let uniform = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.diffusion = Some(DiffusionPolicy::digest_delta(0.1, 3).with_key_policy(
+            KeyGossipPolicy::HotFirst {
+                hot_keys: 2,
+                cold_every: 16,
+            },
+        ));
+        let hot_first = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        config.diffusion = Some(DiffusionPolicy::digest_delta(0.1, 3).with_key_policy(
+            KeyGossipPolicy::RecentWrites {
+                window: 0.3,
+                cold_every: 16,
+            },
+        ));
+        let recent = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        // All three replay the same foreground (selection is RNG-free).
+        assert_eq!(uniform.completed_reads, hot_first.completed_reads);
+        assert_eq!(uniform.per_server_accesses, recent.per_server_accesses);
+        // Selective digests advertise fewer keys, so fewer redundant
+        // transfers are even possible — and the hot key still converges.
+        for (name, run) in [("hot-first", &hot_first), ("recent", &recent)] {
+            assert!(run.gossip_digests > 0, "{name}");
+            assert!(run.gossip_stores > 0, "{name}");
+            assert!(
+                run.per_variable[0].coverage_events > 0,
+                "{name}: hot key never converged"
+            );
+            assert!(
+                run.gossip_redundant_pushes_avoided < uniform.gossip_redundant_pushes_avoided,
+                "{name}: selective digests must prove less redundancy than complete ones"
+            );
+        }
+        // The hot key's staleness stays comparable to uniform digests even
+        // though cold keys gossip 16x less often.
+        let hot_uniform = uniform.per_variable[0].stale_reads;
+        for run in [&hot_first, &recent] {
+            assert!(
+                run.per_variable[0].stale_reads <= hot_uniform + 10,
+                "hot key staleness {} vs uniform {}",
+                run.per_variable[0].stale_reads,
+                hot_uniform
+            );
+        }
+    }
+
+    #[test]
+    fn signed_records_flow_through_digest_gossip_in_dissemination_runs() {
+        let sys = ProbabilisticDissemination::with_target_epsilon(100, 10, 1e-3).unwrap();
+        let mut config = quick_config(35);
+        config.byzantine = 10;
+        config.diffusion = Some(DiffusionPolicy::digest_delta(0.25, 2));
+        let report = Simulation::new(&sys, ProtocolKind::Dissemination, config).run();
+        assert!(report.completed_reads > 0);
+        assert!(report.gossip_digests > 0);
+        assert!(
+            report.gossip_stores > 0,
+            "signed records must spread through digest gossip"
+        );
+    }
+
+    #[test]
+    fn digest_selector_resolves_policies_from_foreground_state() {
+        use pqs_protocols::diffusion::KeySelector;
+        let writes = [5u64, 0, 9, 2];
+        let last = [10.0, f64::NEG_INFINITY, 11.8, 4.0];
+        assert_eq!(
+            digest_selector(KeyGossipPolicy::Uniform, 3, 12.0, &writes, &last),
+            KeySelector::All
+        );
+        // Hot-first: top keys by write count, never-written keys excluded;
+        // every cold_every-th round is a complete catch-up digest.
+        let hot = KeyGossipPolicy::HotFirst {
+            hot_keys: 2,
+            cold_every: 4,
+        };
+        assert_eq!(
+            digest_selector(hot, 3, 12.0, &writes, &last),
+            KeySelector::Only(BTreeSet::from([2, 0]))
+        );
+        assert_eq!(
+            digest_selector(hot, 4, 12.0, &writes, &last),
+            KeySelector::All
+        );
+        // A hot_keys budget beyond the written keys takes what exists.
+        let wide = KeyGossipPolicy::HotFirst {
+            hot_keys: 10,
+            cold_every: 4,
+        };
+        assert_eq!(
+            digest_selector(wide, 1, 12.0, &writes, &last),
+            KeySelector::Only(BTreeSet::from([0, 2, 3]))
+        );
+        // Recent-writes: only keys written inside the trailing window.
+        let recent = KeyGossipPolicy::RecentWrites {
+            window: 1.0,
+            cold_every: 4,
+        };
+        assert_eq!(
+            digest_selector(recent, 2, 12.0, &writes, &last),
+            KeySelector::Only(BTreeSet::from([2]))
+        );
+        assert_eq!(
+            digest_selector(recent, 8, 12.0, &writes, &last),
+            KeySelector::All
+        );
+        // cold_every <= 1 degenerates to uniform for both policies.
+        let degenerate = KeyGossipPolicy::HotFirst {
+            hot_keys: 1,
+            cold_every: 1,
+        };
+        assert_eq!(
+            digest_selector(degenerate, 3, 12.0, &writes, &last),
+            KeySelector::All
+        );
+    }
+
+    #[test]
+    fn diffusion_policy_builders_compose() {
+        let policy = DiffusionPolicy::default();
+        assert_eq!(policy.mode, GossipMode::PushAll);
+        assert_eq!(policy.key_policy, KeyGossipPolicy::Uniform);
+        assert_eq!(DiffusionPolicy::full_push(0.25, 2), policy);
+        let digest = DiffusionPolicy::digest_delta(0.1, 3)
+            .with_key_policy(KeyGossipPolicy::RecentWrites {
+                window: 0.5,
+                cold_every: 8,
+            })
+            .with_push_latency(LatencyModel::Fixed(5e-4));
+        assert_eq!(digest.mode, GossipMode::DigestDelta);
+        assert_eq!(digest.period, 0.1);
+        assert_eq!(digest.fanout, 3);
+        let retuned = digest
+            .with_period(0.2)
+            .with_fanout(1)
+            .with_mode(GossipMode::PushAll);
+        assert_eq!(retuned.period, 0.2);
+        assert_eq!(retuned.fanout, 1);
+        assert_eq!(retuned.mode, GossipMode::PushAll);
+        // The key policy survives unrelated builder calls.
+        assert_eq!(
+            retuned.key_policy,
+            KeyGossipPolicy::RecentWrites {
+                window: 0.5,
+                cold_every: 8
+            }
+        );
     }
 
     #[test]

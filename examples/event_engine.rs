@@ -146,11 +146,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SimConfig::default()
     };
     let off = Simulation::new(&loose, ProtocolKind::Safe, config).run();
-    config.diffusion = Some(DiffusionPolicy {
-        period: 0.1,
-        fanout: 3,
-        push_latency: LatencyModel::Exponential { mean: 2e-3 },
-    });
+    config.diffusion = Some(
+        DiffusionPolicy::full_push(0.1, 3)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+    );
     let on = Simulation::new(&loose, ProtocolKind::Safe, config).run();
     let hot = &on.per_variable[0];
     println!("\nwrite diffusion over a loose R(64, 8) system (epsilon ~ 0.3):");

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Fails if README.md or docs/*.md reference repo paths that do not exist.
+#
+# Two kinds of references are checked:
+#   1. Relative markdown link targets: [text](path) — external URLs and
+#      pure fragments are skipped.
+#   2. Backticked repo paths rooted at a known top-level directory, e.g.
+#      `crates/sim/src/event.rs` or `tests/determinism.rs`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+note() {
+    echo "check_doc_links: $1" >&2
+    fail=1
+}
+
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+
+    # Markdown links, resolved relative to the referencing file.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            note "$doc links to missing path: $target"
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//' | sort -u)
+
+    # Backticked paths rooted at a real top-level directory.
+    while IFS= read -r path; do
+        case "$path" in
+        crates/* | docs/* | shims/* | tests/* | examples/* | src/* | scripts/* | .github/*) ;;
+        *) continue ;;
+        esac
+        if [ ! -e "$path" ]; then
+            note "$doc mentions missing path: $path"
+        fi
+    done < <(grep -oE '`[A-Za-z0-9_./-]+`' "$doc" | tr -d '\`' | sort -u)
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "check_doc_links: all referenced paths exist"
+fi
+exit "$fail"

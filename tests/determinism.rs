@@ -11,7 +11,9 @@
 
 use probabilistic_quorums::core::prelude::*;
 use probabilistic_quorums::sim::latency::LatencyModel;
-use probabilistic_quorums::sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
+use probabilistic_quorums::sim::runner::{
+    DiffusionPolicy, KeyGossipPolicy, ProtocolKind, SimConfig, Simulation,
+};
 use probabilistic_quorums::sim::workload::KeySpace;
 
 fn hostile_config(seed: u64) -> SimConfig {
@@ -112,11 +114,10 @@ fn gossip_runs_are_bit_identical_per_seed() {
     let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
     let mut config = hostile_config(55);
     config.keyspace = KeySpace::zipf(64, 1.0);
-    config.diffusion = Some(DiffusionPolicy {
-        period: 0.2,
-        fanout: 2,
-        push_latency: LatencyModel::Exponential { mean: 2e-3 },
-    });
+    config.diffusion = Some(
+        DiffusionPolicy::full_push(0.2, 2)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+    );
     let a = Simulation::new(&sys, ProtocolKind::Safe, config).run();
     let b = Simulation::new(&sys, ProtocolKind::Safe, config).run();
     assert_eq!(a, b, "gossip runs must replay bit for bit");
@@ -134,6 +135,126 @@ fn gossip_runs_are_bit_identical_per_seed() {
     assert_eq!(off.per_server_accesses, a.per_server_accesses);
     assert_eq!(off.gossip_rounds, 0);
     assert!(off.stale_reads >= a.stale_reads);
+}
+
+#[test]
+fn digest_runs_are_bit_identical_per_seed() {
+    // Digest/delta mode adds two more event kinds, two pending tables and
+    // a policy-driven key selection computed from foreground state; none of
+    // it may perturb determinism, under any advertisement policy.
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = hostile_config(56);
+    config.keyspace = KeySpace::zipf(64, 1.0);
+    for key_policy in [
+        KeyGossipPolicy::Uniform,
+        KeyGossipPolicy::HotFirst {
+            hot_keys: 6,
+            cold_every: 4,
+        },
+        KeyGossipPolicy::RecentWrites {
+            window: 0.5,
+            cold_every: 8,
+        },
+    ] {
+        config.diffusion = Some(
+            DiffusionPolicy::digest_delta(0.2, 2)
+                .with_push_latency(LatencyModel::Exponential { mean: 2e-3 })
+                .with_key_policy(key_policy),
+        );
+        let a = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        let b = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        assert_eq!(a, b, "digest runs must replay bit for bit");
+        assert!(a.gossip_rounds > 0 && a.gossip_digests > 0 && a.gossip_stores > 0);
+        // Delta records are the only push volume in digest mode, and the
+        // per-key accounting sums to the aggregates.
+        let pushes: u64 = a.per_variable.iter().map(|v| v.gossip_pushes).sum();
+        let deltas: u64 = a.per_variable.iter().map(|v| v.gossip_delta_records).sum();
+        let avoided: u64 = a
+            .per_variable
+            .iter()
+            .map(|v| v.gossip_redundant_pushes_avoided)
+            .sum();
+        assert_eq!(pushes, a.gossip_pushes);
+        assert_eq!(deltas, a.gossip_pushes);
+        assert_eq!(avoided, a.gossip_redundant_pushes_avoided);
+        assert!(a.gossip_stores <= a.gossip_pushes);
+        // Digest mode replays the identical foreground of the diffusion-off
+        // run and can only improve consistency.
+        let mut off = config;
+        off.diffusion = None;
+        let off = Simulation::new(&sys, ProtocolKind::Safe, off).run();
+        assert_eq!(off.completed_reads, a.completed_reads);
+        assert_eq!(off.per_server_accesses, a.per_server_accesses);
+        assert!(off.stale_reads + off.empty_reads >= a.stale_reads + a.empty_reads);
+    }
+}
+
+/// The PR 4 full-push gossip engine was run once with this exact
+/// configuration and its report captured field by field.  The digest/delta
+/// refactor routes `GossipMode::PushAll` (the default) through the same
+/// planner, the same RNG draws and the same event sequence, so the run must
+/// reproduce the captured trajectory bit for bit — the full-push mode is
+/// frozen, not merely similar.
+#[test]
+#[allow(clippy::excessive_precision)]
+fn full_push_gossip_run_is_byte_identical_to_the_pr4_engine() {
+    let sys = EpsilonIntersecting::new(64, 8).unwrap();
+    let config = SimConfig {
+        duration: 30.0,
+        arrival_rate: 60.0,
+        read_fraction: 0.85,
+        keyspace: KeySpace::zipf(16, 1.2),
+        latency: LatencyModel::Exponential { mean: 2e-3 },
+        crash_probability: 0.1,
+        probe_margin: 2,
+        op_timeout: 0.5,
+        max_retries: 2,
+        seed: 4242,
+        diffusion: Some(
+            DiffusionPolicy::full_push(0.1, 3)
+                .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+        ),
+        ..SimConfig::default()
+    };
+    let r = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+    assert_eq!(r.completed_reads, 1503);
+    assert_eq!(r.completed_writes, 283);
+    assert_eq!(r.stale_reads, 28);
+    assert_eq!(r.empty_reads, 0);
+    assert_eq!(r.unavailable_ops, 0);
+    assert_eq!(r.concurrent_reads, 14);
+    assert_eq!(r.retries, 0);
+    assert_eq!(r.timed_out_attempts, 0);
+    assert_eq!(r.gossip_rounds, 299);
+    assert_eq!(r.gossip_pushes, 729790);
+    assert_eq!(r.gossip_stores, 12346);
+    assert_eq!(r.events_processed, 751527);
+    assert_eq!(r.max_in_flight, 5);
+    assert_eq!(r.total_operations, 1786);
+    // Digest-mode machinery must stay completely cold in full-push mode.
+    assert_eq!(r.gossip_digests, 0);
+    assert_eq!(r.gossip_redundant_pushes_avoided, 0);
+    assert!(r.per_variable.iter().all(|v| v.gossip_delta_records == 0));
+    // Floating-point trajectories, pinned to the bit.
+    assert_eq!(r.mean_in_flight, 2.2917473778344402e-1);
+    assert_eq!(r.mean_latency(), 3.8497243927718985e-3);
+    assert_eq!(r.p99_latency(), 1.0768868095912154e-2);
+    let hash = r
+        .per_server_accesses
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &c)| {
+            acc.wrapping_mul(1000003).wrapping_add(c ^ i as u64)
+        });
+    assert_eq!(hash, 12279874005660648684);
+    // The hot key's gossip and convergence accounting, also frozen.
+    let hot = &r.per_variable[0];
+    assert_eq!(hot.gossip_pushes, 50032);
+    assert_eq!(hot.gossip_stores, 3614);
+    assert_eq!(hot.coverage_rounds_sum, 103);
+    assert_eq!(hot.coverage_events, 35);
+    assert_eq!(hot.stale_reads, 17);
+    assert_eq!(hot.completed_reads, 531);
 }
 
 /// The pre-refactor engine (PR 2, single hard-wired variable) was run once

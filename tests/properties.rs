@@ -383,6 +383,169 @@ proptest! {
         prop_assert_eq!(plain, signed);
     }
 
+    /// Digest/delta gossip reaches the same fixed point as full-push
+    /// gossip: run each mechanism to (near-)convergence on identically
+    /// seeded clusters and every correct server ends up holding the
+    /// freshest record of every key — and the signed flavor agrees with
+    /// the plain one step for step.
+    #[test]
+    fn digest_diffusion_converges_to_the_full_push_state(
+        n in 15u32..80,
+        keys in 1u64..6,
+        seed in 0u64..10_000,
+    ) {
+        use probabilistic_quorums::core::universe::{ServerId, Universe};
+        use probabilistic_quorums::protocols::crypto::{KeyRegistry, SignedValue};
+        let mut registry = KeyRegistry::new();
+        let signing = registry.register(1, seed);
+        let seed_cluster = |signed: bool| {
+            let mut c = Cluster::new(Universe::new(n));
+            for k in 0..keys {
+                // A deterministic, seed-dependent holder per key.
+                let holder = ((seed + 3 * k) % n as u64) as u32;
+                let ts = Timestamp::new(2 + k, 1);
+                if signed {
+                    c.server_mut(ServerId::new(holder)).store_signed_if_fresher(
+                        k,
+                        SignedValue::create(&signing, Value::from_u64(k), ts),
+                    );
+                } else {
+                    c.server_mut(ServerId::new(holder)).store_plain_if_fresher(
+                        k,
+                        TaggedValue::new(Value::from_u64(k), ts),
+                    );
+                }
+            }
+            c
+        };
+        // Generous round budget: pull gossip at fanout 3 covers tens of
+        // servers in a handful of rounds; 12 makes convergence certain for
+        // every deterministic case the runner draws.
+        let config = DiffusionConfig { fanout: 3, rounds: 12 };
+        let mut push_cluster = seed_cluster(false);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for k in 0..keys {
+            diffuse_plain(&mut push_cluster, k, config, &mut rng);
+        }
+        let mut digest_cluster = seed_cluster(false);
+        let mut rng_d = ChaCha8Rng::seed_from_u64(seed ^ 0xd1);
+        let stats = diffusion::diffuse_digest_plain(&mut digest_cluster, config, &mut rng_d);
+        for k in 0..keys {
+            prop_assert_eq!(count_fresh_correct(&push_cluster, k), n as usize);
+            prop_assert_eq!(count_fresh_correct(&digest_cluster, k), n as usize);
+            // Same fixed point: every server stores the identical record.
+            for i in 0..n {
+                prop_assert_eq!(
+                    push_cluster.server(ServerId::new(i)).stored_plain(k),
+                    digest_cluster.server(ServerId::new(i)).stored_plain(k)
+                );
+            }
+        }
+        // Each (server, key) was freshened exactly once on the way there.
+        prop_assert_eq!(stats.stores, (n as u64 - 1) * keys);
+        // The signed flavor replays the plain digest run exactly.
+        let mut signed_cluster = seed_cluster(true);
+        let mut rng_s = ChaCha8Rng::seed_from_u64(seed ^ 0xd1);
+        let signed_stats =
+            diffusion::diffuse_digest_signed(&mut signed_cluster, config, &mut rng_s);
+        prop_assert_eq!(stats, signed_stats);
+        for k in 0..keys {
+            prop_assert_eq!(
+                diffusion::count_fresh_correct_signed(&signed_cluster, k),
+                n as usize
+            );
+        }
+    }
+
+    /// Redundant-push savings are monotone in digest accuracy: a digest
+    /// that advertises more of its sender's true per-key versions can only
+    /// prove *more* transfers redundant, never fewer.
+    #[test]
+    fn digest_savings_are_monotone_in_digest_accuracy(
+        n in 4u32..40,
+        keys in 1u64..12,
+        cut in 0usize..12,
+        seed in 0u64..10_000,
+    ) {
+        use probabilistic_quorums::core::universe::{ServerId, Universe};
+        use std::collections::BTreeSet;
+        let mut cluster = Cluster::new(Universe::new(n));
+        // Seed a pseudo-random mix of records at two servers so the
+        // receiver holds some keys fresher, some staler, some not at all.
+        let sender = ServerId::new(0);
+        let receiver = ServerId::new(1);
+        for k in 0..keys {
+            let h = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(k * 0x85eb);
+            let (s_ts, r_ts) = (1 + (h % 5), 1 + ((h >> 8) % 5));
+            if h % 3 != 0 {
+                cluster.server_mut(sender).store_plain_if_fresher(
+                    k,
+                    TaggedValue::new(Value::from_u64(k), Timestamp::new(s_ts, 1)),
+                );
+            }
+            if (h >> 16) % 3 != 0 {
+                cluster.server_mut(receiver).store_plain_if_fresher(
+                    k,
+                    TaggedValue::new(Value::from_u64(100 + k), Timestamp::new(r_ts, 1)),
+                );
+            }
+        }
+        let full_entries: Vec<(VariableId, Timestamp)> = (0..keys)
+            .map(|k| (k, cluster.server(sender).stored_plain(k).timestamp))
+            .filter(|&(_, ts)| ts != Timestamp::ZERO)
+            .collect();
+        let digest = |entries: Vec<(VariableId, Timestamp)>| diffusion::GossipDigest {
+            from: sender,
+            to: receiver,
+            signed: false,
+            complete: false,
+            entries,
+        };
+        let avoided = |d: &diffusion::GossipDigest| -> u64 {
+            diffusion::diff_digest(&cluster, d)
+                .map(|diff| diff.avoided.len() as u64)
+                .unwrap_or(0)
+        };
+        // Chain of increasingly accurate digests: each prefix of the full
+        // entry list is a strictly-less-informed summary.
+        let mut last = 0u64;
+        for take in 0..=full_entries.len() {
+            let now = avoided(&digest(full_entries[..take].to_vec()));
+            prop_assert!(
+                now >= last,
+                "adding an entry reduced savings: {} -> {} at {}", last, now, take
+            );
+            last = now;
+        }
+        // Dropping an arbitrary entry from the full digest never helps.
+        if !full_entries.is_empty() {
+            let mut pruned = full_entries.clone();
+            pruned.remove(cut % full_entries.len());
+            prop_assert!(avoided(&digest(pruned)) <= avoided(&digest(full_entries.clone())));
+        }
+        // And the complete flag only adds volunteered records, never
+        // changes what the digest proved redundant.
+        let complete = diffusion::GossipDigest {
+            complete: true,
+            ..digest(full_entries.clone())
+        };
+        let partial_diff = diffusion::diff_digest(&cluster, &digest(full_entries)).unwrap();
+        let complete_diff = diffusion::diff_digest(&cluster, &complete).unwrap();
+        prop_assert_eq!(&partial_diff.avoided, &complete_diff.avoided);
+        prop_assert!(complete_diff.delta.records.len() >= partial_diff.delta.records.len());
+        // Scope check: volunteered keys are exactly the receiver-held keys
+        // absent from the digest.
+        let advertised: BTreeSet<VariableId> =
+            complete.entries.iter().map(|&(v, _)| v).collect();
+        for &(v, _) in &complete_diff.delta.records {
+            if !advertised.contains(&v) {
+                prop_assert!(
+                    cluster.server(receiver).stored_plain(v).timestamp != Timestamp::ZERO
+                );
+            }
+        }
+    }
+
     /// Engine dominance: because gossip only ever freshens server state and
     /// draws from its own RNG stream, a diffusion run completes the exact
     /// same operations as the diffusion-off run with the same seed and its
@@ -405,11 +568,7 @@ proptest! {
             ..SimConfig::default()
         };
         let off = Simulation::new(&sys, ProtocolKind::Safe, config).run();
-        config.diffusion = Some(DiffusionPolicy {
-            period: [0.05, 0.2, 0.5][period_idx],
-            fanout,
-            push_latency: LatencyModel::Fixed(1e-3),
-        });
+        config.diffusion = Some(DiffusionPolicy::full_push([0.05, 0.2, 0.5][period_idx], fanout));
         let on = Simulation::new(&sys, ProtocolKind::Safe, config).run();
         prop_assert_eq!(on.completed_reads, off.completed_reads);
         prop_assert_eq!(on.completed_writes, off.completed_writes);
