@@ -8,13 +8,19 @@
 //! "how fast can this simulator chew through a workload" — it is invariant
 //! under quorum-size changes, unlike ops/sec.
 //!
-//! Two environment knobs wire this bench into CI:
+//! Four environment knobs wire this bench into CI:
 //!
 //! * `PQS_BENCH_QUICK=1` — run only the timed reference runs (a few
 //!   hundred milliseconds), skipping the criterion statistics; the mode
 //!   the `bench-floor` CI job uses.
 //! * `PQS_BENCH_FLOOR=<events/sec>` — after measuring, exit nonzero if the
 //!   best observed engine throughput falls below the floor.
+//! * `PQS_BENCH_THREADS=<n>` — additionally time the 8-shard parallel
+//!   engine with `n` worker threads (the sharded engine always runs with
+//!   1 thread as a reference).
+//! * `PQS_BENCH_THREADS_FLOOR=<events/sec>` — exit nonzero if the
+//!   `PQS_BENCH_THREADS` run falls below this floor; CI uses it to pin the
+//!   multi-core speedup, not just the serial hot loop.
 //!
 //! Every invocation writes the measured numbers to
 //! `target/experiments/BENCH_engine.json` so the perf trajectory can be
@@ -29,14 +35,13 @@ use std::io::Write as _;
 use std::time::Instant;
 
 fn engine_config(arrival_rate: f64) -> SimConfig {
-    SimConfig {
-        duration: 10.0,
-        arrival_rate,
-        read_fraction: 0.9,
-        latency: LatencyModel::Exponential { mean: 2e-3 },
-        seed: 1,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .with_duration(10.0)
+        .with_arrival_rate(arrival_rate)
+        .with_read_fraction(0.9)
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_seed(1)
+        .build()
 }
 
 fn diffusion_config(arrival_rate: f64) -> SimConfig {
@@ -49,9 +54,25 @@ fn diffusion_config(arrival_rate: f64) -> SimConfig {
     config
 }
 
+/// The parallel-engine reference cell: 8 shards over a 64-key Zipf space,
+/// drained by `threads` worker threads.  The report is bit-identical for
+/// every thread count, so thread sweeps measure pure engine speed.
+fn sharded_config(arrival_rate: f64, threads: u32) -> SimConfig {
+    SimConfig::builder()
+        .with_duration(10.0)
+        .with_arrival_rate(arrival_rate)
+        .with_read_fraction(0.9)
+        .with_keyspace(KeySpace::zipf(64, 1.0))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_seed(1)
+        .with_num_shards(8)
+        .with_threads(threads)
+        .build()
+}
+
 /// One timed reference run: name, events processed, wall-clock seconds.
 struct Measured {
-    name: &'static str,
+    name: String,
     events: u64,
     seconds: f64,
 }
@@ -67,10 +88,11 @@ impl Measured {
 }
 
 /// Runs each reference configuration once under a wall clock and prints
-/// events/sec — the numbers the floor is enforced against.
-fn reference_runs(sys: &EpsilonIntersecting) -> Vec<Measured> {
+/// events/sec — the numbers the floors are enforced against.  `threads`
+/// (the `PQS_BENCH_THREADS` knob) adds the multi-thread sharded run.
+fn reference_runs(sys: &EpsilonIntersecting, threads: Option<u32>) -> Vec<Measured> {
     let mut measured = Vec::new();
-    let mut time_run = |name: &'static str, config: SimConfig| {
+    let mut time_run = |name: String, config: SimConfig| {
         let start = Instant::now();
         let report = Simulation::new(sys, ProtocolKind::Safe, config).run();
         let seconds = start.elapsed().as_secs_f64();
@@ -80,8 +102,9 @@ fn reference_runs(sys: &EpsilonIntersecting) -> Vec<Measured> {
             seconds,
         };
         println!(
-            "engine_throughput({name}): {} events in {:.3}s -> {:.0} events/sec \
+            "engine_throughput({}): {} events in {:.3}s -> {:.0} events/sec \
              (max in-flight {})",
+            m.name,
             m.events,
             seconds,
             m.events_per_sec(),
@@ -89,15 +112,19 @@ fn reference_runs(sys: &EpsilonIntersecting) -> Vec<Measured> {
         );
         measured.push(m);
     };
-    time_run("safe_run/100", engine_config(100.0));
-    time_run("safe_run/500", engine_config(500.0));
-    time_run("diffusion_run/500", diffusion_config(500.0));
+    time_run("safe_run/100".into(), engine_config(100.0));
+    time_run("safe_run/500".into(), engine_config(500.0));
+    time_run("diffusion_run/500".into(), diffusion_config(500.0));
+    time_run("sharded_run/2000x1t".into(), sharded_config(2000.0, 1));
+    if let Some(t) = threads {
+        time_run(format!("sharded_run/2000x{t}t"), sharded_config(2000.0, t));
+    }
     measured
 }
 
-/// Serialises the measurements (and the floor verdict) as JSON by hand —
+/// Serialises the measurements (and the floor verdicts) as JSON by hand —
 /// the vendored serde shim's derives are no-ops, so formatting is explicit.
-fn write_json(measured: &[Measured], floor: Option<f64>, pass: bool) {
+fn write_json(measured: &[Measured], floor: Option<f64>, threads_floor: Option<f64>, pass: bool) {
     let best = measured
         .iter()
         .map(Measured::events_per_sec)
@@ -117,8 +144,10 @@ fn write_json(measured: &[Measured], floor: Option<f64>, pass: bool) {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"event_engine\",\n  \"floor_events_per_sec\": {},\n  \
+         \"threads_floor_events_per_sec\": {},\n  \
          \"best_events_per_sec\": {:.0},\n  \"pass\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
         floor.map_or("null".to_string(), |f| format!("{f:.0}")),
+        threads_floor.map_or("null".to_string(), |f| format!("{f:.0}")),
         best,
         pass,
         runs.join(",\n")
@@ -144,24 +173,57 @@ fn bench_engine_throughput(c: &mut Criterion) {
     let floor: Option<f64> = std::env::var("PQS_BENCH_FLOOR")
         .ok()
         .map(|v| v.parse().expect("PQS_BENCH_FLOOR must be a number"));
+    let threads: Option<u32> = std::env::var("PQS_BENCH_THREADS")
+        .ok()
+        .map(|v| v.parse().expect("PQS_BENCH_THREADS must be a thread count"));
+    let threads_floor: Option<f64> = std::env::var("PQS_BENCH_THREADS_FLOOR")
+        .ok()
+        .map(|v| v.parse().expect("PQS_BENCH_THREADS_FLOOR must be a number"));
 
-    let measured = reference_runs(&sys);
+    let measured = reference_runs(&sys, threads);
     let best = measured
         .iter()
         .map(Measured::events_per_sec)
         .fold(0.0, f64::max);
-    let pass = floor.is_none_or(|f| best >= f);
-    write_json(&measured, floor, pass);
+    let threaded: Option<f64> = threads.and_then(|t| {
+        measured
+            .iter()
+            .find(|m| m.name == format!("sharded_run/2000x{t}t"))
+            .map(Measured::events_per_sec)
+    });
+    let serial_pass = floor.is_none_or(|f| best >= f);
+    let threads_pass = match threads_floor {
+        Some(f) => threaded.is_some_and(|r| r >= f),
+        None => true,
+    };
+    write_json(&measured, floor, threads_floor, serial_pass && threads_pass);
     if let Some(f) = floor {
-        if pass {
+        if serial_pass {
             println!("bench floor: best {best:.0} events/sec >= floor {f:.0} — ok");
         } else {
             eprintln!(
                 "bench floor VIOLATED: best {best:.0} events/sec < floor {f:.0} \
                  — the engine hot loop regressed"
             );
-            std::process::exit(1);
         }
+    }
+    if let Some(f) = threads_floor {
+        match threaded {
+            Some(r) if r >= f => {
+                println!("bench threads floor: {r:.0} events/sec >= floor {f:.0} — ok");
+            }
+            Some(r) => eprintln!(
+                "bench threads floor VIOLATED: {r:.0} events/sec < floor {f:.0} \
+                 — the parallel engine regressed"
+            ),
+            None => eprintln!(
+                "bench threads floor VIOLATED: PQS_BENCH_THREADS_FLOOR set \
+                 without PQS_BENCH_THREADS, nothing to measure"
+            ),
+        }
+    }
+    if !(serial_pass && threads_pass) {
+        std::process::exit(1);
     }
     if quick {
         println!("PQS_BENCH_QUICK=1: skipping criterion statistics");
@@ -191,6 +253,21 @@ fn bench_engine_throughput(c: &mut Criterion) {
         let config = diffusion_config(500.0);
         bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
     });
+    // The parallel engine: 8 shards drained by 1 worker thread (the
+    // sharded-family baseline) and, when PQS_BENCH_THREADS is set, by that
+    // many threads — same bit-identical report, different wall clock.
+    let mut thread_counts = vec![1u32];
+    thread_counts.extend(threads.filter(|&t| t > 1));
+    for &t in &thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_run", format!("{t}t")),
+            &t,
+            |bench, &t| {
+                let config = sharded_config(500.0, t);
+                bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
+            },
+        );
+    }
     group.finish();
 
     // The sharded key space: the per-variable session table (register map,

@@ -23,9 +23,11 @@
 //!   adaptive protocol must be cheaper without being weaker where it
 //!   matters most.
 //!
-//! Accepts `--seed N` (default 0), mixed into the simulation seed so the CI
-//! smoke job can vary the randomness run to run.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into the simulation seed so the CI smoke job can vary the
+//! randomness run to run.
 
+use pqs_bench::cli::{self, ValidatorCli};
 use pqs_bench::ExperimentTable;
 use pqs_core::prelude::*;
 use pqs_core::system::ProbabilisticQuorumSystem;
@@ -35,16 +37,15 @@ use pqs_sim::runner::{DiffusionPolicy, KeyGossipPolicy, ProtocolKind, SimConfig,
 use pqs_sim::workload::KeySpace;
 
 fn sim_config(seed: u64) -> SimConfig {
-    SimConfig {
-        duration: 60.0,
-        arrival_rate: 80.0,
-        read_fraction: 0.9,
-        keyspace: KeySpace::zipf(16, 1.2),
-        latency: LatencyModel::Exponential { mean: 2e-3 },
-        op_timeout: 5.0,
-        seed,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .with_duration(60.0)
+        .with_arrival_rate(80.0)
+        .with_read_fraction(0.9)
+        .with_keyspace(KeySpace::zipf(16, 1.2))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_op_timeout(5.0)
+        .with_seed(seed)
+        .build()
 }
 
 /// Stale + empty reads on the hottest Zipf key — directly comparable
@@ -69,7 +70,11 @@ struct Cell {
 }
 
 fn main() {
-    let base_seed = pqs_bench::cli_seed();
+    let cli = ValidatorCli::from_env(
+        "validate_adaptive_diffusion",
+        "digest/delta gossip: >=60% push-volume cut at equal-or-better hot-key staleness",
+    );
+    let base_seed = cli.seed;
     let sys = EpsilonIntersecting::new(64, 8).expect("valid system");
     let config = sim_config(base_seed.wrapping_mul(0x51ed) ^ 0xace1);
     let gossip_latency = LatencyModel::Exponential { mean: 2e-3 };
@@ -122,7 +127,9 @@ fn main() {
             },
         ),
     ];
-    let periods = [0.1, 0.05];
+    // Quick mode drops the faster period: the remaining cells still cover
+    // every policy and the full-push reference the headline check needs.
+    let periods: &[f64] = if cli.quick { &[0.1] } else { &[0.1, 0.05] };
     let fanouts = [2u32, 3];
 
     let mut table = ExperimentTable::new(
@@ -167,7 +174,7 @@ fn main() {
 
     let mut cells: Vec<Cell> = Vec::new();
     for (name, key_policy) in &policies {
-        for &period in &periods {
+        for &period in periods {
             for &fanout in &fanouts {
                 let mut cell_config = config;
                 cell_config.diffusion = Some(
@@ -243,7 +250,7 @@ fn main() {
 
     // Selective digests advertise fewer keys, so they can only prove less
     // redundancy than complete (uniform) digests at the same settings.
-    for &period in &periods {
+    for &period in periods {
         for &fanout in &fanouts {
             let find = |label: &str| {
                 cells
@@ -306,16 +313,5 @@ fn main() {
         push_hot,
         push.gossip_pushes
     );
-    if violations.is_empty() {
-        println!("validate_adaptive_diffusion: all bounds hold (seed {base_seed})");
-    } else {
-        eprintln!(
-            "validate_adaptive_diffusion: {} violated bound(s):",
-            violations.len()
-        );
-        for v in &violations {
-            eprintln!("  - {v}");
-        }
-        std::process::exit(1);
-    }
+    cli::finish("validate_adaptive_diffusion", base_seed, &violations);
 }

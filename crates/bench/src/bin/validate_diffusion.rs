@@ -17,9 +17,11 @@
 //! if any invariant fails — in particular if diffusion fails to cut the
 //! measured stale-read rate on the hottest Zipf key.
 //!
-//! Accepts `--seed N` (default 0), mixed into the simulation seed so the CI
-//! smoke job can vary the randomness run to run.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into the simulation seed so the CI smoke job can vary the
+//! randomness run to run.
 
+use pqs_bench::cli::{self, ValidatorCli};
 use pqs_bench::ExperimentTable;
 use pqs_core::prelude::*;
 use pqs_core::system::ProbabilisticQuorumSystem;
@@ -29,16 +31,15 @@ use pqs_sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
 use pqs_sim::workload::KeySpace;
 
 fn sim_config(seed: u64) -> SimConfig {
-    SimConfig {
-        duration: 60.0,
-        arrival_rate: 80.0,
-        read_fraction: 0.9,
-        keyspace: KeySpace::zipf(16, 1.2),
-        latency: LatencyModel::Exponential { mean: 2e-3 },
-        op_timeout: 5.0,
-        seed,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .with_duration(60.0)
+        .with_arrival_rate(80.0)
+        .with_read_fraction(0.9)
+        .with_keyspace(KeySpace::zipf(16, 1.2))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_op_timeout(5.0)
+        .with_seed(seed)
+        .build()
 }
 
 fn hot_stats(report: &SimReport) -> (u64, u64, f64) {
@@ -51,7 +52,11 @@ fn hot_stats(report: &SimReport) -> (u64, u64, f64) {
 }
 
 fn main() {
-    let base_seed = pqs_bench::cli_seed();
+    let cli = ValidatorCli::from_env(
+        "validate_diffusion",
+        "Section 1.1 write-diffusion: hot-key stale-read cut and per-key convergence",
+    );
+    let base_seed = cli.seed;
     // Deliberately loose: ε ≈ 0.3, so the baseline has plenty of stale
     // reads for diffusion to eliminate.
     let sys = EpsilonIntersecting::new(64, 8).expect("valid system");
@@ -101,11 +106,14 @@ fn main() {
         "-".to_string(),
     ]);
 
-    let periods = [0.4, 0.1];
+    // In quick mode only the aggressive gossip period runs (the headline
+    // 40%-cut check needs it); the baseline and its invariants are
+    // untouched, the sweep just has fewer cells.
+    let periods: &[f64] = if cli.quick { &[0.1] } else { &[0.4, 0.1] };
     let fanouts = [1u32, 3];
     let mut per_period_hot: Vec<Vec<u64>> = Vec::new();
     let mut best_hot_stale = u64::MAX;
-    for &period in &periods {
+    for &period in periods {
         let mut row_hot = Vec::new();
         for &fanout in &fanouts {
             let mut cell = config;
@@ -187,7 +195,7 @@ fn main() {
     }
     // Coverage is monotone in fanout at fixed period (generous slack: the
     // two cells use different gossip draws, so allow sampling noise).
-    for (row, &period) in per_period_hot.iter().zip(&periods) {
+    for (row, &period) in per_period_hot.iter().zip(periods) {
         let (narrow, wide) = (row[0] as f64, row[1] as f64);
         if wide > narrow + 3.0 * narrow.sqrt() + 3.0 {
             violations.push(format!(
@@ -201,16 +209,5 @@ fn main() {
         "baseline: epsilon {eps:.4}, hot-key stale rate {base_hot_rate:.4} \
          ({base_hot_stale}/{base_hot_reads} non-concurrent reads)"
     );
-    if violations.is_empty() {
-        println!("validate_diffusion: all bounds hold (seed {base_seed})");
-    } else {
-        eprintln!(
-            "validate_diffusion: {} violated bound(s):",
-            violations.len()
-        );
-        for v in &violations {
-            eprintln!("  - {v}");
-        }
-        std::process::exit(1);
-    }
+    cli::finish("validate_diffusion", base_seed, &violations);
 }

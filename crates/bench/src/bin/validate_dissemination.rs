@@ -4,9 +4,11 @@
 //! Compares the exact probability that `Q ∩ Q′ ⊆ B`, a Monte-Carlo estimate,
 //! and the corresponding analytical bound.
 //!
-//! Accepts `--seed N` (default 0), mixed into the Monte-Carlo RNG.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into the Monte-Carlo RNG.
 
-use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::{fmt_prob, ExperimentTable};
 use pqs_core::analysis::intersection::estimate_contained_in_faulty;
 use pqs_core::prelude::*;
 use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
@@ -14,7 +16,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(0xd15 ^ cli_seed());
+    let cli = ValidatorCli::from_env(
+        "validate_dissemination",
+        "Lemma 4.3 / Theorems 4.4 and 4.6: dissemination epsilon bounds",
+    );
+    let mut violations: Vec<String> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xd15 ^ cli.seed);
     let mut table = ExperimentTable::new(
         "validate_dissemination_lemmas_4_3_and_4_5",
         &[
@@ -29,7 +36,7 @@ fn main() {
             "bound holds",
         ],
     );
-    let trials = 100_000u32;
+    let trials = if cli.quick { 10_000u32 } else { 100_000 };
     for &n in &[300u32, 900] {
         for &alpha in &[1.0 / 3.0, 0.45, 0.6] {
             let b = (alpha * n as f64).round() as u32;
@@ -42,6 +49,13 @@ fn main() {
                 let est = estimate_contained_in_faulty(&sys, &faulty, trials, &mut rng)
                     .expect("trials > 0");
                 let bound = sys.epsilon_bound();
+                if sys.epsilon() > bound + 1e-12 {
+                    violations.push(format!(
+                        "n={n} alpha={alpha:.2} l={ell:.1}: exact eps {} above bound {}",
+                        fmt_prob(sys.epsilon()),
+                        fmt_prob(bound)
+                    ));
+                }
                 table.push_row(vec![
                     n.to_string(),
                     format!("{alpha:.2}"),
@@ -61,4 +75,5 @@ fn main() {
         "Theorem 4.4 / 4.6: every exact epsilon must sit below its analytic bound, and the \
          construction keeps working for Byzantine fractions far beyond the strict (n-1)/3 limit."
     );
+    cli::finish("validate_dissemination", cli.seed, &violations);
 }

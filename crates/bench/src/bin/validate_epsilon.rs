@@ -5,10 +5,12 @@
 //! (b) a Monte-Carlo estimate obtained by sampling quorum pairs, and
 //! (c) the analytical bound `e^{−ℓ²}`.
 //!
-//! Accepts `--seed N` (default 0), mixed into the Monte-Carlo RNG so CI
-//! can re-check the bounds under fresh randomness.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into the Monte-Carlo RNG so CI can re-check the bounds under
+//! fresh randomness.
 
-use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::{fmt_prob, ExperimentTable};
 use pqs_core::analysis::intersection::estimate_nonintersection;
 use pqs_core::prelude::*;
 use pqs_core::system::ProbabilisticQuorumSystem;
@@ -17,7 +19,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x51e5 ^ cli_seed());
+    let cli = ValidatorCli::from_env(
+        "validate_epsilon",
+        "Lemma 3.15 / Theorem 3.16: epsilon-intersecting non-intersection bounds",
+    );
+    let mut violations: Vec<String> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51e5 ^ cli.seed);
     let mut table = ExperimentTable::new(
         "validate_epsilon_lemma_3_15",
         &[
@@ -31,12 +38,26 @@ fn main() {
             "bound holds",
         ],
     );
-    let trials = 200_000u32;
+    let trials = if cli.quick { 20_000u32 } else { 200_000 };
     for &n in &[100u32, 400, 900, 2500] {
         for &ell in &[1.0f64, 1.5, 2.0, 2.5, 3.0] {
             let sys = EpsilonIntersecting::with_ell(n, ell).expect("valid parameters");
             let est = estimate_nonintersection(&sys, trials, &mut rng).expect("trials > 0");
             let bound = epsilon_intersecting_bound(sys.ell());
+            if sys.epsilon() > bound + 1e-12 {
+                violations.push(format!(
+                    "n={n} l={ell:.1}: exact eps {} above bound {}",
+                    fmt_prob(sys.epsilon()),
+                    fmt_prob(bound)
+                ));
+            }
+            if est.estimate() > bound + 0.01 {
+                violations.push(format!(
+                    "n={n} l={ell:.1}: monte-carlo eps {} strays above bound {}",
+                    fmt_prob(est.estimate()),
+                    fmt_prob(bound)
+                ));
+            }
             table.push_row(vec![
                 n.to_string(),
                 format!("{ell:.1}"),
@@ -54,4 +75,5 @@ fn main() {
         "Every row must show exact <= bound (Lemma 3.15) with the Monte-Carlo estimate \
          agreeing with the exact value up to sampling noise."
     );
+    cli::finish("validate_epsilon", cli.seed, &violations);
 }

@@ -8,9 +8,11 @@
 //!   respecting the probabilistic lower bound `((1−2ε)/(1−ε))·b/n`
 //!   (e.g. `b = √n`, `ℓ = n^{1/5}` gives load `O(n^{-0.3})`).
 //!
-//! Accepts `--seed N` (default 0), mixed into the Monte-Carlo RNG.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into the Monte-Carlo RNG.
 
-use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::{fmt_prob, ExperimentTable};
 use pqs_core::analysis::intersection::estimate_empirical_load;
 use pqs_core::analysis::lower_bounds::{
     corollary_3_12_bound, masking_load_lower_bound, masking_probabilistic_load_lower_bound,
@@ -22,8 +24,14 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x10ad ^ cli_seed());
+    let cli = ValidatorCli::from_env(
+        "validate_load",
+        "Theorems 3.9 and 5.5 plus Table I: load bounds and the masking separation",
+    );
+    let mut violations: Vec<String> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x10ad ^ cli.seed);
 
+    let load_trials = if cli.quick { 4_000 } else { 40_000 };
     let mut table = ExperimentTable::new(
         "validate_load_epsilon_intersecting",
         &[
@@ -38,20 +46,30 @@ fn main() {
     );
     for &n in &[100u32, 400, 900, 2500] {
         let sys = EpsilonIntersecting::with_target_epsilon(n, 1e-3).expect("achievable");
-        let measured = estimate_empirical_load(&sys, 40_000, &mut rng).expect("trials > 0");
+        let measured = estimate_empirical_load(&sys, load_trials, &mut rng).expect("trials > 0");
+        let thm_3_9 = pqs_core::measures::probabilistic_load_lower_bound(
+            n,
+            sys.expected_quorum_size(),
+            sys.epsilon(),
+        );
+        if sys.load() < thm_3_9 {
+            violations.push(format!(
+                "n={n}: analytic load {:.4} below the Theorem 3.9 lower bound {thm_3_9:.4}",
+                sys.load()
+            ));
+        }
+        if (measured - sys.load()).abs() > 0.05 {
+            violations.push(format!(
+                "n={n}: measured load {measured:.4} strays from analytic q/n {:.4}",
+                sys.load()
+            ));
+        }
         table.push_row(vec![
             n.to_string(),
             sys.quorum_size().to_string(),
             format!("{:.4}", sys.load()),
             format!("{measured:.4}"),
-            format!(
-                "{:.4}",
-                pqs_core::measures::probabilistic_load_lower_bound(
-                    n,
-                    sys.expected_quorum_size(),
-                    sys.epsilon()
-                )
-            ),
+            format!("{thm_3_9:.4}"),
             format!("{:.4}", corollary_3_12_bound(n, sys.epsilon())),
             format!("{:.4}", strict_load_lower_bound(n)),
         ]);
@@ -77,6 +95,18 @@ fn main() {
         let ell = (n as f64).powf(0.2);
         let sys = ProbabilisticMasking::with_ell(n, ell, b).expect("valid parameters");
         let strict_bound = masking_load_lower_bound(n, b);
+        if sys.load() >= strict_bound {
+            violations.push(format!(
+                "n={n} b={b}: masking load {:.4} fails to beat the strict bound {strict_bound:.4}",
+                sys.load()
+            ));
+        }
+        if sys.load() < masking_probabilistic_load_lower_bound(n, b, sys.epsilon()) {
+            violations.push(format!(
+                "n={n} b={b}: masking load {:.4} below its probabilistic lower bound",
+                sys.load()
+            ));
+        }
         masking_table.push_row(vec![
             n.to_string(),
             b.to_string(),
@@ -99,4 +129,5 @@ fn main() {
          below the strict masking bound (the 'beats strict' column is true), reproducing the \
          O(n^-0.3) vs Omega(n^-0.25) separation of Section 5.5."
     );
+    cli::finish("validate_load", cli.seed, &violations);
 }

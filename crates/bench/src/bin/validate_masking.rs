@@ -6,9 +6,11 @@
 //! against the Theorem 5.10 bound; a Monte-Carlo estimate of the full
 //! Definition 5.1 event is included as a cross-check.
 //!
-//! Accepts `--seed N` (default 0), mixed into the Monte-Carlo RNG.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into the Monte-Carlo RNG.
 
-use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::{fmt_prob, ExperimentTable};
 use pqs_core::analysis::intersection::estimate_masking_failure;
 use pqs_core::prelude::*;
 use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
@@ -18,7 +20,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x3a5 ^ cli_seed());
+    let cli = ValidatorCli::from_env(
+        "validate_masking",
+        "Lemmas 5.7/5.9 and Theorem 5.10: masking tail and epsilon bounds",
+    );
+    let mut violations: Vec<String> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x3a5 ^ cli.seed);
     let mut table = ExperimentTable::new(
         "validate_masking_lemmas_5_7_5_9",
         &[
@@ -36,7 +43,7 @@ fn main() {
             "thm 5.10 bound",
         ],
     );
-    let trials = 60_000u32;
+    let trials = if cli.quick { 6_000u32 } else { 60_000 };
     for &(n, b) in &[(400u32, 20u32), (900, 30), (2500, 50)] {
         for &ell in &[3.0f64, 4.0, 6.0, 8.0] {
             let q = (ell * b as f64).round() as u32;
@@ -59,6 +66,27 @@ fn main() {
                 pqs_core::quorum::Quorum::from_indices(sys.universe(), 0..b).expect("b < n");
             let est = estimate_masking_failure(&sys, &faulty, k as usize, trials, &mut rng)
                 .expect("trials > 0");
+            if x_tail > x_bound + 1e-12 {
+                violations.push(format!(
+                    "n={n} b={b} l={ell:.1}: P(X>=k) {} above the psi1 bound {}",
+                    fmt_prob(x_tail),
+                    fmt_prob(x_bound)
+                ));
+            }
+            if z_tail > z_bound + 1e-12 {
+                violations.push(format!(
+                    "n={n} b={b} l={ell:.1}: P(Z<k) {} above the psi2 bound {}",
+                    fmt_prob(z_tail),
+                    fmt_prob(z_bound)
+                ));
+            }
+            if sys.epsilon() > sys.epsilon_bound() + 1e-12 {
+                violations.push(format!(
+                    "n={n} b={b} l={ell:.1}: exact eps {} above the Theorem 5.10 bound {}",
+                    fmt_prob(sys.epsilon()),
+                    fmt_prob(sys.epsilon_bound())
+                ));
+            }
             table.push_row(vec![
                 n.to_string(),
                 b.to_string(),
@@ -80,4 +108,5 @@ fn main() {
         "Lemmas 5.7/5.9: each exact tail must sit below its psi bound; Theorem 5.10: the exact \
          epsilon must sit below 2 exp(-(q^2/n) min(psi1, psi2)), and it vanishes as l grows."
     );
+    cli::finish("validate_masking", cli.seed, &violations);
 }

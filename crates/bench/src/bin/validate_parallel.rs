@@ -1,0 +1,158 @@
+//! Experiment V9: the multi-core sharded event engine.
+//!
+//! With `num_shards ≥ 2` the simulator partitions the key space by
+//! `variable % num_shards`, drains each shard's event queue on a worker
+//! thread, and reconciles cross-shard gossip on a sequenced spine at
+//! deterministic time-window barriers.  The design claim is sharp: the
+//! merged report is **bit-identical for every shard count ≥ 2 and every
+//! thread count** — parallelism is a speed knob, never a results knob.
+//! (`num_shards = 1` is the separate sequential family and is pinned
+//! against its own golden fingerprints in the determinism suite.)
+//!
+//! This validator re-checks the claim end to end under a digest/delta
+//! gossip workload with a mid-run crash wave, then measures wall-clock
+//! throughput as the thread count grows.  The equality checks always run;
+//! the speedup check only engages when the host actually has ≥ 4 cores
+//! (`std::thread::available_parallelism`), so the binary stays green on
+//! single-core containers while CI's multi-core runners enforce it.
+//!
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--threads N`
+//! caps the thread sweep.
+
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::ExperimentTable;
+use pqs_core::prelude::*;
+use pqs_sim::latency::LatencyModel;
+use pqs_sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
+use pqs_sim::workload::KeySpace;
+use std::time::Instant;
+
+fn sharded_config(seed: u64, duration: f64, num_shards: u32, threads: u32) -> SimConfig {
+    SimConfig::builder()
+        .with_duration(duration)
+        .with_arrival_rate(400.0)
+        .with_read_fraction(0.8)
+        .with_keyspace(KeySpace::zipf(64, 1.0))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_probe_margin(2)
+        .with_op_timeout(0.05)
+        .with_max_retries(2)
+        .with_crash_probability(0.1)
+        .with_diffusion(
+            DiffusionPolicy::digest_delta(0.2, 2)
+                .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+        )
+        .with_seed(seed)
+        .with_num_shards(num_shards)
+        .with_threads(threads)
+        .build()
+}
+
+fn main() {
+    let cli = ValidatorCli::from_env(
+        "validate_parallel",
+        "sharded engine: bit-identical reports across shard/thread counts, plus speedup",
+    );
+    let base_seed = cli.seed;
+    let duration = if cli.quick { 8.0 } else { 20.0 };
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).expect("valid system");
+    let mut violations: Vec<String> = Vec::new();
+
+    // The determinism claim: every (shards ≥ 2, threads) pair produces the
+    // same report, so any cell works as the reference.
+    let reference = Simulation::new(
+        &sys,
+        ProtocolKind::Safe,
+        sharded_config(base_seed, duration, 2, 1),
+    )
+    .run();
+    if reference.completed_reads + reference.completed_writes == 0 {
+        violations.push("reference run completed no operations".to_string());
+    }
+
+    let mut table = ExperimentTable::new(
+        "validate_parallel_shard_x_thread_equality",
+        &["shards", "threads", "events", "identical to reference"],
+    );
+    let grid: &[(u32, u32)] = if cli.quick {
+        &[(2, 2), (4, 4), (8, 2)]
+    } else {
+        &[(2, 2), (4, 1), (4, 4), (8, 2), (8, 8)]
+    };
+    for &(shards, threads) in grid {
+        let report = Simulation::new(
+            &sys,
+            ProtocolKind::Safe,
+            sharded_config(base_seed, duration, shards, threads),
+        )
+        .run();
+        let identical = report == reference;
+        if !identical {
+            violations.push(format!(
+                "shards={shards} threads={threads}: report differs from the \
+                 2-shard single-thread reference"
+            ));
+        }
+        table.push_row(vec![
+            shards.to_string(),
+            threads.to_string(),
+            report.events_processed.to_string(),
+            identical.to_string(),
+        ]);
+    }
+    table.emit();
+
+    // Throughput: the same 8-shard run drained by 1..=N worker threads.
+    // Reports must stay identical while wall-clock time falls.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    let max_threads = cli.threads.clamp(1, 8);
+    let mut speed_table = ExperimentTable::new(
+        "validate_parallel_thread_throughput",
+        &["threads", "events", "wall (s)", "events/sec"],
+    );
+    let mut rates: Vec<(u32, f64)> = Vec::new();
+    for threads in 1..=max_threads {
+        let config = sharded_config(base_seed, duration, 8, threads);
+        let start = Instant::now();
+        let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
+        let wall = start.elapsed().as_secs_f64();
+        if report != reference {
+            violations.push(format!(
+                "throughput run with {threads} thread(s) changed the report"
+            ));
+        }
+        let rate = report.events_processed as f64 / wall.max(1e-9);
+        speed_table.push_row(vec![
+            threads.to_string(),
+            report.events_processed.to_string(),
+            format!("{wall:.3}"),
+            format!("{rate:.0}"),
+        ]);
+        rates.push((threads, rate));
+    }
+    speed_table.emit();
+
+    // The speedup claim only binds where the hardware can express it.
+    if cores >= 4 && max_threads >= 4 {
+        let single = rates[0].1;
+        let best = rates
+            .iter()
+            .filter(|(t, _)| *t >= 4)
+            .map(|(_, r)| *r)
+            .fold(0.0f64, f64::max);
+        if best < 1.5 * single {
+            violations.push(format!(
+                "4+ worker threads reached only {:.2}x the single-thread rate",
+                best / single.max(1e-9)
+            ));
+        }
+    } else {
+        println!(
+            "speedup check skipped: {cores} core(s) available, \
+             thread sweep capped at {max_threads} (pass --threads 4 on a \
+             multi-core host to engage it)"
+        );
+    }
+
+    cli::finish("validate_parallel", base_seed, &violations);
+}

@@ -4,13 +4,15 @@
 //! Each row runs the discrete-event simulator with one protocol/system pair
 //! and compares the measured stale-read rate against the system's exact ε.
 //!
-//! Accepts `--seed N` (default 0), mixed into every simulation seed so the
-//! CI smoke job can vary the randomness run to run.  The binary *checks*
-//! its claims, not just prints them: any measured rate violating its
-//! theorem bound (with generous sampling slack) makes it exit nonzero, so
-//! the smoke job genuinely re-verifies the paper under every seed.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into every simulation seed so the CI smoke job can vary the
+//! randomness run to run.  The binary *checks* its claims, not just prints
+//! them: any measured rate violating its theorem bound (with generous
+//! sampling slack) makes it exit nonzero, so the smoke job genuinely
+//! re-verifies the paper under every seed.
 
-use pqs_bench::{cli_seed, fmt_prob, ExperimentTable};
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::{fmt_prob, ExperimentTable};
 use pqs_core::prelude::*;
 use pqs_core::system::{ProbabilisticQuorumSystem, QuorumSystem};
 use pqs_protocols::cluster::Cluster;
@@ -22,21 +24,24 @@ use pqs_sim::runner::{ProtocolKind, SimConfig, Simulation};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn sim_config(seed: u64) -> SimConfig {
-    SimConfig {
-        duration: 200.0,
-        arrival_rate: 40.0,
-        read_fraction: 0.7,
-        latency: LatencyModel::Fixed(1e-6),
-        crash_probability: 0.0,
-        byzantine: 0,
-        seed,
-        ..SimConfig::default()
-    }
+fn sim_config(cli: &ValidatorCli, seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .with_duration(if cli.quick { 60.0 } else { 200.0 })
+        .with_arrival_rate(40.0)
+        .with_read_fraction(0.7)
+        .with_latency(LatencyModel::Fixed(1e-6))
+        .with_crash_probability(0.0)
+        .with_byzantine(0)
+        .with_seed(seed)
+        .build()
 }
 
 fn main() {
-    let base_seed = cli_seed();
+    let cli = ValidatorCli::from_env(
+        "validate_protocols",
+        "Theorems 3.2, 4.2 and 5.2 by simulation, plus diffusion and probe-margin effects",
+    );
+    let base_seed = cli.seed;
     // Collected bound violations; reported and turned into a nonzero exit
     // at the end so one bad row does not hide the rest of the tables.
     let mut violations: Vec<String> = Vec::new();
@@ -57,7 +62,8 @@ fn main() {
     // Theorem 3.2 — safe register, crash model, two quorum sizes.
     for &(n, q) in &[(64u32, 8u32), (100, 15), (400, 49)] {
         let sys = EpsilonIntersecting::new(n, q).expect("valid");
-        let report = Simulation::new(&sys, ProtocolKind::Safe, sim_config(base_seed ^ 1)).run();
+        let report =
+            Simulation::new(&sys, ProtocolKind::Safe, sim_config(&cli, base_seed ^ 1)).run();
         check_stale_rate(
             &mut violations,
             "safe (Thm 3.2)",
@@ -80,7 +86,7 @@ fn main() {
     // Theorem 4.2 — dissemination register with Byzantine servers.
     for &(n, b) in &[(100u32, 20u32), (300, 100)] {
         let sys = ProbabilisticDissemination::with_target_epsilon(n, b, 1e-3).expect("valid");
-        let mut config = sim_config(base_seed ^ 2);
+        let mut config = sim_config(&cli, base_seed ^ 2);
         config.byzantine = b;
         let report = Simulation::new(&sys, ProtocolKind::Dissemination, config).run();
         check_stale_rate(
@@ -105,7 +111,7 @@ fn main() {
     // Theorem 5.2 — masking register with colluding forgers.
     for &(n, b) in &[(100u32, 5u32), (400, 20)] {
         let sys = ProbabilisticMasking::with_target_epsilon(n, b, 1e-3).expect("valid");
-        let mut config = sim_config(base_seed ^ 3);
+        let mut config = sim_config(&cli, base_seed ^ 3);
         config.byzantine = b;
         let report = Simulation::new(
             &sys,
@@ -145,7 +151,7 @@ fn main() {
     for &rounds in &[1usize, 3, 5] {
         let mut cluster = Cluster::new(sys.universe());
         let mut register = SafeRegister::new(&sys, 1);
-        let trials = 3000u64;
+        let trials = if cli.quick { 500u64 } else { 3000 };
         let mut stale_without = 0u64;
         let mut stale_with = 0u64;
         for i in 1..=trials {
@@ -194,7 +200,7 @@ fn main() {
     let sys = EpsilonIntersecting::new(100, 22).expect("valid");
     let mut margin_p99s: Vec<f64> = Vec::new();
     for &margin in &[0u32, 4, 8] {
-        let mut config = sim_config(base_seed ^ 4);
+        let mut config = sim_config(&cli, base_seed ^ 4);
         config.duration = 60.0;
         config.latency = LatencyModel::Pareto {
             scale: 1e-3,
@@ -229,14 +235,7 @@ fn main() {
          sampling noise) the system's exact epsilon; diffusion drives it further toward zero; \
          and read p99 falls monotonically as the probe margin grows."
     );
-    if !violations.is_empty() {
-        eprintln!("BOUND VIOLATIONS:");
-        for v in &violations {
-            eprintln!("  {v}");
-        }
-        std::process::exit(1);
-    }
-    println!("All theorem bounds hold under seed {base_seed}.");
+    cli::finish("validate_protocols", base_seed, &violations);
 }
 
 /// Records a violation if the measured stale-read rate exceeds the

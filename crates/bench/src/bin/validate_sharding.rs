@@ -9,40 +9,37 @@
 //! most skewed configuration: per-key latency percentiles out of one shared
 //! event queue.
 //!
-//! Accepts `--seed N` (default 0), mixed into every simulation seed so the
-//! CI smoke job can vary the randomness run to run.  Like the other
-//! validators, the binary *checks* its claims: any violated bound makes it
-//! exit nonzero.
+//! Accepts the shared validator flags ([`pqs_bench::cli`]); `--seed N` is
+//! mixed into every simulation seed so the CI smoke job can vary the
+//! randomness run to run.  Like the other validators, the binary *checks*
+//! its claims: any violated bound makes it exit nonzero.
 
-use pqs_bench::{cli_seed, ExperimentTable};
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::ExperimentTable;
 use pqs_core::prelude::*;
 use pqs_core::system::QuorumSystem;
 use pqs_sim::latency::LatencyModel;
 use pqs_sim::runner::{ProtocolKind, SimConfig, Simulation};
-use pqs_sim::workload::{KeySpace, Skew};
+use pqs_sim::workload::KeySpace;
 
-fn skew_name(skew: Skew) -> String {
-    match skew {
-        Skew::Uniform => "uniform".to_string(),
-        Skew::Zipf { exponent } => format!("zipf({exponent})"),
-    }
-}
-
-fn sim_config(seed: u64, keyspace: KeySpace) -> SimConfig {
-    SimConfig {
-        duration: 150.0,
-        arrival_rate: 80.0,
-        read_fraction: 0.8,
-        keyspace,
-        latency: LatencyModel::Exponential { mean: 2e-3 },
-        op_timeout: 5.0,
-        seed,
-        ..SimConfig::default()
-    }
+fn sim_config(cli: &ValidatorCli, seed: u64, keyspace: KeySpace) -> SimConfig {
+    SimConfig::builder()
+        .with_duration(if cli.quick { 40.0 } else { 150.0 })
+        .with_arrival_rate(80.0)
+        .with_read_fraction(0.8)
+        .with_keyspace(keyspace)
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_op_timeout(5.0)
+        .with_seed(seed)
+        .build()
 }
 
 fn main() {
-    let base_seed = cli_seed();
+    let cli = ValidatorCli::from_env(
+        "validate_sharding",
+        "per-server load invariance and per-key popularity of the sharded KV store",
+    );
+    let base_seed = cli.seed;
     let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).expect("valid system");
     let analytic_load = sys.load();
     let mut violations: Vec<String> = Vec::new();
@@ -75,7 +72,7 @@ fn main() {
 
     let mut hot_key_report = None;
     for (i, &keyspace) in sweep.iter().enumerate() {
-        let config = sim_config(base_seed ^ (i as u64 + 1), keyspace);
+        let config = sim_config(&cli, base_seed ^ (i as u64 + 1), keyspace);
         let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
         let total_ops = report.completed_reads + report.completed_writes + report.unavailable_ops;
 
@@ -84,7 +81,7 @@ fn main() {
             violations.push(format!(
                 "keys={} {}: per-key op sum {} != aggregate {}",
                 keyspace.keys,
-                skew_name(keyspace.skew),
+                keyspace.skew,
                 report.summed_per_variable_ops(),
                 total_ops
             ));
@@ -97,10 +94,7 @@ fn main() {
         if (empirical - analytic_load).abs() > 0.05 {
             violations.push(format!(
                 "keys={} {}: empirical server load {:.4} strays from analytic {:.4}",
-                keyspace.keys,
-                skew_name(keyspace.skew),
-                empirical,
-                analytic_load
+                keyspace.keys, keyspace.skew, empirical, analytic_load
             ));
         }
 
@@ -116,16 +110,13 @@ fn main() {
         if (share - predicted).abs() > 4.0 * sigma + 0.01 {
             violations.push(format!(
                 "keys={} {}: hot-key share {:.4} strays from predicted {:.4}",
-                keyspace.keys,
-                skew_name(keyspace.skew),
-                share,
-                predicted
+                keyspace.keys, keyspace.skew, share, predicted
             ));
         }
 
         table.push_row(vec![
             keyspace.keys.to_string(),
-            skew_name(keyspace.skew),
+            keyspace.skew.to_string(),
             total_ops.to_string(),
             format!("{share:.4}"),
             format!("{predicted:.4}"),
@@ -181,13 +172,5 @@ fn main() {
     }
     hot_table.emit();
 
-    if violations.is_empty() {
-        println!("validate_sharding: all bounds hold (seed {base_seed})");
-    } else {
-        eprintln!("validate_sharding: {} violated bound(s):", violations.len());
-        for v in &violations {
-            eprintln!("  - {v}");
-        }
-        std::process::exit(1);
-    }
+    cli::finish("validate_sharding", base_seed, &violations);
 }

@@ -1,0 +1,245 @@
+//! The unified command line shared by every `validate_*` binary.
+//!
+//! Before this module each validator hand-rolled its own `--seed` loop;
+//! flags, help text and exit codes drifted apart.  Now all nine accept the
+//! same four flags with the same semantics:
+//!
+//! * `--seed N` — base RNG seed mixed into every simulation/sampling seed
+//!   (default 0).  The paper's bounds must hold for *every* seed, so the CI
+//!   smoke job varies this run to run.
+//! * `--quick` — shrink sweeps and shorten simulated time for smoke runs.
+//! * `--threads N` — worker threads for sharded simulation runs (only
+//!   observable where a validator runs the multi-shard engine; the merged
+//!   report is bit-identical for every thread count, so this is a speed
+//!   knob, never a results knob).
+//! * `--out-dir PATH` — write CSV artifacts under `PATH` instead of the
+//!   [`crate::output_dir`] default.
+//!
+//! Exit codes are uniform across the fleet: [`EXIT_OK`] (0) for a clean run
+//! or `--help`, [`EXIT_VALIDATION_FAILED`] (1) when a checked bound is
+//! violated, [`EXIT_USAGE`] (2) for a malformed command line.
+
+use std::path::PathBuf;
+
+/// Process exit code for a successful validation (or `--help`).
+pub const EXIT_OK: i32 = 0;
+/// Process exit code when one or more checked bounds are violated.
+pub const EXIT_VALIDATION_FAILED: i32 = 1;
+/// Process exit code for a malformed command line.
+pub const EXIT_USAGE: i32 = 2;
+
+/// Parsed command line shared by every `validate_*` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatorCli {
+    /// Base RNG seed mixed into every simulation/sampling seed.
+    pub seed: u64,
+    /// Shrink sweeps / shorten simulated time for smoke runs.
+    pub quick: bool,
+    /// Worker threads for sharded simulation runs.
+    pub threads: u32,
+    /// CSV output directory override (`--out-dir`).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ValidatorCli {
+    fn default() -> Self {
+        ValidatorCli {
+            seed: 0,
+            quick: false,
+            threads: 1,
+            out_dir: None,
+        }
+    }
+}
+
+/// What a parse produced: a run configuration, or a help request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// Run the validator with these options.
+    Run(ValidatorCli),
+    /// `--help`/`-h` was given; print usage and exit 0.
+    Help,
+}
+
+/// Parses a validator command line (testable core of
+/// [`ValidatorCli::from_env`]).  Accepts both `--flag value` and
+/// `--flag=value` spellings; unknown arguments are errors.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> {
+    let mut cli = ValidatorCli::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        let value = |args: &mut I::IntoIter| -> Result<String, String> {
+            match inline.clone() {
+                Some(v) => Ok(v),
+                None => args
+                    .next()
+                    .ok_or_else(|| format!("{flag} requires a value, e.g. {flag} 42")),
+            }
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Ok(Parsed::Help),
+            "--quick" => {
+                if inline.is_some() {
+                    return Err("--quick takes no value".to_string());
+                }
+                cli.quick = true;
+            }
+            "--seed" => {
+                let v = value(&mut args)?;
+                cli.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed expects an unsigned integer, got {v:?}"))?;
+            }
+            "--threads" => {
+                let v = value(&mut args)?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads expects a positive integer, got 0".to_string());
+                }
+                cli.threads = n;
+            }
+            "--out-dir" => {
+                cli.out_dir = Some(PathBuf::from(value(&mut args)?));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Parsed::Run(cli))
+}
+
+/// Renders the uniform help text for a validator binary.
+pub fn help_text(bin: &str, about: &str) -> String {
+    format!(
+        "{bin}: {about}\n\
+         \n\
+         usage: {bin} [--seed N] [--quick] [--threads N] [--out-dir PATH]\n\
+         \n\
+         options:\n\
+         \x20 --seed N        base RNG seed mixed into every simulation (default 0)\n\
+         \x20 --quick         shrink sweeps / shorten runs for smoke testing\n\
+         \x20 --threads N     worker threads for sharded simulation runs (default 1)\n\
+         \x20 --out-dir PATH  directory for CSV artifacts (default: target/experiments)\n\
+         \x20 -h, --help      print this help\n\
+         \n\
+         exit codes: 0 = all checks passed, 1 = a checked bound was violated,\n\
+         2 = bad usage"
+    )
+}
+
+impl ValidatorCli {
+    /// Parses the process command line, handling `--help` (exit 0) and
+    /// usage errors (exit 2).  A `--out-dir` override is installed into
+    /// [`crate::output_dir`] before returning.
+    pub fn from_env(bin: &str, about: &str) -> ValidatorCli {
+        match parse(std::env::args().skip(1)) {
+            Ok(Parsed::Run(cli)) => {
+                if let Some(dir) = &cli.out_dir {
+                    crate::set_output_dir(dir.clone());
+                }
+                cli
+            }
+            Ok(Parsed::Help) => {
+                println!("{}", help_text(bin, about));
+                std::process::exit(EXIT_OK);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", help_text(bin, about));
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
+}
+
+/// Standard epilogue for a validator: prints the verdict and exits with
+/// [`EXIT_OK`] or [`EXIT_VALIDATION_FAILED`].
+pub fn finish(bin: &str, seed: u64, violations: &[String]) -> ! {
+    if violations.is_empty() {
+        println!("{bin}: all checks passed (seed {seed})");
+        std::process::exit(EXIT_OK);
+    }
+    eprintln!(
+        "{bin}: {} violated check(s) (seed {seed}):",
+        violations.len()
+    );
+    for v in violations {
+        eprintln!("  - {v}");
+    }
+    std::process::exit(EXIT_VALIDATION_FAILED);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<Parsed, String> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        assert_eq!(run(&[]), Ok(Parsed::Run(ValidatorCli::default())));
+    }
+
+    #[test]
+    fn parses_every_flag_in_both_spellings() {
+        let expect = ValidatorCli {
+            seed: 17,
+            quick: true,
+            threads: 4,
+            out_dir: Some(PathBuf::from("/tmp/exp")),
+        };
+        assert_eq!(
+            run(&[
+                "--seed",
+                "17",
+                "--quick",
+                "--threads",
+                "4",
+                "--out-dir",
+                "/tmp/exp"
+            ]),
+            Ok(Parsed::Run(expect.clone()))
+        );
+        assert_eq!(
+            run(&["--seed=17", "--quick", "--threads=4", "--out-dir=/tmp/exp"]),
+            Ok(Parsed::Run(expect))
+        );
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(run(&["--help"]), Ok(Parsed::Help));
+        assert_eq!(run(&["-h"]), Ok(Parsed::Help));
+        assert_eq!(run(&["--seed", "3", "--help"]), Ok(Parsed::Help));
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(run(&["--seed"]).is_err());
+        assert!(run(&["--seed", "banana"]).is_err());
+        assert!(run(&["--threads", "0"]).is_err());
+        assert!(run(&["--quick=yes"]).is_err());
+        assert!(run(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_text_names_every_flag() {
+        let text = help_text("validate_demo", "checks a demo bound");
+        for needle in [
+            "--seed",
+            "--quick",
+            "--threads",
+            "--out-dir",
+            "--help",
+            "exit codes",
+        ] {
+            assert!(text.contains(needle), "help text lacks {needle}");
+        }
+    }
+}

@@ -20,13 +20,20 @@
 //! | `validate_sharding` | per-server load invariance and per-key popularity of the sharded KV store |
 //! | `validate_diffusion` | Section 1.1 write-diffusion: stale-read-rate cut on hot keys, per-key convergence |
 //! | `validate_adaptive_diffusion` | digest/delta gossip: ≥60% push-volume cut vs full-push at equal-or-better hot-key staleness and coverage speed |
+//! | `validate_parallel` | sharded multi-core engine: bit-identical reports across shard/thread counts, plus throughput |
 //!
 //! All binaries print an aligned text table to stdout and write the same
-//! rows as CSV under `target/experiments/`.
+//! rows as CSV under `target/experiments/`.  Every `validate_*` binary
+//! speaks the shared command line of the [`cli`] module (`--seed`,
+//! `--quick`, `--threads`, `--out-dir`) with uniform help text and exit
+//! codes.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::OnceLock;
+
+pub mod cli;
 
 /// The universe sizes used throughout Section 6 (perfect squares so the grid
 /// constructions apply).
@@ -148,12 +155,26 @@ impl ExperimentTable {
     }
 }
 
-/// Directory experiment CSVs (and the bench JSON) are written to:
-/// `$PQS_EXPERIMENTS_DIR` if set (CI uses this to pin the artifact path
-/// regardless of the process working directory — cargo runs benches from
-/// the package directory, not the workspace root), otherwise
+static OUTPUT_DIR_OVERRIDE: OnceLock<PathBuf> = OnceLock::new();
+
+/// Installs a process-wide override for [`output_dir`].  Used by the
+/// shared validator CLI's `--out-dir` flag; the first call wins and later
+/// calls are ignored (the flag is parsed once, before any table is
+/// emitted).
+pub fn set_output_dir(dir: PathBuf) {
+    let _ = OUTPUT_DIR_OVERRIDE.set(dir);
+}
+
+/// Directory experiment CSVs (and the bench JSON) are written to: the
+/// [`set_output_dir`] override if installed (the validators' `--out-dir`
+/// flag), else `$PQS_EXPERIMENTS_DIR` if set (CI uses this to pin the
+/// artifact path regardless of the process working directory — cargo runs
+/// benches from the package directory, not the workspace root), otherwise
 /// `$CARGO_TARGET_DIR/experiments`, otherwise `target/experiments`.
 pub fn output_dir() -> PathBuf {
+    if let Some(dir) = OUTPUT_DIR_OVERRIDE.get() {
+        return dir.clone();
+    }
     if let Ok(dir) = std::env::var("PQS_EXPERIMENTS_DIR") {
         return PathBuf::from(dir);
     }
@@ -162,10 +183,12 @@ pub fn output_dir() -> PathBuf {
 }
 
 /// Parses a `--seed N` (or `--seed=N`) argument from the process command
-/// line, defaulting to 0.  The `validate_*` binaries mix this into every
-/// RNG seed they use, so the CI smoke job (and a suspicious reader) can
-/// re-run the validations under fresh randomness: the paper's bounds must
-/// hold for *every* seed, not one lucky draw.
+/// line, defaulting to 0 and ignoring unknown arguments.  The `validate_*`
+/// binaries use the strict shared parser in [`cli`] instead; this lenient
+/// helper remains for ad-hoc tools and scripts that only care about the
+/// seed.  The seed is mixed into every RNG seed, so the CI smoke job (and
+/// a suspicious reader) can re-run experiments under fresh randomness:
+/// the paper's bounds must hold for *every* seed, not one lucky draw.
 ///
 /// # Panics
 ///

@@ -28,7 +28,11 @@ use rand::RngCore;
 /// draws quorums according to the system's designated strategy `w`; all the
 /// probabilistic guarantees (and the measured load) are relative to that
 /// strategy.
-pub trait QuorumSystem {
+///
+/// The trait requires `Send + Sync`: a system description is immutable data
+/// shared read-only by every shard of the parallel simulation engine, so all
+/// constructions must be safe to reference from multiple worker threads.
+pub trait QuorumSystem: Send + Sync {
     /// The universe of servers the system is defined over.
     fn universe(&self) -> Universe;
 

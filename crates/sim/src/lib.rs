@@ -34,7 +34,11 @@
 //!   timeout-and-resample retry with optional exponential backoff, and
 //!   engine-scheduled write diffusion ([`runner::DiffusionPolicy`]) in
 //!   either full-push or digest/delta gossip mode with per-key
-//!   advertisement policies ([`runner::KeyGossipPolicy`]).
+//!   advertisement policies ([`runner::KeyGossipPolicy`]).  With
+//!   [`runner::SimConfig::num_shards`] ≥ 2 the run executes on the
+//!   multi-core sharded engine (per-variable event queues drained on
+//!   worker threads between deterministic spine barriers) with a
+//!   bit-identical report for any shard count ≥ 2 and any thread count.
 //!
 //! ## Example
 //!
@@ -44,18 +48,17 @@
 //! use pqs_sim::runner::{ProtocolKind, SimConfig, Simulation};
 //!
 //! let system = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
-//! let config = SimConfig {
-//!     duration: 100.0,
-//!     arrival_rate: 5.0,
-//!     read_fraction: 0.9,
-//!     latency: LatencyModel::Uniform { min: 1e-3, max: 5e-3 },
-//!     crash_probability: 0.1,
+//! let config = SimConfig::builder()
+//!     .with_duration(100.0)
+//!     .with_arrival_rate(5.0)
+//!     .with_read_fraction(0.9)
+//!     .with_latency(LatencyModel::Uniform { min: 1e-3, max: 5e-3 })
+//!     .with_crash_probability(0.1)
 //!     // Probe two spare servers per operation and finish on the first
 //!     // q replies: lower tail latency, crash masking.
-//!     probe_margin: 2,
-//!     seed: 42,
-//!     ..SimConfig::default()
-//! };
+//!     .with_probe_margin(2)
+//!     .with_seed(42)
+//!     .build();
 //! let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
 //! assert!(report.completed_reads + report.completed_writes > 0);
 //! assert!(report.stale_read_rate() <= 0.05);
@@ -69,6 +72,8 @@ pub mod event;
 pub mod failure;
 pub mod latency;
 pub mod metrics;
+pub(crate) mod parallel;
 pub mod runner;
+pub(crate) mod shard;
 pub mod time;
 pub mod workload;

@@ -347,6 +347,161 @@ impl SimReport {
     }
 }
 
+/// One completed operation, as logged by a shard of the parallel engine.
+///
+/// Latency aggregates ([`SimReport::latency`], the read/write percentile
+/// collections) are order-sensitive — floating-point accumulation and the
+/// `PartialEq` on raw sample vectors both depend on insertion order — so
+/// shards log completions individually and the merge replays them in the
+/// canonical `(time, op)` order, which no shard or thread count can
+/// perturb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CompletionRecord {
+    /// Completion time of the operation.
+    pub(crate) time: SimTime,
+    /// The operation's global workload index (the canonical tie-breaker).
+    pub(crate) op: u64,
+    /// Whether the operation was a read (routes the percentile sample).
+    pub(crate) read: bool,
+    /// The operation's latency in simulated seconds.
+    pub(crate) latency: f64,
+}
+
+/// One in-flight gauge transition (an operation entering or leaving the
+/// system), logged per shard and replayed canonically by the merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FlightTransition {
+    /// When the transition happened.
+    pub(crate) time: SimTime,
+    /// The operation's global workload index.
+    pub(crate) op: u64,
+    /// `true` when the operation entered the system, `false` when it left.
+    pub(crate) start: bool,
+}
+
+/// Everything one shard of the parallel engine accumulates: its partial
+/// report (order-free counters plus the per-variable rows it owns), the
+/// raw completion/flight logs for canonical replay, and the count of
+/// logical events it processed.
+#[derive(Debug, Default)]
+pub(crate) struct ShardAccumulator {
+    /// Counters and the owned per-variable rows.  Order-sensitive
+    /// aggregates (latency stats, the in-flight gauge) are left at their
+    /// defaults here and reconstructed by [`merge_shard_reports`].
+    pub(crate) report: SimReport,
+    /// Completion log for canonical latency replay.
+    pub(crate) completions: Vec<CompletionRecord>,
+    /// In-flight transition log for the canonical gauge walk.
+    pub(crate) transitions: Vec<FlightTransition>,
+    /// Logical events this shard processed (arrivals, probe replies,
+    /// timeouts, retries, gossip pushes — the event classes whose count is
+    /// shard-count-independent; spine-level events are counted by the
+    /// spine).
+    pub(crate) logical_events: u64,
+}
+
+/// Merges per-shard accumulators into one [`SimReport`], bit-identically
+/// for any shard count ≥ 2 and any thread count:
+///
+/// * `u64` counters, per-server access counts and logical event counts sum
+///   (addition is order-free);
+/// * per-variable rows are taken verbatim from their owning shard
+///   (`variable % num_shards` — ownership is total and disjoint);
+/// * latency aggregates are replayed from the union of completion logs in
+///   `(time, op)` order, so the floating-point accumulation order is
+///   canonical;
+/// * the in-flight gauge is rebuilt by an area walk over the union of
+///   flight transitions in `(time, op, start-before-end)` order, matching
+///   the sequential engine's time-weighted semantics.
+///
+/// Spine-level quantities (gossip rounds/digests, coverage accounting,
+/// spine event counts) are not known here; the caller adds them onto the
+/// merged report afterwards.
+pub(crate) fn merge_shard_reports(shards: Vec<ShardAccumulator>) -> SimReport {
+    let num_shards = shards.len();
+    let mut merged = SimReport::default();
+    for acc in &shards {
+        let r = &acc.report;
+        merged.completed_reads += r.completed_reads;
+        merged.completed_writes += r.completed_writes;
+        merged.stale_reads += r.stale_reads;
+        merged.empty_reads += r.empty_reads;
+        merged.unavailable_ops += r.unavailable_ops;
+        merged.concurrent_reads += r.concurrent_reads;
+        merged.retries += r.retries;
+        merged.timed_out_attempts += r.timed_out_attempts;
+        merged.gossip_pushes += r.gossip_pushes;
+        merged.gossip_stores += r.gossip_stores;
+        merged.gossip_redundant_pushes_avoided += r.gossip_redundant_pushes_avoided;
+        merged.events_processed += acc.logical_events;
+        merged.total_operations += r.total_operations;
+        if merged.per_server_accesses.is_empty() {
+            merged.per_server_accesses = vec![0; r.per_server_accesses.len()];
+        }
+        for (m, s) in merged
+            .per_server_accesses
+            .iter_mut()
+            .zip(&r.per_server_accesses)
+        {
+            *m += s;
+        }
+    }
+    let nvars = shards
+        .first()
+        .map(|a| a.report.per_variable.len())
+        .unwrap_or(0);
+    merged.per_variable = (0..nvars)
+        .map(|v| shards[v % num_shards].report.per_variable[v].clone())
+        .collect();
+
+    let mut completions: Vec<CompletionRecord> = Vec::new();
+    let mut transitions: Vec<FlightTransition> = Vec::new();
+    for mut acc in shards {
+        completions.append(&mut acc.completions);
+        transitions.append(&mut acc.transitions);
+    }
+    completions.sort_unstable_by(|a, b| a.time.total_cmp(&b.time).then(a.op.cmp(&b.op)));
+    for c in &completions {
+        merged.latency.record(c.latency);
+        if c.read {
+            merged.read_latency.record(c.latency);
+        } else {
+            merged.write_latency.record(c.latency);
+        }
+    }
+    // Entering transitions sort before leaving ones at equal (time, op):
+    // an operation that completes with zero latency still registers.
+    transitions.sort_unstable_by(|a, b| {
+        a.time
+            .total_cmp(&b.time)
+            .then(a.op.cmp(&b.op))
+            .then(b.start.cmp(&a.start))
+    });
+    let mut in_flight: u64 = 0;
+    let mut area = 0.0;
+    let mut prev = 0.0;
+    let mut busy_until = 0.0;
+    for tr in &transitions {
+        if tr.time > prev {
+            area += in_flight as f64 * (tr.time - prev);
+            prev = tr.time;
+        }
+        if tr.start {
+            in_flight += 1;
+            merged.max_in_flight = merged.max_in_flight.max(in_flight);
+        } else {
+            in_flight = in_flight.saturating_sub(1);
+        }
+        busy_until = tr.time;
+    }
+    merged.mean_in_flight = if busy_until <= 0.0 {
+        0.0
+    } else {
+        area / busy_until
+    };
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +625,93 @@ mod tests {
         };
         assert!((v.stale_read_rate() - 0.1).abs() < 1e-12);
         assert_eq!(VariableReport::default().stale_read_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_replays_completions_canonically_and_sums_counters() {
+        // Two shards log the same global history split two ways; the merge
+        // must be identical either way and independent of per-shard order.
+        let make = |rows: &[(f64, u64, bool, f64)], reads: u64, accesses: Vec<u64>| {
+            let mut acc = ShardAccumulator {
+                logical_events: 10,
+                ..ShardAccumulator::default()
+            };
+            acc.report.completed_reads = reads;
+            acc.report.per_server_accesses = accesses;
+            acc.report.per_variable = vec![VariableReport::default(); 2];
+            for &(time, op, read, latency) in rows {
+                acc.completions.push(CompletionRecord {
+                    time,
+                    op,
+                    read,
+                    latency,
+                });
+            }
+            acc
+        };
+        let a = merge_shard_reports(vec![
+            make(&[(1.0, 0, true, 0.5), (3.0, 2, true, 0.1)], 2, vec![1, 0]),
+            make(&[(2.0, 1, false, 0.2)], 0, vec![0, 2]),
+        ]);
+        let b = merge_shard_reports(vec![
+            make(&[(2.0, 1, false, 0.2)], 0, vec![0, 2]),
+            make(&[(1.0, 0, true, 0.5), (3.0, 2, true, 0.1)], 2, vec![1, 0]),
+        ]);
+        assert_eq!(a.completed_reads, 2);
+        assert_eq!(a.events_processed, 20);
+        assert_eq!(a.per_server_accesses, vec![1, 2]);
+        assert_eq!(a.read_latency.count(), 2);
+        assert_eq!(a.write_latency.count(), 1);
+        assert!((a.mean_latency() - (0.5 + 0.2 + 0.1) / 3.0).abs() < 1e-15);
+        // Canonical replay: identical regardless of which shard held what.
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.read_latency, b.read_latency);
+    }
+
+    #[test]
+    fn merge_walks_the_in_flight_gauge_like_the_sequential_engine() {
+        // Ops: #0 in flight over [1, 4), #1 over [2, 4): area 5 over busy
+        // time 4, exactly the sequential EventEngine's gauge on the same
+        // history.
+        let mut a = ShardAccumulator::default();
+        let mut b = ShardAccumulator::default();
+        for (acc, op, start, end) in [(&mut a, 0u64, 1.0, 4.0), (&mut b, 1, 2.0, 4.0)] {
+            acc.transitions.push(FlightTransition {
+                time: start,
+                op,
+                start: true,
+            });
+            acc.transitions.push(FlightTransition {
+                time: end,
+                op,
+                start: false,
+            });
+        }
+        let merged = merge_shard_reports(vec![a, b]);
+        assert_eq!(merged.max_in_flight, 2);
+        assert!((merged.mean_in_flight - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_takes_per_variable_rows_from_their_owning_shard() {
+        let mut shard0 = ShardAccumulator::default();
+        let mut shard1 = ShardAccumulator::default();
+        for acc in [&mut shard0, &mut shard1] {
+            acc.report.per_variable = (0..4)
+                .map(|v| VariableReport {
+                    variable: v,
+                    ..VariableReport::default()
+                })
+                .collect();
+        }
+        // Shard 0 owns even keys, shard 1 odd keys.
+        shard0.report.per_variable[2].completed_reads = 7;
+        shard1.report.per_variable[3].completed_writes = 5;
+        let merged = merge_shard_reports(vec![shard0, shard1]);
+        assert_eq!(merged.per_variable.len(), 4);
+        assert_eq!(merged.per_variable[2].completed_reads, 7);
+        assert_eq!(merged.per_variable[3].completed_writes, 5);
+        assert_eq!(merged.per_variable[0].completed_reads, 0);
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! The sharded engine's spine: deterministic barriers, gossip planning and
+//! crash waves over per-shard worlds.
+//!
+//! [`run_sharded`] executes a [`Simulation`] with
+//! [`SimConfig::num_shards`](crate::runner::SimConfig::num_shards) ≥ 2:
+//!
+//! 1. The workload trace and failure plan are derived on the main RNG
+//!    stream exactly as in the sequential engine, then each
+//!    [`ShardWorld`] seeds the arrivals of the variables it owns
+//!    (`variable % num_shards`) plus the full crash schedule.
+//! 2. With no diffusion configured there is no cross-shard traffic at all:
+//!    every shard drains to completion independently (on up to
+//!    [`SimConfig::threads`](crate::runner::SimConfig::threads) worker
+//!    threads) and the accumulators merge.
+//! 3. With diffusion, the gossip round times are the spine's **barriers**:
+//!    all shards drain strictly past each barrier, the spine synchronises
+//!    a planning cluster from the shards' authoritative per-key records
+//!    (store-if-fresher is monotone, so the sync is exact and
+//!    order-insensitive), applies due crash transitions, plans the round
+//!    on the dedicated gossip RNG stream — drawing *all* message latencies
+//!    eagerly, so the stream never depends on shard outcomes — and routes
+//!    each message to its variable's owning shard.
+//!
+//! Everything the spine computes is a function of per-variable outcomes
+//! and the seed, never of shard layout or thread interleaving — which is
+//! what makes the merged report bit-identical across all shard counts ≥ 2
+//! and all thread counts.
+
+use crate::failure::FailurePlan;
+use crate::metrics::{merge_shard_reports, SimReport};
+use crate::runner::{
+    digest_selector, ConvergenceTracker, GossipMode, ProtocolKind, Simulation, COVERAGE_TARGET,
+};
+use crate::shard::ShardWorld;
+use crate::time::SimTime;
+use crate::workload::WorkloadConfig;
+use pqs_core::system::QuorumSystem;
+use pqs_core::universe::ServerId;
+use pqs_protocols::cluster::Cluster;
+use pqs_protocols::diffusion;
+use pqs_protocols::server::{Behavior, VariableId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+/// Runs the simulation on the sharded engine.  Called from
+/// [`Simulation::run`] when `num_shards ≥ 2`.
+pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> SimReport {
+    let config = sim.config;
+    let num_shards = config.num_shards as u64;
+    debug_assert!(num_shards >= 2);
+
+    // Trace derivation — the exact main-RNG draw order of the sequential
+    // engine, so the workload and failure plan are engine-independent.
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let plan = match &sim.plan {
+        Some(plan) => plan.clone(),
+        None => {
+            let mut plan = FailurePlan::none();
+            if config.byzantine > 0 {
+                plan =
+                    plan.with_random_byzantine(sim.system.universe(), config.byzantine, &mut rng);
+            }
+            if config.crash_probability > 0.0 {
+                plan = plan.with_independent_crashes(
+                    sim.system.universe(),
+                    config.crash_probability,
+                    0.0,
+                    &mut rng,
+                );
+            }
+            plan
+        }
+    };
+    let byz_behavior = match sim.kind {
+        ProtocolKind::Dissemination => Behavior::ByzantineStale,
+        _ => Behavior::ByzantineForge,
+    };
+    let ops = WorkloadConfig {
+        duration: config.duration,
+        arrival_rate: config.arrival_rate,
+        read_fraction: config.read_fraction,
+        keyspace: config.keyspace,
+    }
+    .generate(&mut rng);
+
+    let mut worlds: Vec<ShardWorld<'_, S>> = (0..num_shards)
+        .map(|shard| ShardWorld::new(sim, &ops, &plan, byz_behavior, shard))
+        .collect();
+    let threads = (config.threads as usize).min(worlds.len()).max(1);
+
+    let nvars = config.keyspace.keys as usize;
+    let mut coverage_rounds_sum = vec![0u64; nvars];
+    let mut coverage_events = vec![0u64; nvars];
+    let mut rounds: u64 = 0;
+    let mut digests_planned: u64 = 0;
+
+    if let Some(policy) = config.diffusion {
+        assert!(
+            policy.period > 0.0 && policy.period.is_finite(),
+            "diffusion period must be positive and finite"
+        );
+        assert!(policy.fanout >= 1, "diffusion fanout must be at least 1");
+
+        // The spine's planning cluster: behaviour timeline plus the union
+        // of every shard's per-key records, synchronised at each barrier.
+        let mut spine = Cluster::new(sim.system.universe());
+        spine.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
+        let mut gossip_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let gossip_signed = matches!(sim.kind, ProtocolKind::Dissemination);
+        let mut trackers: Vec<ConvergenceTracker> = vec![ConvergenceTracker::default(); nvars];
+        let mut crash_cursor = 0usize;
+        let mut next_gossip_id: u64 = 0;
+
+        // Round `r` fires at `r · period`, accumulated with the sequential
+        // engine's own floating-point arithmetic; rounds stop with the
+        // foreground arrivals.
+        let mut round: u64 = 1;
+        let mut t = policy.period;
+        loop {
+            drain_all(&mut worlds, Some(t), threads);
+
+            // Crash transitions due by now flip the spine's behaviours —
+            // in the sequential engine the upfront-seeded transitions pop
+            // before the round event at equal times.
+            while crash_cursor < plan.crashes.len() && plan.crashes[crash_cursor].at <= t {
+                let c = &plan.crashes[crash_cursor];
+                let behavior = if c.crash {
+                    Behavior::Crashed
+                } else {
+                    Behavior::Correct
+                };
+                spine.set_behavior(c.server, behavior);
+                crash_cursor += 1;
+            }
+            sync_spine(&mut spine, &worlds, gossip_signed);
+
+            rounds += 1;
+            let (coverage, correct_servers) = match policy.mode {
+                GossipMode::PushAll => {
+                    let round_plan = diffusion::plan_cluster_round(
+                        &spine,
+                        policy.fanout as usize,
+                        gossip_signed,
+                        &mut gossip_rng,
+                    );
+                    for push in round_plan.pushes {
+                        let rtt = policy.push_latency.sample(&mut gossip_rng);
+                        let dest = (push.variable % num_shards) as usize;
+                        worlds[dest].inject_push(t + rtt, next_gossip_id, push);
+                        next_gossip_id += 1;
+                    }
+                    (round_plan.coverage, round_plan.correct_servers)
+                }
+                GossipMode::DigestDelta => {
+                    let (write_counts, last_write_at) = gather_write_state(&worlds, nvars);
+                    let selector =
+                        digest_selector(policy.key_policy, round, t, &write_counts, &last_write_at);
+                    let round_plan = diffusion::plan_digest(
+                        &spine,
+                        policy.fanout as usize,
+                        gossip_signed,
+                        &selector,
+                        &mut gossip_rng,
+                    );
+                    for digest in round_plan.digests {
+                        // Both legs' latencies are drawn eagerly at
+                        // planning time: the gossip stream must never
+                        // depend on whether a shard's delta turns out
+                        // non-empty.
+                        let digest_rtt = policy.push_latency.sample(&mut gossip_rng);
+                        let delta_rtt = policy.push_latency.sample(&mut gossip_rng);
+                        digests_planned += 1;
+                        let id = next_gossip_id;
+                        next_gossip_id += 1;
+                        for (s, world) in worlds.iter_mut().enumerate() {
+                            let entries: Vec<(VariableId, _)> = digest
+                                .entries
+                                .iter()
+                                .copied()
+                                .filter(|&(v, _)| v % num_shards == s as u64)
+                                .collect();
+                            // An incomplete digest with no entries for this
+                            // shard can neither transfer nor avoid
+                            // anything; a *complete* one still lets the
+                            // receiver volunteer records the sender never
+                            // advertised, so it visits every shard.
+                            if entries.is_empty() && !digest.complete {
+                                continue;
+                            }
+                            let sub = diffusion::GossipDigest {
+                                from: digest.from,
+                                to: digest.to,
+                                signed: digest.signed,
+                                complete: digest.complete,
+                                entries,
+                            };
+                            world.inject_digest(t + digest_rtt, id, sub, delta_rtt);
+                        }
+                    }
+                    (round_plan.coverage, round_plan.correct_servers)
+                }
+            };
+
+            // Rounds-to-coverage accounting, identical to the sequential
+            // engine's (the snapshot comes from the same planner).
+            let target = ((correct_servers as f64 * COVERAGE_TARGET).ceil() as u32).max(1);
+            for cov in &coverage {
+                let tracker = &mut trackers[cov.variable as usize];
+                if cov.freshest > tracker.freshest {
+                    tracker.freshest = cov.freshest;
+                    tracker.birth_round = round;
+                    tracker.covered = false;
+                }
+                if !tracker.covered && cov.freshest == tracker.freshest && cov.holders >= target {
+                    tracker.covered = true;
+                    coverage_rounds_sum[cov.variable as usize] += round - tracker.birth_round;
+                    coverage_events[cov.variable as usize] += 1;
+                }
+            }
+
+            if t + policy.period <= config.duration {
+                round += 1;
+                t += policy.period;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // No more cross-shard traffic will ever be injected: drain everything.
+    drain_all(&mut worlds, None, threads);
+
+    // One delta *event* per digest id that produced any records, matching
+    // the sequential engine's one-delta-per-digest message count.
+    let mut delta_ids: BTreeSet<u64> = BTreeSet::new();
+    for world in &worlds {
+        delta_ids.extend(world.deltas_sent.iter().copied());
+    }
+
+    let mut report = merge_shard_reports(
+        worlds
+            .into_iter()
+            .map(ShardWorld::into_accumulator)
+            .collect(),
+    );
+    report.gossip_rounds = rounds;
+    report.gossip_digests = digests_planned;
+    // Spine-level events: crash transitions (replayed per shard but one
+    // event each), rounds, digest deliveries and delta deliveries.
+    report.events_processed +=
+        plan.crashes.len() as u64 + rounds + digests_planned + delta_ids.len() as u64;
+    for v in 0..nvars {
+        report.per_variable[v].coverage_rounds_sum = coverage_rounds_sum[v];
+        report.per_variable[v].coverage_events = coverage_events[v];
+    }
+    report
+}
+
+/// Drains every shard up to `barrier` — inline on this thread, or on up to
+/// `threads` scoped worker threads.  Purely an execution choice: shards
+/// share nothing while draining, so the interleaving cannot matter.
+fn drain_all<S: QuorumSystem + ?Sized>(
+    worlds: &mut [ShardWorld<'_, S>],
+    barrier: Option<SimTime>,
+    threads: usize,
+) {
+    if threads <= 1 || worlds.len() <= 1 {
+        for world in worlds {
+            world.drain_until(barrier);
+        }
+        return;
+    }
+    let chunk = worlds.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for chunk_worlds in worlds.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for world in chunk_worlds {
+                    world.drain_until(barrier);
+                }
+            });
+        }
+    });
+}
+
+/// Copies every shard's per-key records into the spine's planning cluster.
+/// Stores are monotone (strictly-fresher-wins), so re-syncing unchanged
+/// records is a no-op and the visit order is irrelevant; access counters
+/// are untouched, keeping the load accounting shard-side only.
+fn sync_spine<S: QuorumSystem + ?Sized>(
+    spine: &mut Cluster,
+    worlds: &[ShardWorld<'_, S>],
+    signed: bool,
+) {
+    for world in worlds {
+        let n = world.cluster.len() as u32;
+        for i in 0..n {
+            let id = ServerId::new(i);
+            let src = world.cluster.server(id);
+            if signed {
+                let vars: Vec<VariableId> = src.signed_variables().collect();
+                for var in vars {
+                    spine
+                        .server_mut(id)
+                        .store_signed_if_fresher(var, src.stored_signed(var));
+                }
+            } else {
+                let vars: Vec<VariableId> = src.plain_variables().collect();
+                for var in vars {
+                    spine
+                        .server_mut(id)
+                        .store_plain_if_fresher(var, src.stored_plain(var));
+                }
+            }
+        }
+    }
+}
+
+/// Gathers the authoritative per-variable write counters and latest write
+/// times from each variable's owning shard, for the digest key policies.
+fn gather_write_state<S: QuorumSystem + ?Sized>(
+    worlds: &[ShardWorld<'_, S>],
+    nvars: usize,
+) -> (Vec<u64>, Vec<SimTime>) {
+    let n = worlds.len();
+    let mut counts = vec![0u64; nvars];
+    let mut last = vec![f64::NEG_INFINITY; nvars];
+    for (v, (count, at)) in counts.iter_mut().zip(last.iter_mut()).enumerate() {
+        let world = &worlds[v % n];
+        *count = world.sequences[v];
+        *at = world.last_write_at[v];
+    }
+    (counts, last)
+}

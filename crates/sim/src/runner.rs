@@ -65,6 +65,22 @@
 //! makes the with/without comparison of [`VariableReport`] stale-read
 //! rates meaningful.  `diffusion: None` (the default) schedules no gossip event
 //! at all and is bit-identical to the pre-diffusion engine.
+//!
+//! ## The parallel engine
+//!
+//! With [`SimConfig::num_shards`] ≥ 2 the run executes on the sharded
+//! engine instead of this module's sequential loop: per-variable events
+//! (arrivals, probe replies, timeouts, retries — all single-key since the
+//! key-space refactor) are partitioned into per-shard event queues keyed by
+//! `variable % num_shards`, each shard drains independently (optionally on
+//! [`SimConfig::threads`] worker threads), and cross-shard traffic — gossip
+//! planning and crash waves — runs on a sequenced spine at deterministic
+//! time-window barriers.  Every variable carries its own RNG stream derived
+//! from the seed, so a sharded run is bit-identical across *all* shard
+//! counts ≥ 2 and *all* thread counts.  `num_shards = 1` (the default) runs
+//! the sequential engine below unchanged and stays bit-identical to the
+//! pre-sharding engine.  See `docs/ARCHITECTURE.md` for the shard map and
+//! barrier protocol.
 
 use crate::event::{Event, EventEngine, OpId};
 use crate::failure::FailurePlan;
@@ -89,7 +105,7 @@ use std::collections::{BTreeSet, HashMap};
 
 /// Fraction of correct servers a fresh record must reach for the per-key
 /// rounds-to-coverage accounting to call it converged.
-const COVERAGE_TARGET: f64 = 0.9;
+pub(crate) const COVERAGE_TARGET: f64 = 0.9;
 
 /// What each gossip round puts on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -244,7 +260,7 @@ impl DiffusionPolicy {
 /// key set the digests carry, from foreground-observable state only (write
 /// counts and last-write times) — the selection itself never draws
 /// randomness, so every policy replays the identical foreground trajectory.
-fn digest_selector(
+pub(crate) fn digest_selector(
     policy: KeyGossipPolicy,
     round: u64,
     now: SimTime,
@@ -293,10 +309,10 @@ fn digest_selector(
 /// Per-variable state of the rounds-to-coverage accounting: which record
 /// generation is being tracked and when (at which round) it was first seen.
 #[derive(Debug, Clone, Copy)]
-struct ConvergenceTracker {
-    freshest: Timestamp,
-    birth_round: u64,
-    covered: bool,
+pub(crate) struct ConvergenceTracker {
+    pub(crate) freshest: Timestamp,
+    pub(crate) birth_round: u64,
+    pub(crate) covered: bool,
 }
 
 impl Default for ConvergenceTracker {
@@ -371,12 +387,25 @@ pub struct SimConfig {
     pub diffusion: Option<DiffusionPolicy>,
     /// RNG seed; the run is fully deterministic given the seed.
     pub seed: u64,
+    /// Number of engine shards (≥ 1).  `1` — the default — runs the
+    /// sequential engine, bit-identical to the pre-sharding releases.
+    /// With ≥ 2, per-variable events are partitioned by
+    /// `variable % num_shards` and cross-shard traffic rides the sequenced
+    /// spine (see the [module docs](self)); the report is then
+    /// bit-identical for a given seed across all shard counts ≥ 2 and all
+    /// thread counts, but belongs to a *different* deterministic family
+    /// than the sequential engine (per-variable RNG streams).
+    pub num_shards: u32,
+    /// Worker threads draining shard queues between spine barriers (≥ 1).
+    /// Purely an execution knob: the report never depends on it.  Ignored
+    /// by the sequential engine (`num_shards = 1`).
+    pub threads: u32,
 }
 
 impl Default for SimConfig {
     /// 60 simulated seconds, 10 op/s, 90% reads, one key, 1 ms fixed
     /// latency, no failures, no probe margin, a 1-second timeout with one
-    /// immediate retry, no diffusion, seed 0.
+    /// immediate retry, no diffusion, seed 0, one shard on one thread.
     fn default() -> Self {
         SimConfig {
             duration: 60.0,
@@ -392,17 +421,206 @@ impl Default for SimConfig {
             retry_backoff: 0.0,
             diffusion: None,
             seed: 0,
+            num_shards: 1,
+            threads: 1,
         }
+    }
+}
+
+impl SimConfig {
+    /// Starts a fluent builder seeded with [`SimConfig::default`].
+    ///
+    /// This is the intended way to construct a configuration — the
+    /// `with_*` chain names exactly the knobs a run changes, and new
+    /// fields default sensibly instead of breaking call sites:
+    ///
+    /// ```rust
+    /// use pqs_sim::runner::SimConfig;
+    /// use pqs_sim::workload::KeySpace;
+    ///
+    /// let config = SimConfig::builder()
+    ///     .with_duration(30.0)
+    ///     .with_arrival_rate(200.0)
+    ///     .with_keyspace(KeySpace::zipf(64, 1.0))
+    ///     .with_seed(42)
+    ///     .build();
+    /// assert_eq!(config.duration, 30.0);
+    /// assert_eq!(config.num_shards, 1);
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`SimConfig`], following the [`DiffusionPolicy`]
+/// `with_*` idiom.  Obtained from [`SimConfig::builder`]; finished with
+/// [`build`](SimConfigBuilder::build), which validates the combination.
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Replaces the run length in simulated seconds (> 0, finite).
+    pub fn with_duration(mut self, duration: SimTime) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Replaces the mean operation arrival rate (operations/second, > 0).
+    pub fn with_arrival_rate(mut self, arrival_rate: f64) -> Self {
+        self.config.arrival_rate = arrival_rate;
+        self
+    }
+
+    /// Replaces the fraction of operations that are reads (within [0, 1]).
+    pub fn with_read_fraction(mut self, read_fraction: f64) -> Self {
+        self.config.read_fraction = read_fraction;
+        self
+    }
+
+    /// Replaces the key space operations shard over.
+    pub fn with_keyspace(mut self, keyspace: KeySpace) -> Self {
+        self.config.keyspace = keyspace;
+        self
+    }
+
+    /// Replaces the per-probe latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.config.latency = latency;
+        self
+    }
+
+    /// Replaces the independent time-0 crash probability (within [0, 1]).
+    pub fn with_crash_probability(mut self, crash_probability: f64) -> Self {
+        self.config.crash_probability = crash_probability;
+        self
+    }
+
+    /// Replaces the number of servers made Byzantine at time 0.
+    pub fn with_byzantine(mut self, byzantine: u32) -> Self {
+        self.config.byzantine = byzantine;
+        self
+    }
+
+    /// Replaces the probe margin (extra servers probed beyond the quorum).
+    pub fn with_probe_margin(mut self, probe_margin: u32) -> Self {
+        self.config.probe_margin = probe_margin;
+        self
+    }
+
+    /// Replaces the per-attempt timeout in simulated seconds (≥ 0, finite).
+    pub fn with_op_timeout(mut self, op_timeout: SimTime) -> Self {
+        self.config.op_timeout = op_timeout;
+        self
+    }
+
+    /// Replaces the zero-reply retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.config.max_retries = max_retries;
+        self
+    }
+
+    /// Replaces the exponential retry-backoff factor (≥ 0, finite).
+    pub fn with_retry_backoff(mut self, retry_backoff: f64) -> Self {
+        self.config.retry_backoff = retry_backoff;
+        self
+    }
+
+    /// Enables epidemic write-diffusion under the given policy.
+    pub fn with_diffusion(mut self, policy: DiffusionPolicy) -> Self {
+        self.config.diffusion = Some(policy);
+        self
+    }
+
+    /// Disables write-diffusion (the default).
+    pub fn without_diffusion(mut self) -> Self {
+        self.config.diffusion = None;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Replaces the engine shard count (≥ 1; see
+    /// [`SimConfig::num_shards`]).
+    pub fn with_num_shards(mut self, num_shards: u32) -> Self {
+        self.config.num_shards = num_shards;
+        self
+    }
+
+    /// Replaces the worker-thread count (≥ 1; see [`SimConfig::threads`]).
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates the configuration and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration or arrival rate is not positive and finite,
+    /// a probability (`read_fraction`, `crash_probability`) leaves [0, 1],
+    /// the timeout or backoff factor is negative or non-finite, the shard
+    /// or thread count is 0, or a configured diffusion policy has a
+    /// non-positive period or zero fanout.
+    pub fn build(self) -> SimConfig {
+        let c = &self.config;
+        assert!(
+            c.duration > 0.0 && c.duration.is_finite(),
+            "duration must be positive and finite, got {}",
+            c.duration
+        );
+        assert!(
+            c.arrival_rate > 0.0 && c.arrival_rate.is_finite(),
+            "arrival_rate must be positive and finite, got {}",
+            c.arrival_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&c.read_fraction),
+            "read_fraction must lie in [0, 1], got {}",
+            c.read_fraction
+        );
+        assert!(
+            (0.0..=1.0).contains(&c.crash_probability),
+            "crash_probability must lie in [0, 1], got {}",
+            c.crash_probability
+        );
+        assert!(
+            c.op_timeout >= 0.0 && c.op_timeout.is_finite(),
+            "op_timeout must be non-negative and finite, got {}",
+            c.op_timeout
+        );
+        assert!(
+            c.retry_backoff >= 0.0 && c.retry_backoff.is_finite(),
+            "retry_backoff must be non-negative and finite, got {}",
+            c.retry_backoff
+        );
+        assert!(c.num_shards >= 1, "num_shards must be at least 1");
+        assert!(c.threads >= 1, "threads must be at least 1");
+        if let Some(policy) = &c.diffusion {
+            assert!(
+                policy.period > 0.0 && policy.period.is_finite(),
+                "diffusion period must be positive and finite"
+            );
+            assert!(policy.fanout >= 1, "diffusion fanout must be at least 1");
+        }
+        self.config
     }
 }
 
 /// A configured simulation, ready to [`run`](Simulation::run).
 #[derive(Debug)]
 pub struct Simulation<'a, S: QuorumSystem + ?Sized> {
-    system: &'a S,
-    kind: ProtocolKind,
-    config: SimConfig,
-    plan: Option<FailurePlan>,
+    pub(crate) system: &'a S,
+    pub(crate) kind: ProtocolKind,
+    pub(crate) config: SimConfig,
+    pub(crate) plan: Option<FailurePlan>,
 }
 
 /// Record of a write operation used for staleness accounting.  `end` stays
@@ -423,7 +641,7 @@ struct WriteWindow {
 /// per-variable property (a write of key 3 cannot make a read of key 5
 /// stale).
 #[derive(Debug, Default)]
-struct WriteLog {
+pub(crate) struct WriteLog {
     windows: Vec<WriteWindow>,
     /// Windows before this index are archived: they ended at or before
     /// every start time a still-unfinished operation can have, so they can
@@ -435,7 +653,7 @@ struct WriteLog {
 
 impl WriteLog {
     /// Opens an in-flight window (end `+∞`); returns its handle.
-    fn open(&mut self, start: SimTime, sequence: u64) -> usize {
+    pub(crate) fn open(&mut self, start: SimTime, sequence: u64) -> usize {
         self.windows.push(WriteWindow {
             start,
             end: f64::INFINITY,
@@ -446,12 +664,12 @@ impl WriteLog {
     }
 
     /// Marks a write completed at `end`.
-    fn close(&mut self, handle: usize, end: SimTime) {
+    pub(crate) fn close(&mut self, handle: usize, end: SimTime) {
         self.windows[handle].end = end;
     }
 
     /// Marks a write failed (stored nowhere): excluded from accounting.
-    fn fail(&mut self, handle: usize, end: SimTime) {
+    pub(crate) fn fail(&mut self, handle: usize, end: SimTime) {
         self.windows[handle].end = end;
         self.windows[handle].failed = true;
     }
@@ -459,7 +677,7 @@ impl WriteLog {
     /// Archives every leading window that ended at or before `horizon`
     /// (the earliest start time any in-flight or future operation can
     /// have).  Amortised O(1) per write over the run.
-    fn advance(&mut self, horizon: SimTime) {
+    pub(crate) fn advance(&mut self, horizon: SimTime) {
         while let Some(w) = self.windows.get(self.frontier) {
             if w.end > horizon {
                 break;
@@ -476,14 +694,14 @@ impl WriteLog {
 
     /// Whether any (non-failed) write window overlaps the read interval
     /// `(start, end)` — archived windows cannot, by construction.
-    fn concurrent_with(&self, start: SimTime, end: SimTime) -> bool {
+    pub(crate) fn concurrent_with(&self, start: SimTime, end: SimTime) -> bool {
         self.windows[self.frontier..]
             .iter()
             .any(|w| !w.failed && w.start < end && w.end > start)
     }
 
     /// Sequence number of the freshest write completed before `start`.
-    fn latest_completed_before(&self, start: SimTime) -> Option<u64> {
+    pub(crate) fn latest_completed_before(&self, start: SimTime) -> Option<u64> {
         let recent = self.windows[self.frontier..]
             .iter()
             .filter(|w| !w.failed && w.end <= start)
@@ -500,27 +718,27 @@ impl WriteLog {
 /// The write record is plain or signed according to the protocol flavor
 /// ([`WriteRecord`]), so one variant covers all three protocols.
 #[derive(Debug)]
-enum OpSession {
+pub(crate) enum OpSession {
     Read(ReadSession),
     Write(WriteRecord, WriteSession),
 }
 
 /// Book-keeping for one client operation across its attempts.
 #[derive(Debug)]
-struct OpState {
-    kind: OpKind,
+pub(crate) struct OpState {
+    pub(crate) kind: OpKind,
     /// The key the operation targets.
-    variable: VariableId,
-    start: SimTime,
-    attempt: u32,
-    outstanding: usize,
-    done: bool,
-    session: Option<OpSession>,
+    pub(crate) variable: VariableId,
+    pub(crate) start: SimTime,
+    pub(crate) attempt: u32,
+    pub(crate) outstanding: usize,
+    pub(crate) done: bool,
+    pub(crate) session: Option<OpSession>,
     /// The value a write pushes: its variable's write sequence number,
     /// assigned at arrival (reads leave it 0).
-    sequence: u64,
+    pub(crate) sequence: u64,
     /// Handle into the variable's write log (writes only).
-    window: Option<usize>,
+    pub(crate) window: Option<usize>,
 }
 
 impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
@@ -543,6 +761,9 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
 
     /// Runs the simulation to completion and returns its report.
     pub fn run(&self) -> SimReport {
+        if self.config.num_shards > 1 {
+            return crate::parallel::run_sharded(self);
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut cluster = Cluster::new(self.system.universe());
 
@@ -714,7 +935,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     let idx = op as usize;
                     // The probe's server-side effect happens regardless of
                     // whether the client still cares: the message was sent.
-                    let fed = Self::deliver_probe(&mut states[idx], server, &mut cluster, attempt);
+                    let fed = deliver_probe::<S>(&mut states[idx], server, &mut cluster, attempt);
                     if fed {
                         let state = &mut states[idx];
                         state.outstanding -= 1;
@@ -994,54 +1215,10 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         );
     }
 
-    /// Applies one probe's server-side effect and, if the client still cares
-    /// about this attempt, feeds the reply into the session.  Returns whether
-    /// the session consumed the probe.
-    fn deliver_probe(
-        state: &mut OpState,
-        server: ServerId,
-        cluster: &mut Cluster,
-        attempt: u32,
-    ) -> bool {
-        let live = !state.done && state.attempt == attempt;
-        let variable = state.variable;
-        match state.session.as_mut() {
-            Some(OpSession::Write(record, session)) => {
-                let acked = RegisterMap::<S>::apply_write(cluster, server, variable, record);
-                if live {
-                    session.on_ack(acked);
-                }
-                live
-            }
-            Some(OpSession::Read(session)) => {
-                // A `None` probe result is a resolved-but-silent server
-                // (crashed): the attempt's outstanding count still drops.
-                if session.wants_signed() {
-                    if let Some(sv) = cluster.probe_read_signed(server, variable) {
-                        if live {
-                            session.on_signed_reply(server, sv);
-                        }
-                    }
-                } else if let Some(tv) = cluster.probe_read_plain(server, variable) {
-                    if live {
-                        session.on_plain_reply(server, tv);
-                    }
-                }
-                live
-            }
-            None => false,
-        }
-    }
-
     /// The simulated-seconds delay before retry number `attempt` (1-based)
-    /// starts: `retry_backoff · op_timeout · 2^(attempt−1)`, 0 with the
-    /// default immediate-retry policy.
+    /// starts — see [`retry_delay`].
     fn retry_delay(&self, attempt: u32) -> SimTime {
-        if self.config.retry_backoff <= 0.0 {
-            return 0.0;
-        }
-        let doublings = attempt.saturating_sub(1).min(62);
-        self.config.retry_backoff * self.config.op_timeout.max(0.0) * (1u64 << doublings) as f64
+        retry_delay(&self.config, attempt)
     }
 
     /// An attempt ran out of probes or timed out: condense partial replies,
@@ -1160,6 +1337,58 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
     }
 }
 
+/// Applies one probe's server-side effect and, if the client still cares
+/// about this attempt, feeds the reply into the session.  Returns whether
+/// the session consumed the probe.  Shared verbatim between the sequential
+/// engine above and the sharded engine (`crate::shard`), so the two can
+/// never drift in per-probe semantics.
+pub(crate) fn deliver_probe<S: QuorumSystem + ?Sized>(
+    state: &mut OpState,
+    server: ServerId,
+    cluster: &mut Cluster,
+    attempt: u32,
+) -> bool {
+    let live = !state.done && state.attempt == attempt;
+    let variable = state.variable;
+    match state.session.as_mut() {
+        Some(OpSession::Write(record, session)) => {
+            let acked = RegisterMap::<S>::apply_write(cluster, server, variable, record);
+            if live {
+                session.on_ack(acked);
+            }
+            live
+        }
+        Some(OpSession::Read(session)) => {
+            // A `None` probe result is a resolved-but-silent server
+            // (crashed): the attempt's outstanding count still drops.
+            if session.wants_signed() {
+                if let Some(sv) = cluster.probe_read_signed(server, variable) {
+                    if live {
+                        session.on_signed_reply(server, sv);
+                    }
+                }
+            } else if let Some(tv) = cluster.probe_read_plain(server, variable) {
+                if live {
+                    session.on_plain_reply(server, tv);
+                }
+            }
+            live
+        }
+        None => false,
+    }
+}
+
+/// The simulated-seconds delay before retry number `attempt` (1-based)
+/// starts: `retry_backoff · op_timeout · 2^(attempt−1)`, 0 with the
+/// default immediate-retry policy.  Shared between both engines.
+pub(crate) fn retry_delay(config: &SimConfig, attempt: u32) -> SimTime {
+    if config.retry_backoff <= 0.0 {
+        return 0.0;
+    }
+    let doublings = attempt.saturating_sub(1).min(62);
+    config.retry_backoff * config.op_timeout.max(0.0) * (1u64 << doublings) as f64
+}
+
 /// Convenience helper: run the same configuration against several systems
 /// and collect `(name, report)` pairs — used by the comparison experiments.
 pub fn compare_systems(
@@ -1187,19 +1416,18 @@ mod tests {
     use pqs_core::universe::ServerId;
 
     fn quick_config(seed: u64) -> SimConfig {
-        SimConfig {
-            duration: 50.0,
-            arrival_rate: 20.0,
-            read_fraction: 0.8,
-            latency: LatencyModel::Uniform {
+        SimConfig::builder()
+            .with_duration(50.0)
+            .with_arrival_rate(20.0)
+            .with_read_fraction(0.8)
+            .with_latency(LatencyModel::Uniform {
                 min: 1e-4,
                 max: 1e-3,
-            },
-            crash_probability: 0.0,
-            byzantine: 0,
-            seed,
-            ..SimConfig::default()
-        }
+            })
+            .with_crash_probability(0.0)
+            .with_byzantine(0)
+            .with_seed(seed)
+            .build()
     }
 
     #[test]
@@ -1434,14 +1662,13 @@ mod tests {
         // must be in flight simultaneously — the regime the atomic-loop
         // simulator could not express.
         let sys = EpsilonIntersecting::new(100, 22).unwrap();
-        let config = SimConfig {
-            duration: 20.0,
-            arrival_rate: 500.0,
-            read_fraction: 0.9,
-            latency: LatencyModel::Exponential { mean: 5e-3 },
-            seed: 14,
-            ..SimConfig::default()
-        };
+        let config = SimConfig::builder()
+            .with_duration(20.0)
+            .with_arrival_rate(500.0)
+            .with_read_fraction(0.9)
+            .with_latency(LatencyModel::Exponential { mean: 5e-3 })
+            .with_seed(14)
+            .build();
         let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
         assert!(report.max_in_flight > 1, "ops must overlap");
         assert!(report.mean_in_flight > 0.5, "{}", report.mean_in_flight);

@@ -111,6 +111,14 @@ impl<E: PartialEq> EventQueue<E> {
             (s.time, s.event)
         })
     }
+
+    /// Time of the earliest pending event without popping it.
+    ///
+    /// The sharded engine drains each shard queue up to a window barrier;
+    /// peeking lets the drain loop stop without disturbing the queue.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +173,17 @@ mod tests {
         let q: EventQueue<u8> = EventQueue::default();
         assert!(q.is_empty());
         assert_eq!(q.now(), 0.0);
+    }
+
+    #[test]
+    fn peek_reports_earliest_time_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7.0, "later");
+        q.schedule(2.0, "sooner");
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "sooner");
+        assert_eq!(q.peek_time(), Some(7.0));
     }
 }

@@ -51,6 +51,17 @@ pub enum Skew {
     },
 }
 
+impl std::fmt::Display for Skew {
+    /// Canonical short name used in experiment tables: `uniform` or
+    /// `zipf(s)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Skew::Uniform => write!(f, "uniform"),
+            Skew::Zipf { exponent } => write!(f, "zipf({exponent})"),
+        }
+    }
+}
+
 /// The key space one workload shards over: how many keys exist and how
 /// popular each is.
 ///
@@ -275,6 +286,12 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn skew_display_names() {
+        assert_eq!(Skew::Uniform.to_string(), "uniform");
+        assert_eq!(Skew::Zipf { exponent: 1.2 }.to_string(), "zipf(1.2)");
+    }
 
     #[test]
     fn generates_expected_volume_and_mix() {

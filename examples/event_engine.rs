@@ -20,14 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Part 1: a heavy open-loop load keeps many operations in flight at
     // once — the regime the old one-op-at-a-time simulator could not model.
-    let config = SimConfig {
-        duration: 30.0,
-        arrival_rate: 400.0,
-        read_fraction: 0.9,
-        latency: LatencyModel::Exponential { mean: 5e-3 },
-        seed: 7,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .with_duration(30.0)
+        .with_arrival_rate(400.0)
+        .with_read_fraction(0.9)
+        .with_latency(LatencyModel::Exponential { mean: 5e-3 })
+        .with_seed(7)
+        .build();
     let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
     println!("\nconcurrency under 400 op/s with ~5 ms probes:");
     println!("  events processed : {}", report.events_processed);
@@ -63,18 +62,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfirst-q-of-probed under a Pareto(scale=1ms, shape=1.8) network:");
     println!("  margin  read p50    read p95    read p99    empirical load");
     for margin in [0u32, 4, 8] {
-        let config = SimConfig {
-            duration: 30.0,
-            arrival_rate: 100.0,
-            latency: LatencyModel::Pareto {
+        let config = SimConfig::builder()
+            .with_duration(30.0)
+            .with_arrival_rate(100.0)
+            .with_latency(LatencyModel::Pareto {
                 scale: 1e-3,
                 shape: 1.8,
-            },
-            op_timeout: 10.0,
-            probe_margin: margin,
-            seed: 11,
-            ..SimConfig::default()
-        };
+            })
+            .with_op_timeout(10.0)
+            .with_probe_margin(margin)
+            .with_seed(11)
+            .build();
         let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
         let quantiles = report.read_latency.percentiles(&[50.0, 95.0, 99.0]);
         println!(
@@ -91,15 +89,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // replicated variables at once under a Zipf(1.0) popularity law — one
     // writer timestamp chain per key, per-key staleness/latency accounting,
     // sessions for different keys interleaving in one event queue.
-    let config = SimConfig {
-        duration: 30.0,
-        arrival_rate: 400.0,
-        read_fraction: 0.9,
-        keyspace: KeySpace::zipf(1024, 1.0),
-        latency: LatencyModel::Exponential { mean: 5e-3 },
-        seed: 13,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .with_duration(30.0)
+        .with_arrival_rate(400.0)
+        .with_read_fraction(0.9)
+        .with_keyspace(KeySpace::zipf(1024, 1.0))
+        .with_latency(LatencyModel::Exponential { mean: 5e-3 })
+        .with_seed(13)
+        .build();
     let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
     println!("\nsharded run: 1024 keys, Zipf(1.0) popularity, 400 op/s:");
     println!(
@@ -136,15 +133,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // trajectory (same workload, probe sets and latencies, thanks to the
     // dedicated gossip RNG stream) replays identically.
     let loose = EpsilonIntersecting::new(64, 8)?;
-    let mut config = SimConfig {
-        duration: 30.0,
-        arrival_rate: 80.0,
-        read_fraction: 0.9,
-        keyspace: KeySpace::zipf(8, 1.0),
-        latency: LatencyModel::Exponential { mean: 2e-3 },
-        seed: 17,
-        ..SimConfig::default()
-    };
+    let mut config = SimConfig::builder()
+        .with_duration(30.0)
+        .with_arrival_rate(80.0)
+        .with_read_fraction(0.9)
+        .with_keyspace(KeySpace::zipf(8, 1.0))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_seed(17)
+        .build();
     let off = Simulation::new(&loose, ProtocolKind::Safe, config).run();
     config.diffusion = Some(
         DiffusionPolicy::full_push(0.1, 3)
@@ -167,5 +163,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  hot-key coverage  : a fresh write reaches 90% of correct servers in {rounds:.1} rounds on average"
         );
     }
+
+    // Part 6: the multi-core sharded engine. With `num_shards >= 2` the key
+    // space is partitioned by `variable % num_shards` and each shard drains
+    // its own event queue on a worker thread; gossip crosses shards on a
+    // sequenced spine at deterministic barriers.  The merged report is
+    // bit-identical for every shard count >= 2 and every thread count —
+    // threads are purely a speed knob.
+    let sharded = |threads: u32| {
+        SimConfig::builder()
+            .with_duration(20.0)
+            .with_arrival_rate(400.0)
+            .with_read_fraction(0.9)
+            .with_keyspace(KeySpace::zipf(64, 1.0))
+            .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+            .with_seed(23)
+            .with_num_shards(4)
+            .with_threads(threads)
+            .build()
+    };
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(4) as u32);
+    let one = Simulation::new(&system, ProtocolKind::Safe, sharded(1)).run();
+    let many = Simulation::new(&system, ProtocolKind::Safe, sharded(workers)).run();
+    println!("\nsharded engine: 4 shards, 64 keys, {workers} worker thread(s):");
+    println!("  events processed  : {}", many.events_processed);
+    println!(
+        "  reports identical : {} (1 thread vs {workers} threads)",
+        one == many
+    );
     Ok(())
 }

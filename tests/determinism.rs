@@ -10,6 +10,7 @@
 //! trajectory, same aggregates.
 
 use probabilistic_quorums::core::prelude::*;
+use probabilistic_quorums::sim::failure::FailurePlan;
 use probabilistic_quorums::sim::latency::LatencyModel;
 use probabilistic_quorums::sim::runner::{
     DiffusionPolicy, KeyGossipPolicy, ProtocolKind, SimConfig, Simulation,
@@ -19,22 +20,20 @@ use probabilistic_quorums::sim::workload::KeySpace;
 fn hostile_config(seed: u64) -> SimConfig {
     // Crashes, Byzantine placement, probe margin, a tight timeout and a
     // long-tail latency model: every engine code path fires.
-    SimConfig {
-        duration: 25.0,
-        arrival_rate: 60.0,
-        read_fraction: 0.8,
-        latency: LatencyModel::Pareto {
+    SimConfig::builder()
+        .with_duration(25.0)
+        .with_arrival_rate(60.0)
+        .with_read_fraction(0.8)
+        .with_latency(LatencyModel::Pareto {
             scale: 1e-3,
             shape: 1.9,
-        },
-        crash_probability: 0.15,
-        byzantine: 0,
-        probe_margin: 3,
-        op_timeout: 0.05,
-        max_retries: 2,
-        seed,
-        ..SimConfig::default()
-    }
+        })
+        .with_crash_probability(0.15)
+        .with_probe_margin(3)
+        .with_op_timeout(0.05)
+        .with_max_retries(2)
+        .with_seed(seed)
+        .build()
 }
 
 #[test]
@@ -199,23 +198,22 @@ fn digest_runs_are_bit_identical_per_seed() {
 #[allow(clippy::excessive_precision)]
 fn full_push_gossip_run_is_byte_identical_to_the_pr4_engine() {
     let sys = EpsilonIntersecting::new(64, 8).unwrap();
-    let config = SimConfig {
-        duration: 30.0,
-        arrival_rate: 60.0,
-        read_fraction: 0.85,
-        keyspace: KeySpace::zipf(16, 1.2),
-        latency: LatencyModel::Exponential { mean: 2e-3 },
-        crash_probability: 0.1,
-        probe_margin: 2,
-        op_timeout: 0.5,
-        max_retries: 2,
-        seed: 4242,
-        diffusion: Some(
+    let config = SimConfig::builder()
+        .with_duration(30.0)
+        .with_arrival_rate(60.0)
+        .with_read_fraction(0.85)
+        .with_keyspace(KeySpace::zipf(16, 1.2))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_crash_probability(0.1)
+        .with_probe_margin(2)
+        .with_op_timeout(0.5)
+        .with_max_retries(2)
+        .with_seed(4242)
+        .with_diffusion(
             DiffusionPolicy::full_push(0.1, 3)
                 .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
-        ),
-        ..SimConfig::default()
-    };
+        )
+        .build();
     let r = Simulation::new(&sys, ProtocolKind::Safe, config).run();
     assert_eq!(r.completed_reads, 1503);
     assert_eq!(r.completed_writes, 283);
@@ -268,22 +266,21 @@ fn full_push_gossip_run_is_byte_identical_to_the_pr4_engine() {
 #[allow(clippy::excessive_precision)]
 fn one_key_run_is_byte_identical_to_the_pre_sharding_engine() {
     let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
-    let config = SimConfig {
-        duration: 30.0,
-        arrival_rate: 40.0,
-        read_fraction: 0.8,
-        latency: LatencyModel::Pareto {
+    let config = SimConfig::builder()
+        .with_duration(30.0)
+        .with_arrival_rate(40.0)
+        .with_read_fraction(0.8)
+        .with_latency(LatencyModel::Pareto {
             scale: 1e-3,
             shape: 1.9,
-        },
-        crash_probability: 0.1,
-        byzantine: 0,
-        probe_margin: 3,
-        op_timeout: 0.05,
-        max_retries: 2,
-        seed: 20260730,
-        ..SimConfig::default()
-    };
+        })
+        .with_crash_probability(0.1)
+        .with_byzantine(0)
+        .with_probe_margin(3)
+        .with_op_timeout(0.05)
+        .with_max_retries(2)
+        .with_seed(20260730)
+        .build();
     assert_eq!(config.keyspace, KeySpace::single());
     assert_eq!(config.diffusion, None, "the pinned run is diffusion-free");
     let r = Simulation::new(&sys, ProtocolKind::Safe, config).run();
@@ -334,4 +331,141 @@ fn one_key_run_is_byte_identical_to_the_pre_sharding_engine() {
     assert_eq!(r2.stale_reads, 0);
     assert_eq!(r2.events_processed, 31671);
     assert_eq!(r2.mean_latency(), 9.18659539915855916e-3);
+}
+
+/// Base configuration of the sharded-engine determinism obligations: a
+/// hostile multi-key run exercising probe margins, timeouts and retries.
+fn sharded_base() -> SimConfig {
+    SimConfig::builder()
+        .with_duration(20.0)
+        .with_arrival_rate(80.0)
+        .with_read_fraction(0.8)
+        .with_keyspace(KeySpace::zipf(32, 1.0))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_probe_margin(2)
+        .with_op_timeout(0.05)
+        .with_max_retries(2)
+        .with_seed(99)
+        .build()
+}
+
+/// A mid-run correlated crash wave: ten servers die at t = 10 s, halfway
+/// through the arrivals, so the sharded engine must replay failure
+/// transitions identically inside every shard *and* on the gossip spine.
+fn mid_run_wave() -> FailurePlan {
+    FailurePlan::none().with_crash_wave(10.0, (0..10).map(ServerId::new))
+}
+
+/// The tentpole's core obligation: with `num_shards ≥ 2` the report is a
+/// pure function of the seed — identical for every shard count and every
+/// thread count — for plain, signed and digest/delta configurations,
+/// including a crash wave landing mid-run.
+#[test]
+fn sharded_reports_are_identical_across_shard_and_thread_counts() {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let signed_sys = ProbabilisticDissemination::with_target_epsilon(100, 10, 1e-3).unwrap();
+
+    let plain = sharded_base();
+    let mut signed = sharded_base();
+    signed.byzantine = 10;
+    signed.probe_margin = 0;
+    let mut digest = sharded_base();
+    digest.diffusion = Some(
+        DiffusionPolicy::digest_delta(0.2, 2)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 })
+            .with_key_policy(KeyGossipPolicy::HotFirst {
+                hot_keys: 6,
+                cold_every: 4,
+            }),
+    );
+    let mut push = sharded_base();
+    push.diffusion = Some(
+        DiffusionPolicy::full_push(0.2, 2)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+    );
+
+    let run = |config: SimConfig, num_shards: u32, threads: u32, kind: ProtocolKind| {
+        let mut config = config;
+        config.num_shards = num_shards;
+        config.threads = threads;
+        if matches!(kind, ProtocolKind::Dissemination) {
+            Simulation::new(&signed_sys, kind, config)
+                .with_failure_plan(mid_run_wave())
+                .run()
+        } else {
+            Simulation::new(&sys, kind, config)
+                .with_failure_plan(mid_run_wave())
+                .run()
+        }
+    };
+
+    for (label, config, kind) in [
+        ("plain", plain, ProtocolKind::Safe),
+        ("signed", signed, ProtocolKind::Dissemination),
+        ("digest-delta", digest, ProtocolKind::Safe),
+        ("full-push", push, ProtocolKind::Safe),
+    ] {
+        let reference = run(config, 2, 1, kind);
+        assert!(
+            reference.completed_reads > 0 && reference.completed_writes > 0,
+            "{label}: the run must exercise the engine"
+        );
+        for (num_shards, threads) in [(2, 2), (4, 1), (4, 3), (8, 2), (8, 8)] {
+            let report = run(config, num_shards, threads, kind);
+            assert_eq!(
+                reference, report,
+                "{label}: {num_shards} shards on {threads} threads diverged from 2 shards on 1 thread"
+            );
+        }
+    }
+}
+
+/// The sharded family's own pinned fingerprint, captured once from the
+/// 2-shard/1-thread run of `sharded_base` with diffusion and a mid-run
+/// crash wave.  `num_shards = 1` stays bit-identical to the sequential
+/// engine (the pins above); `num_shards ≥ 2` is a second deterministic
+/// family — per-variable RNG streams instead of one global stream — whose
+/// trajectory this test freezes so it can never drift silently.
+#[test]
+#[allow(clippy::excessive_precision)]
+fn sharded_family_fingerprint_is_pinned() {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = sharded_base();
+    config.num_shards = 4;
+    config.threads = 2;
+    config.diffusion = Some(
+        DiffusionPolicy::digest_delta(0.2, 2)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+    );
+    let r = Simulation::new(&sys, ProtocolKind::Safe, config)
+        .with_failure_plan(mid_run_wave())
+        .run();
+    assert_eq!(r.completed_reads, 1256);
+    assert_eq!(r.completed_writes, 323);
+    assert_eq!(r.stale_reads, 0);
+    assert_eq!(r.empty_reads, 0);
+    assert_eq!(r.unavailable_ops, 0);
+    assert_eq!(r.concurrent_reads, 23);
+    assert_eq!(r.retries, 0);
+    assert_eq!(r.timed_out_attempts, 0);
+    assert_eq!(r.gossip_rounds, 100);
+    assert_eq!(r.gossip_digests, 18811);
+    assert_eq!(r.gossip_pushes, 25594);
+    assert_eq!(r.gossip_stores, 18799);
+    assert_eq!(r.gossip_redundant_pushes_avoided, 449121);
+    assert_eq!(r.events_processed, 75000);
+    assert_eq!(r.max_in_flight, 5);
+    assert_eq!(r.total_operations, 1579);
+    // Floating-point trajectories, pinned to the bit.
+    assert_eq!(r.mean_in_flight, 4.5105489249514724e-1);
+    assert_eq!(r.mean_latency(), 5.7143094013534885e-3);
+    assert_eq!(r.p99_latency(), 1.3249916559010089e-2);
+    let hash = r
+        .per_server_accesses
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &c)| {
+            acc.wrapping_mul(1000003).wrapping_add(c ^ i as u64)
+        });
+    assert_eq!(hash, 12038364402710033471);
 }

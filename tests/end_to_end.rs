@@ -120,16 +120,15 @@ fn table_two_tradeoff_through_public_api() {
 /// Full simulator run for each protocol completes and stays consistent.
 #[test]
 fn simulator_round_trip_all_protocols() {
-    let config = SimConfig {
-        duration: 30.0,
-        arrival_rate: 30.0,
-        read_fraction: 0.8,
-        latency: LatencyModel::Exponential { mean: 2e-3 },
-        crash_probability: 0.05,
-        byzantine: 0,
-        seed: 11,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .with_duration(30.0)
+        .with_arrival_rate(30.0)
+        .with_read_fraction(0.8)
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_crash_probability(0.05)
+        .with_byzantine(0)
+        .with_seed(11)
+        .build();
     let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
     let report = Simulation::new(&sys, ProtocolKind::Safe, config).run();
     assert!(report.completed_reads > 300);

@@ -558,15 +558,14 @@ proptest! {
         fanout in 1u32..4,
     ) {
         let sys = EpsilonIntersecting::new(49, 7).unwrap();
-        let mut config = SimConfig {
-            duration: 8.0,
-            arrival_rate: 40.0,
-            read_fraction: 0.8,
-            keyspace: KeySpace::zipf(4, 1.0),
-            latency: LatencyModel::Exponential { mean: 2e-3 },
-            seed,
-            ..SimConfig::default()
-        };
+        let mut config = SimConfig::builder()
+            .with_duration(8.0)
+            .with_arrival_rate(40.0)
+            .with_read_fraction(0.8)
+            .with_keyspace(KeySpace::zipf(4, 1.0))
+            .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+            .with_seed(seed)
+            .build();
         let off = Simulation::new(&sys, ProtocolKind::Safe, config).run();
         config.diffusion = Some(DiffusionPolicy::full_push([0.05, 0.2, 0.5][period_idx], fanout));
         let on = Simulation::new(&sys, ProtocolKind::Safe, config).run();
