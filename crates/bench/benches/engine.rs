@@ -21,14 +21,21 @@
 //! * `PQS_BENCH_THREADS_FLOOR=<events/sec>` — exit nonzero if the
 //!   `PQS_BENCH_THREADS` run falls below this floor; CI uses it to pin the
 //!   multi-core speedup, not just the serial hot loop.
+//! * `PQS_BENCH_SPINE_MAX_FRACTION=<0..1>` — exit nonzero if the sharded
+//!   gossip cell spends more than this fraction of its wall clock on the
+//!   spine's barrier work (sync + plan + route, from
+//!   [`pqs_sim::metrics::EngineStageTimings`]); CI uses it to keep the
+//!   incremental sync and batched routing proportional to per-round work.
 //!
-//! Every invocation writes the measured numbers to
+//! Every invocation writes the measured numbers — including the per-run
+//! drain/sync/plan/route stage breakdown — to
 //! `target/experiments/BENCH_engine.json` so the perf trajectory can be
 //! tracked per push as a CI artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqs_core::prelude::*;
 use pqs_sim::latency::LatencyModel;
+use pqs_sim::metrics::EngineStageTimings;
 use pqs_sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
 use pqs_sim::workload::KeySpace;
 use std::io::Write as _;
@@ -70,11 +77,23 @@ fn sharded_config(arrival_rate: f64, threads: u32) -> SimConfig {
         .build()
 }
 
-/// One timed reference run: name, events processed, wall-clock seconds.
+/// The spine-cost reference cell: the diffusion workload on the sharded
+/// engine, whose drain/sync/plan/route breakdown feeds the
+/// `PQS_BENCH_SPINE_MAX_FRACTION` guard.
+fn sharded_gossip_config(arrival_rate: f64, threads: u32) -> SimConfig {
+    let mut config = diffusion_config(arrival_rate);
+    config.num_shards = 8;
+    config.threads = threads;
+    config
+}
+
+/// One timed reference run: name, events processed, wall-clock seconds and
+/// the engine's own stage breakdown.
 struct Measured {
     name: String,
     events: u64,
     seconds: f64,
+    stages: EngineStageTimings,
 }
 
 impl Measured {
@@ -92,23 +111,29 @@ impl Measured {
 /// (the `PQS_BENCH_THREADS` knob) adds the multi-thread sharded run.
 fn reference_runs(sys: &EpsilonIntersecting, threads: Option<u32>) -> Vec<Measured> {
     let mut measured = Vec::new();
+    // One untimed pass over the largest cell first: the timed numbers
+    // should measure the engine, not first-touch page faults and allocator
+    // growth from a cold process.
+    let _ = Simulation::new(sys, ProtocolKind::Safe, sharded_config(2000.0, 1)).run();
     let mut time_run = |name: String, config: SimConfig| {
         let start = Instant::now();
-        let report = Simulation::new(sys, ProtocolKind::Safe, config).run();
+        let (report, stages) = Simulation::new(sys, ProtocolKind::Safe, config).run_with_stats();
         let seconds = start.elapsed().as_secs_f64();
         let m = Measured {
             name,
             events: report.events_processed,
             seconds,
+            stages,
         };
         println!(
             "engine_throughput({}): {} events in {:.3}s -> {:.0} events/sec \
-             (max in-flight {})",
+             (max in-flight {}, spine fraction {:.3})",
             m.name,
             m.events,
             seconds,
             m.events_per_sec(),
             report.max_in_flight,
+            m.stages.spine_fraction(),
         );
         measured.push(m);
     };
@@ -116,6 +141,10 @@ fn reference_runs(sys: &EpsilonIntersecting, threads: Option<u32>) -> Vec<Measur
     time_run("safe_run/500".into(), engine_config(500.0));
     time_run("diffusion_run/500".into(), diffusion_config(500.0));
     time_run("sharded_run/2000x1t".into(), sharded_config(2000.0, 1));
+    time_run(
+        "sharded_gossip_run/500x1t".into(),
+        sharded_gossip_config(500.0, 1),
+    );
     if let Some(t) = threads {
         time_run(format!("sharded_run/2000x{t}t"), sharded_config(2000.0, t));
     }
@@ -124,7 +153,13 @@ fn reference_runs(sys: &EpsilonIntersecting, threads: Option<u32>) -> Vec<Measur
 
 /// Serialises the measurements (and the floor verdicts) as JSON by hand —
 /// the vendored serde shim's derives are no-ops, so formatting is explicit.
-fn write_json(measured: &[Measured], floor: Option<f64>, threads_floor: Option<f64>, pass: bool) {
+fn write_json(
+    measured: &[Measured],
+    floor: Option<f64>,
+    threads_floor: Option<f64>,
+    spine_max: Option<f64>,
+    pass: bool,
+) {
     let best = measured
         .iter()
         .map(Measured::events_per_sec)
@@ -134,20 +169,29 @@ fn write_json(measured: &[Measured], floor: Option<f64>, threads_floor: Option<f
         .map(|m| {
             format!(
                 "    {{\"name\": \"{}\", \"events\": {}, \"seconds\": {:.6}, \
-                 \"events_per_sec\": {:.0}}}",
+                 \"events_per_sec\": {:.0}, \"drain_seconds\": {:.6}, \
+                 \"sync_seconds\": {:.6}, \"plan_seconds\": {:.6}, \
+                 \"route_seconds\": {:.6}, \"spine_fraction\": {:.4}}}",
                 m.name,
                 m.events,
                 m.seconds,
-                m.events_per_sec()
+                m.events_per_sec(),
+                m.stages.drain_seconds,
+                m.stages.sync_seconds,
+                m.stages.plan_seconds,
+                m.stages.route_seconds,
+                m.stages.spine_fraction(),
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"event_engine\",\n  \"floor_events_per_sec\": {},\n  \
          \"threads_floor_events_per_sec\": {},\n  \
+         \"spine_max_fraction\": {},\n  \
          \"best_events_per_sec\": {:.0},\n  \"pass\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
         floor.map_or("null".to_string(), |f| format!("{f:.0}")),
         threads_floor.map_or("null".to_string(), |f| format!("{f:.0}")),
+        spine_max.map_or("null".to_string(), |f| format!("{f:.3}")),
         best,
         pass,
         runs.join(",\n")
@@ -179,6 +223,10 @@ fn bench_engine_throughput(c: &mut Criterion) {
     let threads_floor: Option<f64> = std::env::var("PQS_BENCH_THREADS_FLOOR")
         .ok()
         .map(|v| v.parse().expect("PQS_BENCH_THREADS_FLOOR must be a number"));
+    let spine_max: Option<f64> = std::env::var("PQS_BENCH_SPINE_MAX_FRACTION").ok().map(|v| {
+        v.parse()
+            .expect("PQS_BENCH_SPINE_MAX_FRACTION must be a number in 0..1")
+    });
 
     let measured = reference_runs(&sys, threads);
     let best = measured
@@ -191,12 +239,21 @@ fn bench_engine_throughput(c: &mut Criterion) {
             .find(|m| m.name == format!("sharded_run/2000x{t}t"))
             .map(Measured::events_per_sec)
     });
+    let spine_fraction: Option<f64> = measured
+        .iter()
+        .find(|m| m.name.starts_with("sharded_gossip_run"))
+        .map(|m| m.stages.spine_fraction());
     let serial_pass = floor.is_none_or(|f| best >= f);
     let threads_pass = match threads_floor {
         Some(f) => threaded.is_some_and(|r| r >= f),
         None => true,
     };
-    write_json(&measured, floor, threads_floor, serial_pass && threads_pass);
+    let spine_pass = match spine_max {
+        Some(f) => spine_fraction.is_some_and(|s| s <= f),
+        None => true,
+    };
+    let pass = serial_pass && threads_pass && spine_pass;
+    write_json(&measured, floor, threads_floor, spine_max, pass);
     if let Some(f) = floor {
         if serial_pass {
             println!("bench floor: best {best:.0} events/sec >= floor {f:.0} — ok");
@@ -222,7 +279,23 @@ fn bench_engine_throughput(c: &mut Criterion) {
             ),
         }
     }
-    if !(serial_pass && threads_pass) {
+    if let Some(f) = spine_max {
+        match spine_fraction {
+            Some(s) if s <= f => {
+                println!("bench spine fraction: {s:.3} <= max {f:.3} — ok");
+            }
+            Some(s) => eprintln!(
+                "bench spine fraction VIOLATED: {s:.3} > max {f:.3} — the \
+                 spine's barrier work (sync/plan/route) is no longer \
+                 proportional to per-round work"
+            ),
+            None => eprintln!(
+                "bench spine fraction VIOLATED: no sharded gossip cell was \
+                 measured"
+            ),
+        }
+    }
+    if !pass {
         std::process::exit(1);
     }
     if quick {

@@ -16,6 +16,14 @@
 //! (`std::thread::available_parallelism`), so the binary stays green on
 //! single-core containers while CI's multi-core runners enforce it.
 //!
+//! With `--ops N` (or `--soak`, = 10⁸ events) an additional **soak lane**
+//! runs a gossip-dominated endurance cell: a short calibration run
+//! measures the configuration's event density, the duration is sized to
+//! hit the requested event count, and the run's per-stage wall-clock
+//! breakdown (drain / sync / plan / route) is reported.  Under `--quick`
+//! the target is scaled down 100× so the CI smoke job exercises the lane
+//! in seconds.
+//!
 //! Accepts the shared validator flags ([`pqs_bench::cli`]); `--threads N`
 //! caps the thread sweep.
 
@@ -44,6 +52,31 @@ fn sharded_config(seed: u64, duration: f64, num_shards: u32, threads: u32) -> Si
         )
         .with_seed(seed)
         .with_num_shards(num_shards)
+        .with_threads(threads)
+        .build()
+}
+
+/// The soak cell: gossip-dominated on purpose.  A 20 Hz full-push round
+/// over 64 keys and 100 servers generates ~10⁵ engine events per simulated
+/// second from diffusion alone, so a 10⁸-event run needs only a few
+/// hundred simulated seconds — and a few tens of thousands of foreground
+/// ops — keeping memory flat while the event count scales.
+fn soak_config(seed: u64, duration: f64, threads: u32) -> SimConfig {
+    SimConfig::builder()
+        .with_duration(duration)
+        .with_arrival_rate(100.0)
+        .with_read_fraction(0.8)
+        .with_keyspace(KeySpace::zipf(64, 1.0))
+        .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+        .with_probe_margin(2)
+        .with_op_timeout(0.05)
+        .with_max_retries(2)
+        .with_diffusion(
+            DiffusionPolicy::full_push(0.05, 3)
+                .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+        )
+        .with_seed(seed)
+        .with_num_shards(8)
         .with_threads(threads)
         .build()
 }
@@ -152,6 +185,91 @@ fn main() {
              thread sweep capped at {max_threads} (pass --threads 4 on a \
              multi-core host to engage it)"
         );
+    }
+
+    // Soak lane: an endurance run sized to the requested event count, with
+    // the engine's per-stage wall-clock breakdown.
+    if let Some(requested) = cli.ops {
+        let target = if cli.quick {
+            (requested / 100).max(100_000)
+        } else {
+            requested
+        };
+        // Two-point calibration: full-push event density ramps up while
+        // records are still spreading (a cold Zipf key only starts
+        // circulating after its first write), so a cold-start average
+        // undersizes the density and oversizes the run badly.  Fitting
+        // `events(t) = density·t + offset` through a short and a longer
+        // horizon captures both the steady-state (marginal) density and
+        // the ramp's one-time event deficit; solving it for the target
+        // (plus a 5% pad) lands the sized run at or slightly above the
+        // target for small and huge targets alike.
+        let (calib_short, calib_long) = (5.0, 30.0);
+        let short = Simulation::new(
+            &sys,
+            ProtocolKind::Safe,
+            soak_config(base_seed, calib_short, cli.threads),
+        )
+        .run();
+        let long = Simulation::new(
+            &sys,
+            ProtocolKind::Safe,
+            soak_config(base_seed, calib_long, cli.threads),
+        )
+        .run();
+        let events_per_sim_sec = ((long.events_processed - short.events_processed) as f64
+            / (calib_long - calib_short))
+            .max(1.0);
+        let ramp_offset = short.events_processed as f64 - events_per_sim_sec * calib_short;
+        let duration =
+            ((1.05 * target as f64 - ramp_offset) / events_per_sim_sec).max(calib_short);
+        println!(
+            "soak: calibrated {events_per_sim_sec:.0} events/sim-sec, \
+             running {duration:.1} simulated seconds for a {target}-event target"
+        );
+        let start = Instant::now();
+        let (report, stages) = Simulation::new(
+            &sys,
+            ProtocolKind::Safe,
+            soak_config(base_seed, duration, cli.threads),
+        )
+        .run_with_stats();
+        let wall = start.elapsed().as_secs_f64();
+        let mut soak_table = ExperimentTable::new(
+            "validate_parallel_soak",
+            &[
+                "events",
+                "target",
+                "wall (s)",
+                "events/sec",
+                "drain (s)",
+                "sync (s)",
+                "plan (s)",
+                "route (s)",
+                "spine fraction",
+            ],
+        );
+        soak_table.push_row(vec![
+            report.events_processed.to_string(),
+            target.to_string(),
+            format!("{wall:.2}"),
+            format!("{:.0}", report.events_processed as f64 / wall.max(1e-9)),
+            format!("{:.3}", stages.drain_seconds),
+            format!("{:.3}", stages.sync_seconds),
+            format!("{:.3}", stages.plan_seconds),
+            format!("{:.3}", stages.route_seconds),
+            format!("{:.4}", stages.spine_fraction()),
+        ]);
+        soak_table.emit();
+        if (report.events_processed as f64) < 0.8 * target as f64 {
+            violations.push(format!(
+                "soak run processed {} events, under 80% of the {target}-event target",
+                report.events_processed
+            ));
+        }
+        if report.completed_reads + report.completed_writes == 0 {
+            violations.push("soak run completed no operations".to_string());
+        }
     }
 
     cli::finish("validate_parallel", base_seed, &violations);

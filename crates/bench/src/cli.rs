@@ -14,6 +14,9 @@
 //!   knob, never a results knob).
 //! * `--out-dir PATH` — write CSV artifacts under `PATH` instead of the
 //!   [`crate::output_dir`] default.
+//! * `--ops N` / `--soak` — target event count for validators with a soak
+//!   lane (currently `validate_parallel`); `--soak` is shorthand for
+//!   `--ops 100000000`.  Validators without a soak lane ignore it.
 //!
 //! Exit codes are uniform across the fleet: [`EXIT_OK`] (0) for a clean run
 //! or `--help`, [`EXIT_VALIDATION_FAILED`] (1) when a checked bound is
@@ -39,7 +42,13 @@ pub struct ValidatorCli {
     pub threads: u32,
     /// CSV output directory override (`--out-dir`).
     pub out_dir: Option<PathBuf>,
+    /// Target engine-event count for soak lanes (`--ops N`, or `--soak`
+    /// for [`SOAK_OPS`]).  `None` skips the soak lane.
+    pub ops: Option<u64>,
 }
+
+/// The event target `--soak` expands to: a 10⁸-event endurance run.
+pub const SOAK_OPS: u64 = 100_000_000;
 
 impl Default for ValidatorCli {
     fn default() -> Self {
@@ -48,6 +57,7 @@ impl Default for ValidatorCli {
             quick: false,
             threads: 1,
             out_dir: None,
+            ops: None,
         }
     }
 }
@@ -107,6 +117,22 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> 
             "--out-dir" => {
                 cli.out_dir = Some(PathBuf::from(value(&mut args)?));
             }
+            "--ops" => {
+                let v = value(&mut args)?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--ops expects a positive integer, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--ops expects a positive integer, got 0".to_string());
+                }
+                cli.ops = Some(n);
+            }
+            "--soak" => {
+                if inline.is_some() {
+                    return Err("--soak takes no value (use --ops N for a custom target)".into());
+                }
+                cli.ops = Some(SOAK_OPS);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -118,13 +144,16 @@ pub fn help_text(bin: &str, about: &str) -> String {
     format!(
         "{bin}: {about}\n\
          \n\
-         usage: {bin} [--seed N] [--quick] [--threads N] [--out-dir PATH]\n\
+         usage: {bin} [--seed N] [--quick] [--threads N] [--out-dir PATH] [--ops N | --soak]\n\
          \n\
          options:\n\
          \x20 --seed N        base RNG seed mixed into every simulation (default 0)\n\
          \x20 --quick         shrink sweeps / shorten runs for smoke testing\n\
          \x20 --threads N     worker threads for sharded simulation runs (default 1)\n\
          \x20 --out-dir PATH  directory for CSV artifacts (default: target/experiments)\n\
+         \x20 --ops N         soak-lane engine-event target (validators without a\n\
+         \x20                 soak lane ignore it)\n\
+         \x20 --soak          shorthand for --ops 100000000 (a 10^8-event soak)\n\
          \x20 -h, --help      print this help\n\
          \n\
          exit codes: 0 = all checks passed, 1 = a checked bound was violated,\n\
@@ -193,6 +222,7 @@ mod tests {
             quick: true,
             threads: 4,
             out_dir: Some(PathBuf::from("/tmp/exp")),
+            ops: Some(5000),
         };
         assert_eq!(
             run(&[
@@ -202,14 +232,36 @@ mod tests {
                 "--threads",
                 "4",
                 "--out-dir",
-                "/tmp/exp"
+                "/tmp/exp",
+                "--ops",
+                "5000"
             ]),
             Ok(Parsed::Run(expect.clone()))
         );
         assert_eq!(
-            run(&["--seed=17", "--quick", "--threads=4", "--out-dir=/tmp/exp"]),
+            run(&[
+                "--seed=17",
+                "--quick",
+                "--threads=4",
+                "--out-dir=/tmp/exp",
+                "--ops=5000"
+            ]),
             Ok(Parsed::Run(expect))
         );
+    }
+
+    #[test]
+    fn soak_is_shorthand_for_the_canonical_ops_target() {
+        let soak = run(&["--soak"]);
+        assert_eq!(
+            soak,
+            Ok(Parsed::Run(ValidatorCli {
+                ops: Some(SOAK_OPS),
+                ..ValidatorCli::default()
+            }))
+        );
+        // An explicit --ops spelling of the same target parses identically.
+        assert_eq!(soak, run(&["--ops", &SOAK_OPS.to_string()]));
     }
 
     #[test]
@@ -225,6 +277,9 @@ mod tests {
         assert!(run(&["--seed", "banana"]).is_err());
         assert!(run(&["--threads", "0"]).is_err());
         assert!(run(&["--quick=yes"]).is_err());
+        assert!(run(&["--ops"]).is_err());
+        assert!(run(&["--ops", "0"]).is_err());
+        assert!(run(&["--soak=1"]).is_err());
         assert!(run(&["--frobnicate"]).is_err());
     }
 
@@ -236,6 +291,8 @@ mod tests {
             "--quick",
             "--threads",
             "--out-dir",
+            "--ops",
+            "--soak",
             "--help",
             "exit codes",
         ] {

@@ -224,19 +224,23 @@ pub fn plan_cluster_round(
     let mut pushes = Vec::new();
     let mut coverage: HashMap<VariableId, (Timestamp, u32)> = HashMap::new();
     let mut correct_servers = 0u32;
+    // One key buffer reused across senders: the planner runs every gossip
+    // round, so per-sender allocations would be a steady-state hot spot.
+    let mut variables: Vec<VariableId> = Vec::new();
     for i in 0..n as u32 {
         let sender = cluster.server(ServerId::new(i));
         if sender.behavior() != Behavior::Correct {
             continue;
         }
         correct_servers += 1;
-        let mut variables: Vec<VariableId> = if signed {
-            sender.signed_variables().collect()
+        variables.clear();
+        if signed {
+            variables.extend(sender.signed_variables());
         } else {
-            sender.plain_variables().collect()
-        };
+            variables.extend(sender.plain_variables());
+        }
         variables.sort_unstable();
-        for variable in variables {
+        for &variable in &variables {
             let record = if signed {
                 GossipRecord::Signed(sender.stored_signed(variable))
             } else {
@@ -404,17 +408,23 @@ pub fn plan_digest(
     let mut digests = Vec::new();
     let mut coverage: HashMap<VariableId, (Timestamp, u32)> = HashMap::new();
     let mut correct_servers = 0u32;
+    // Per-sender scratch buffers, reused across the whole round (the
+    // per-digest `entries.clone()` below is inherent — each message owns
+    // its entry list — but the scratch itself allocates only once).
+    let mut held: Vec<VariableId> = Vec::new();
+    let mut entries: Vec<(VariableId, Timestamp)> = Vec::new();
     for i in 0..n as u32 {
         let sender = cluster.server(ServerId::new(i));
         if sender.behavior() != Behavior::Correct {
             continue;
         }
         correct_servers += 1;
-        let mut held: Vec<VariableId> = if signed {
-            sender.signed_variables().collect()
+        held.clear();
+        if signed {
+            held.extend(sender.signed_variables());
         } else {
-            sender.plain_variables().collect()
-        };
+            held.extend(sender.plain_variables());
+        }
         held.sort_unstable();
         let timestamp_of = |v: VariableId| {
             if signed {
@@ -426,7 +436,7 @@ pub fn plan_digest(
         // One pass builds the coverage snapshot (over everything held,
         // selector or not) and, for complete digests, the entry list —
         // timestamps only, no record is ever cloned while planning.
-        let mut entries: Vec<(VariableId, Timestamp)> = Vec::new();
+        entries.clear();
         for &variable in &held {
             let ts = timestamp_of(variable);
             if ts == Timestamp::ZERO {
@@ -443,7 +453,8 @@ pub fn plan_digest(
             }
         }
         if let KeySelector::Only(keys) = selector {
-            entries = keys.iter().map(|&v| (v, timestamp_of(v))).collect();
+            entries.clear();
+            entries.extend(keys.iter().map(|&v| (v, timestamp_of(v))));
         }
         for _ in 0..fanout {
             let peer = rng.gen_range(0..n);

@@ -102,12 +102,12 @@ pub enum Event {
         round: u64,
     },
     /// One server-to-server gossip push arrives at its receiver.  The
-    /// payload (sender, receiver, variable, record) lives in the runner's
-    /// pending-push table under this id; the receiver's behaviour is
-    /// evaluated at delivery time, so a server that crashed while the
-    /// message was in flight simply drops it.
+    /// payload (sender, receiver, variable, record) lives in the engine's
+    /// pending-message slab ([`PendingSlab`]) under this slot; the
+    /// receiver's behaviour is evaluated at delivery time, so a server that
+    /// crashed while the message was in flight simply drops it.
     GossipPush {
-        /// Id of the pending push being delivered.
+        /// Slot of the pending push being delivered.
         push: u64,
     },
     /// A gossip *digest* — a per-key version summary of its sender's store —
@@ -117,16 +117,90 @@ pub enum Event {
     /// [`Event::GossipDelta`] carrying only the records the digest's sender
     /// provably lacks; crashed and Byzantine receivers never answer.
     GossipDigest {
-        /// Id of the pending digest being delivered.
+        /// Slot of the pending digest being delivered (in the engine's
+        /// [`PendingSlab`]; the digest's global id, used for cross-shard
+        /// delta accounting, travels inside the slab entry).
         digest: u64,
     },
     /// A gossip *delta* — the records a digest's sender provably lacked —
     /// arrives back at that sender, which merges each record by freshest
     /// timestamp (behaviour evaluated at delivery time).
     GossipDelta {
-        /// Id of the pending delta being delivered.
+        /// Slot of the pending delta being delivered.
         delta: u64,
     },
+}
+
+/// A reusable slot-indexed store for in-flight gossip payloads.
+///
+/// Gossip events carry a `u64` handle instead of their (heap-allocated)
+/// payload so [`Event`] stays small and `Copy`.  The engines used to keep
+/// these payloads in per-round `HashMap`s keyed by an ever-growing global
+/// id — every message paid a hash, and the map's buckets churned every
+/// round.  The slab replaces that with a plain `Vec<Option<T>>` plus a
+/// free list: `insert` is a push or a free-slot reuse, `take` is an
+/// indexed load, and the backing storage reaches the high-water mark of
+/// in-flight messages once and is reused for the rest of the run.
+///
+/// Slot reuse is safe because every scheduled gossip event is delivered
+/// exactly once: a slot is freed only by the `take` of its own delivery,
+/// so no two in-flight messages ever share a slot.  Slots never influence
+/// event ordering (the queue orders by time and insertion sequence), so
+/// switching ids to slots is invisible to the simulated trajectory.
+#[derive(Debug)]
+pub struct PendingSlab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u64>,
+}
+
+impl<T> Default for PendingSlab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PendingSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        PendingSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `value`, returning the slot to embed in its delivery event.
+    pub fn insert(&mut self, value: T) -> u64 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(value);
+                slot
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Removes and returns the payload at `slot` (`None` if the slot is
+    /// vacant or out of range), freeing the slot for reuse.
+    pub fn take(&mut self, slot: u64) -> Option<T> {
+        let value = self.slots.get_mut(slot as usize)?.take();
+        if value.is_some() {
+            self.free.push(slot);
+        }
+        value
+    }
+
+    /// Number of occupied slots (in-flight payloads).
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Returns `true` if no payload is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The event loop driver: a deterministic queue plus engine-level metrics.
@@ -154,6 +228,14 @@ impl EventEngine {
     /// Schedules `event` at absolute simulation time `time`.
     pub fn schedule(&mut self, time: SimTime, event: Event) {
         self.queue.schedule(time, event);
+    }
+
+    /// Bulk-schedules a gossip round's messages via
+    /// [`EventQueue::schedule_batch`]: the batch is stably sorted by time
+    /// (so the pop order is bit-identical to one-by-one scheduling) and
+    /// drained, leaving the buffer's capacity for the next round.
+    pub fn schedule_batch(&mut self, batch: &mut Vec<(SimTime, Event)>) {
+        self.queue.schedule_batch(batch);
     }
 
     /// Pops the next event in time order (FIFO among ties), advancing the
@@ -293,6 +375,27 @@ mod tests {
         e.next_event();
         // One op in flight over [1, 3), busy until t=3: mean = 2/3.
         assert!((e.mean_in_flight() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pending_slab_reuses_slots_without_aliasing() {
+        let mut slab: PendingSlab<&str> = PendingSlab::new();
+        assert!(slab.is_empty());
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.take(a), Some("a"));
+        // A vacated or out-of-range slot yields nothing.
+        assert_eq!(slab.take(a), None);
+        assert_eq!(slab.take(999), None);
+        // The freed slot is reused, but never while `b` is still in flight.
+        let c = slab.insert("c");
+        assert_eq!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(slab.take(b), Some("b"));
+        assert_eq!(slab.take(c), Some("c"));
+        assert!(slab.is_empty());
     }
 
     #[test]

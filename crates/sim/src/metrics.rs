@@ -347,6 +347,53 @@ impl SimReport {
     }
 }
 
+/// Wall-clock breakdown of one engine run by pipeline stage, returned by
+/// [`Simulation::run_with_stats`](crate::runner::Simulation::run_with_stats).
+///
+/// The sharded engine alternates between parallel shard drains and serial
+/// spine work at each gossip barrier; the split below is exactly the
+/// Amdahl decomposition of a run — `drain` scales with worker threads,
+/// everything else is the serial fraction.  Timings live **outside**
+/// [`SimReport`] on purpose: reports are compared bit-for-bit across
+/// shard/thread counts and wall-clock measurements would break that.
+///
+/// For the sequential engine (`num_shards ≤ 1`) the whole run is one
+/// drain: `drain_seconds == total_seconds` and the spine stages are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStageTimings {
+    /// Time spent draining shard event queues (parallel across threads).
+    pub drain_seconds: f64,
+    /// Time spent synchronising shard records into the spine cluster at
+    /// barriers (serial).
+    pub sync_seconds: f64,
+    /// Time spent planning gossip rounds on the spine — RNG draws, digest
+    /// assembly, per-shard bucketing (serial).
+    pub plan_seconds: f64,
+    /// Time spent bulk-scheduling the planned messages into shard queues
+    /// (serial).
+    pub route_seconds: f64,
+    /// Wall-clock time of the whole run, including setup and the final
+    /// merge.
+    pub total_seconds: f64,
+}
+
+impl EngineStageTimings {
+    /// Total serial (spine) time: sync + plan + route.
+    pub fn spine_seconds(&self) -> f64 {
+        self.sync_seconds + self.plan_seconds + self.route_seconds
+    }
+
+    /// Serial fraction of the run: spine time over total wall time (0 for
+    /// an instantaneous or sequential run).
+    pub fn spine_fraction(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.spine_seconds() / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One completed operation, as logged by a shard of the parallel engine.
 ///
 /// Latency aggregates ([`SimReport::latency`], the read/write percentile

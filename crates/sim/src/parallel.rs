@@ -13,48 +13,65 @@
 //!    [`SimConfig::threads`](crate::runner::SimConfig::threads) worker
 //!    threads) and the accumulators merge.
 //! 3. With diffusion, the gossip round times are the spine's **barriers**:
-//!    all shards drain strictly past each barrier, the spine synchronises
-//!    a planning cluster from the shards' authoritative per-key records
-//!    (store-if-fresher is monotone, so the sync is exact and
-//!    order-insensitive), applies due crash transitions, plans the round
-//!    on the dedicated gossip RNG stream — drawing *all* message latencies
-//!    eagerly, so the stream never depends on shard outcomes — and routes
-//!    each message to its variable's owning shard.
+//!    all shards drain strictly past each barrier, the spine applies the
+//!    **incremental sync** — each shard replays only the `(server, key)`
+//!    records dirtied since the last barrier (store-if-fresher is
+//!    monotone, so this is bit-identical to a full resync; debug builds
+//!    assert it) — applies due crash transitions, plans the round on the
+//!    dedicated gossip RNG stream — drawing *all* message latencies
+//!    eagerly, so the stream never depends on shard outcomes — and
+//!    accumulates each message into its destination shard's
+//!    [`RoundBatch`], bulk-scheduled in one pre-sorted pass per shard.
 //!
 //! Everything the spine computes is a function of per-variable outcomes
 //! and the seed, never of shard layout or thread interleaving — which is
 //! what makes the merged report bit-identical across all shard counts ≥ 2
 //! and all thread counts.
+//!
+//! Steady-state barrier cost is proportional to *work since the last
+//! barrier* (dirty records + planned messages), not to total simulation
+//! state; [`run_sharded`] reports wall-clock per stage through
+//! [`EngineStageTimings`].
 
 use crate::failure::FailurePlan;
-use crate::metrics::{merge_shard_reports, SimReport};
+use crate::metrics::{merge_shard_reports, EngineStageTimings, SimReport};
 use crate::runner::{
     digest_selector, ConvergenceTracker, GossipMode, ProtocolKind, Simulation, COVERAGE_TARGET,
 };
-use crate::shard::ShardWorld;
+use crate::shard::{RoundBatch, ShardWorld};
 use crate::time::SimTime;
 use crate::workload::WorkloadConfig;
 use pqs_core::system::QuorumSystem;
+#[cfg(debug_assertions)]
 use pqs_core::universe::ServerId;
 use pqs_protocols::cluster::Cluster;
 use pqs_protocols::diffusion;
 use pqs_protocols::server::{Behavior, VariableId};
+use pqs_protocols::timestamp::Timestamp;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Runs the simulation on the sharded engine.  Called from
-/// [`Simulation::run`] when `num_shards ≥ 2`.
-pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> SimReport {
+/// [`Simulation::run_with_stats`] when `num_shards ≥ 2`.
+pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
+    sim: &Simulation<'_, S>,
+) -> (SimReport, EngineStageTimings) {
+    let run_start = Instant::now();
+    let mut stages = EngineStageTimings::default();
     let config = sim.config;
     let num_shards = config.num_shards as u64;
     debug_assert!(num_shards >= 2);
 
     // Trace derivation — the exact main-RNG draw order of the sequential
-    // engine, so the workload and failure plan are engine-independent.
+    // engine, so the workload and failure plan are engine-independent.  A
+    // caller-supplied plan is borrowed, never cloned: crash waves can
+    // carry thousands of transitions and the engine only reads them.
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let plan = match &sim.plan {
-        Some(plan) => plan.clone(),
+    let derived_plan;
+    let plan: &FailurePlan = match &sim.plan {
+        Some(plan) => plan,
         None => {
             let mut plan = FailurePlan::none();
             if config.byzantine > 0 {
@@ -69,7 +86,8 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
                     &mut rng,
                 );
             }
-            plan
+            derived_plan = plan;
+            &derived_plan
         }
     };
     let byz_behavior = match sim.kind {
@@ -85,7 +103,7 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
     .generate(&mut rng);
 
     let mut worlds: Vec<ShardWorld<'_, S>> = (0..num_shards)
-        .map(|shard| ShardWorld::new(sim, &ops, &plan, byz_behavior, shard))
+        .map(|shard| ShardWorld::new(sim, &ops, plan, byz_behavior, shard))
         .collect();
     let threads = (config.threads as usize).min(worlds.len()).max(1);
 
@@ -112,14 +130,26 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
         let mut crash_cursor = 0usize;
         let mut next_gossip_id: u64 = 0;
 
+        // Round-scoped buffers, all reused across barriers: per-shard
+        // message batches, per-shard digest-entry buckets, and the
+        // write-state snapshots for the digest key policies.
+        let mut batches: Vec<RoundBatch> = (0..num_shards).map(|_| RoundBatch::default()).collect();
+        let mut entry_buckets: Vec<Vec<(VariableId, Timestamp)>> =
+            (0..num_shards).map(|_| Vec::new()).collect();
+        let mut write_counts = vec![0u64; nvars];
+        let mut last_writes = vec![f64::NEG_INFINITY; nvars];
+
         // Round `r` fires at `r · period`, accumulated with the sequential
         // engine's own floating-point arithmetic; rounds stop with the
         // foreground arrivals.
         let mut round: u64 = 1;
         let mut t = policy.period;
         loop {
+            let drain_start = Instant::now();
             drain_all(&mut worlds, Some(t), threads);
+            stages.drain_seconds += drain_start.elapsed().as_secs_f64();
 
+            let sync_start = Instant::now();
             // Crash transitions due by now flip the spine's behaviours —
             // in the sequential engine the upfront-seeded transitions pop
             // before the round event at equal times.
@@ -133,8 +163,14 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
                 spine.set_behavior(c.server, behavior);
                 crash_cursor += 1;
             }
-            sync_spine(&mut spine, &worlds, gossip_signed);
+            for world in worlds.iter_mut() {
+                world.sync_dirty_into(&mut spine, gossip_signed);
+            }
+            #[cfg(debug_assertions)]
+            assert_sync_matches_full_resync(sim, &worlds, &spine, gossip_signed);
+            stages.sync_seconds += sync_start.elapsed().as_secs_f64();
 
+            let plan_start = Instant::now();
             rounds += 1;
             let (coverage, correct_servers) = match policy.mode {
                 GossipMode::PushAll => {
@@ -147,15 +183,14 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
                     for push in round_plan.pushes {
                         let rtt = policy.push_latency.sample(&mut gossip_rng);
                         let dest = (push.variable % num_shards) as usize;
-                        worlds[dest].inject_push(t + rtt, next_gossip_id, push);
-                        next_gossip_id += 1;
+                        batches[dest].pushes.push((t + rtt, push));
                     }
                     (round_plan.coverage, round_plan.correct_servers)
                 }
                 GossipMode::DigestDelta => {
-                    let (write_counts, last_write_at) = gather_write_state(&worlds, nvars);
+                    gather_write_state(&worlds, &mut write_counts, &mut last_writes);
                     let selector =
-                        digest_selector(policy.key_policy, round, t, &write_counts, &last_write_at);
+                        digest_selector(policy.key_policy, round, t, &write_counts, &last_writes);
                     let round_plan = diffusion::plan_digest(
                         &spine,
                         policy.fanout as usize,
@@ -173,19 +208,19 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
                         digests_planned += 1;
                         let id = next_gossip_id;
                         next_gossip_id += 1;
-                        for (s, world) in worlds.iter_mut().enumerate() {
-                            let entries: Vec<(VariableId, _)> = digest
-                                .entries
-                                .iter()
-                                .copied()
-                                .filter(|&(v, _)| v % num_shards == s as u64)
-                                .collect();
+                        // One pass buckets the advertised entries by
+                        // owning shard — O(entries + shards) per digest
+                        // instead of a per-shard scan of the full list.
+                        for &entry in &digest.entries {
+                            entry_buckets[(entry.0 % num_shards) as usize].push(entry);
+                        }
+                        for (bucket, batch) in entry_buckets.iter_mut().zip(batches.iter_mut()) {
                             // An incomplete digest with no entries for this
                             // shard can neither transfer nor avoid
                             // anything; a *complete* one still lets the
                             // receiver volunteer records the sender never
                             // advertised, so it visits every shard.
-                            if entries.is_empty() && !digest.complete {
+                            if bucket.is_empty() && !digest.complete {
                                 continue;
                             }
                             let sub = diffusion::GossipDigest {
@@ -193,9 +228,10 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
                                 to: digest.to,
                                 signed: digest.signed,
                                 complete: digest.complete,
-                                entries,
+                                entries: bucket.clone(),
                             };
-                            world.inject_digest(t + digest_rtt, id, sub, delta_rtt);
+                            bucket.clear();
+                            batch.digests.push((t + digest_rtt, id, sub, delta_rtt));
                         }
                     }
                     (round_plan.coverage, round_plan.correct_servers)
@@ -218,6 +254,13 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
                     coverage_events[cov.variable as usize] += 1;
                 }
             }
+            stages.plan_seconds += plan_start.elapsed().as_secs_f64();
+
+            let route_start = Instant::now();
+            for (world, batch) in worlds.iter_mut().zip(batches.iter_mut()) {
+                world.schedule_round_batch(batch);
+            }
+            stages.route_seconds += route_start.elapsed().as_secs_f64();
 
             if t + policy.period <= config.duration {
                 round += 1;
@@ -229,7 +272,9 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
     }
 
     // No more cross-shard traffic will ever be injected: drain everything.
+    let drain_start = Instant::now();
     drain_all(&mut worlds, None, threads);
+    stages.drain_seconds += drain_start.elapsed().as_secs_f64();
 
     // One delta *event* per digest id that produced any records, matching
     // the sequential engine's one-delta-per-digest message count.
@@ -254,7 +299,8 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(sim: &Simulation<'_, S>) -> 
         report.per_variable[v].coverage_rounds_sum = coverage_rounds_sum[v];
         report.per_variable[v].coverage_events = coverage_events[v];
     }
-    report
+    stages.total_seconds = run_start.elapsed().as_secs_f64();
+    (report, stages)
 }
 
 /// Drains every shard up to `barrier` — inline on this thread, or on up to
@@ -283,15 +329,20 @@ fn drain_all<S: QuorumSystem + ?Sized>(
     });
 }
 
-/// Copies every shard's per-key records into the spine's planning cluster.
-/// Stores are monotone (strictly-fresher-wins), so re-syncing unchanged
-/// records is a no-op and the visit order is irrelevant; access counters
-/// are untouched, keeping the load accounting shard-side only.
-fn sync_spine<S: QuorumSystem + ?Sized>(
-    spine: &mut Cluster,
+/// Debug-build invariant behind the incremental sync: after every shard
+/// replays its dirty `(server, key)` pairs, the spine's record state must
+/// be exactly what a from-scratch full resync of every shard record would
+/// produce.  Store-if-fresher is monotone and per-key records live only on
+/// the key's owning shard, so the dirty pairs — however conservatively
+/// over-marked — are sufficient.
+#[cfg(debug_assertions)]
+fn assert_sync_matches_full_resync<S: QuorumSystem + ?Sized>(
+    sim: &Simulation<'_, S>,
     worlds: &[ShardWorld<'_, S>],
+    spine: &Cluster,
     signed: bool,
 ) {
+    let mut full = Cluster::new(sim.system.universe());
     for world in worlds {
         let n = world.cluster.len() as u32;
         for i in 0..n {
@@ -300,35 +351,68 @@ fn sync_spine<S: QuorumSystem + ?Sized>(
             if signed {
                 let vars: Vec<VariableId> = src.signed_variables().collect();
                 for var in vars {
-                    spine
-                        .server_mut(id)
+                    full.server_mut(id)
                         .store_signed_if_fresher(var, src.stored_signed(var));
                 }
             } else {
                 let vars: Vec<VariableId> = src.plain_variables().collect();
                 for var in vars {
-                    spine
-                        .server_mut(id)
+                    full.server_mut(id)
                         .store_plain_if_fresher(var, src.stored_plain(var));
                 }
             }
         }
     }
+    for i in 0..spine.len() as u32 {
+        let id = ServerId::new(i);
+        let inc = spine.server(id);
+        let ful = full.server(id);
+        if signed {
+            let mut a: Vec<_> = inc
+                .signed_variables()
+                .map(|v| (v, inc.stored_signed(v)))
+                .collect();
+            let mut b: Vec<_> = ful
+                .signed_variables()
+                .map(|v| (v, ful.stored_signed(v)))
+                .collect();
+            a.sort_by_key(|e| e.0);
+            b.sort_by_key(|e| e.0);
+            assert_eq!(
+                a, b,
+                "incremental spine sync diverged from full resync at server {i}"
+            );
+        } else {
+            let mut a: Vec<_> = inc
+                .plain_variables()
+                .map(|v| (v, inc.stored_plain(v)))
+                .collect();
+            let mut b: Vec<_> = ful
+                .plain_variables()
+                .map(|v| (v, ful.stored_plain(v)))
+                .collect();
+            a.sort_by_key(|e| e.0);
+            b.sort_by_key(|e| e.0);
+            assert_eq!(
+                a, b,
+                "incremental spine sync diverged from full resync at server {i}"
+            );
+        }
+    }
 }
 
 /// Gathers the authoritative per-variable write counters and latest write
-/// times from each variable's owning shard, for the digest key policies.
+/// times from each variable's owning shard into the caller's reused
+/// buffers, for the digest key policies.
 fn gather_write_state<S: QuorumSystem + ?Sized>(
     worlds: &[ShardWorld<'_, S>],
-    nvars: usize,
-) -> (Vec<u64>, Vec<SimTime>) {
+    counts: &mut [u64],
+    last: &mut [SimTime],
+) {
     let n = worlds.len();
-    let mut counts = vec![0u64; nvars];
-    let mut last = vec![f64::NEG_INFINITY; nvars];
     for (v, (count, at)) in counts.iter_mut().zip(last.iter_mut()).enumerate() {
         let world = &worlds[v % n];
         *count = world.sequences[v];
         *at = world.last_write_at[v];
     }
-    (counts, last)
 }

@@ -51,9 +51,9 @@
 //! Section 1.1 anti-entropy mechanism *inside* simulated time: every
 //! `period` seconds an [`Event::GossipRound`] snapshots the correct
 //! servers' stored records ([`pqs_protocols::diffusion::plan_cluster_round`])
-//! and turns them into individually scheduled [`Event::GossipPush`]
-//! messages, each with its own latency draw, so gossip traffic genuinely
-//! interleaves with in-flight client probes.  Crashed servers skip rounds
+//! and turns them into [`Event::GossipPush`] messages — each with its own
+//! latency draw, bulk-scheduled per round through a reused batch buffer —
+//! so gossip traffic genuinely interleaves with in-flight client probes.  Crashed servers skip rounds
 //! and drop in-flight pushes; Byzantine servers receive but never push —
 //! the same semantics as the synchronous
 //! [`diffuse_plain`](pqs_protocols::diffusion::diffuse_plain) harness.  All
@@ -82,10 +82,10 @@
 //! pre-sharding engine.  See `docs/ARCHITECTURE.md` for the shard map and
 //! barrier protocol.
 
-use crate::event::{Event, EventEngine, OpId};
+use crate::event::{Event, EventEngine, OpId, PendingSlab};
 use crate::failure::FailurePlan;
 use crate::latency::LatencyModel;
-use crate::metrics::{SimReport, VariableReport};
+use crate::metrics::{EngineStageTimings, SimReport, VariableReport};
 use crate::time::SimTime;
 use crate::workload::{KeySpace, OpKind, WorkloadConfig};
 use pqs_core::system::QuorumSystem;
@@ -101,7 +101,8 @@ use pqs_protocols::value::Value;
 use rand::RngCore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Fraction of correct servers a fresh record must reach for the per-key
 /// rounds-to-coverage accounting to call it converged.
@@ -761,15 +762,31 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
 
     /// Runs the simulation to completion and returns its report.
     pub fn run(&self) -> SimReport {
+        self.run_with_stats().0
+    }
+
+    /// Runs the simulation and additionally returns the engine's
+    /// wall-clock stage timings.
+    ///
+    /// On the sequential engine the whole run is one event-loop drain
+    /// (`drain_seconds == total_seconds`, spine stages zero); the sharded
+    /// engine splits each barrier into drain / sync / plan / route.  The
+    /// report half is bit-identical to [`Simulation::run`]; the timings
+    /// half is wall-clock measurement and never feeds back into the
+    /// simulation.
+    pub fn run_with_stats(&self) -> (SimReport, EngineStageTimings) {
         if self.config.num_shards > 1 {
             return crate::parallel::run_sharded(self);
         }
+        let run_start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut cluster = Cluster::new(self.system.universe());
 
-        // Failure plan: either explicit or derived from the config.
-        let plan = match &self.plan {
-            Some(plan) => plan.clone(),
+        // Failure plan: either explicit (borrowed — crash waves can carry
+        // thousands of transitions) or derived from the config.
+        let derived_plan;
+        let plan: &FailurePlan = match &self.plan {
+            Some(plan) => plan,
             None => {
                 let mut plan = FailurePlan::none();
                 if self.config.byzantine > 0 {
@@ -787,7 +804,8 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                         &mut rng,
                     );
                 }
-                plan
+                derived_plan = plan;
+                &derived_plan
             }
         };
         let byz_behavior = match self.kind {
@@ -844,12 +862,14 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         // main stream is untouched.
         let mut gossip_rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x9e37_79b9_7f4a_7c15);
         let gossip_signed = matches!(self.kind, ProtocolKind::Dissemination);
-        let mut pending_pushes: HashMap<u64, diffusion::GossipPush> = HashMap::new();
-        let mut pending_digests: HashMap<u64, diffusion::GossipDigest> = HashMap::new();
-        let mut pending_deltas: HashMap<u64, diffusion::GossipDelta> = HashMap::new();
-        let mut next_push: u64 = 0;
-        let mut next_digest: u64 = 0;
-        let mut next_delta: u64 = 0;
+        let mut pending_pushes: PendingSlab<diffusion::GossipPush> = PendingSlab::new();
+        let mut pending_digests: PendingSlab<diffusion::GossipDigest> = PendingSlab::new();
+        let mut pending_deltas: PendingSlab<diffusion::GossipDelta> = PendingSlab::new();
+        // One reused buffer per run bulk-schedules each gossip round's
+        // messages in ascending-time order (O(1) heap sifts; the stable
+        // sort keeps equal-time plan order, so pops are bit-identical to
+        // one-by-one scheduling).
+        let mut round_batch: Vec<(SimTime, Event)> = Vec::new();
         if let Some(policy) = self.config.diffusion {
             assert!(
                 policy.period > 0.0 && policy.period.is_finite(),
@@ -1014,19 +1034,18 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     // pre-digest code path, RNG draw for draw.
                     let (coverage, correct_servers) = match policy.mode {
                         GossipMode::PushAll => {
-                            let plan = diffusion::plan_cluster_round(
+                            let round_plan = diffusion::plan_cluster_round(
                                 &cluster,
                                 policy.fanout as usize,
                                 gossip_signed,
                                 &mut gossip_rng,
                             );
-                            for push in plan.pushes {
+                            for push in round_plan.pushes {
                                 let rtt = policy.push_latency.sample(&mut gossip_rng);
-                                pending_pushes.insert(next_push, push);
-                                engine.schedule(t + rtt, Event::GossipPush { push: next_push });
-                                next_push += 1;
+                                let slot = pending_pushes.insert(push);
+                                round_batch.push((t + rtt, Event::GossipPush { push: slot }));
                             }
-                            (plan.coverage, plan.correct_servers)
+                            (round_plan.coverage, round_plan.correct_servers)
                         }
                         GossipMode::DigestDelta => {
                             let selector = digest_selector(
@@ -1036,27 +1055,22 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                                 &sequences,
                                 &last_write_at,
                             );
-                            let plan = diffusion::plan_digest(
+                            let round_plan = diffusion::plan_digest(
                                 &cluster,
                                 policy.fanout as usize,
                                 gossip_signed,
                                 &selector,
                                 &mut gossip_rng,
                             );
-                            for digest in plan.digests {
+                            for digest in round_plan.digests {
                                 let rtt = policy.push_latency.sample(&mut gossip_rng);
-                                pending_digests.insert(next_digest, digest);
-                                engine.schedule(
-                                    t + rtt,
-                                    Event::GossipDigest {
-                                        digest: next_digest,
-                                    },
-                                );
-                                next_digest += 1;
+                                let slot = pending_digests.insert(digest);
+                                round_batch.push((t + rtt, Event::GossipDigest { digest: slot }));
                             }
-                            (plan.coverage, plan.correct_servers)
+                            (round_plan.coverage, round_plan.correct_servers)
                         }
                     };
+                    engine.schedule_batch(&mut round_batch);
                     report.gossip_rounds += 1;
                     // Convergence accounting against the planner's coverage
                     // snapshot: a fresher record restarts its variable's
@@ -1091,7 +1105,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     }
                 }
                 Event::GossipPush { push } => {
-                    if let Some(p) = pending_pushes.remove(&push) {
+                    if let Some(p) = pending_pushes.take(push) {
                         let var = p.variable as usize;
                         report.gossip_pushes += 1;
                         report.per_variable[var].gossip_pushes += 1;
@@ -1102,7 +1116,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     }
                 }
                 Event::GossipDigest { digest } => {
-                    if let Some(d) = pending_digests.remove(&digest) {
+                    if let Some(d) = pending_digests.take(digest) {
                         let policy = self
                             .config
                             .diffusion
@@ -1117,16 +1131,18 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                                     .gossip_redundant_pushes_avoided += 1;
                             }
                             if !diff.delta.records.is_empty() {
+                                // The delta's latency draw stays *lazy*
+                                // (here, at digest delivery) — that is this
+                                // engine's pinned RNG draw order.
                                 let rtt = policy.push_latency.sample(&mut gossip_rng);
-                                pending_deltas.insert(next_delta, diff.delta);
-                                engine.schedule(t + rtt, Event::GossipDelta { delta: next_delta });
-                                next_delta += 1;
+                                let slot = pending_deltas.insert(diff.delta);
+                                engine.schedule(t + rtt, Event::GossipDelta { delta: slot });
                             }
                         }
                     }
                 }
                 Event::GossipDelta { delta } => {
-                    if let Some(d) = pending_deltas.remove(&delta) {
+                    if let Some(d) = pending_deltas.take(delta) {
                         // Each delta record counts into the push volume, so
                         // gossip_pushes compares across modes; the original
                         // digest sender is evaluated at delivery time.
@@ -1150,7 +1166,15 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         report.mean_in_flight = engine.mean_in_flight();
         report.per_server_accesses = cluster.access_counts().to_vec();
         report.total_operations = cluster.total_accesses();
-        report
+        let total = run_start.elapsed().as_secs_f64();
+        (
+            report,
+            EngineStageTimings {
+                drain_seconds: total,
+                total_seconds: total,
+                ..EngineStageTimings::default()
+            },
+        )
     }
 
     /// Samples a probe set, creates the attempt's session through the

@@ -16,7 +16,7 @@
 //! merged report bit-identical across all shard counts ≥ 2 and all thread
 //! counts.
 
-use crate::event::{Event, OpId};
+use crate::event::{Event, OpId, PendingSlab};
 use crate::failure::FailurePlan;
 use crate::metrics::VariableReport;
 use crate::metrics::{CompletionRecord, FlightTransition, ShardAccumulator, SimReport};
@@ -26,6 +26,7 @@ use crate::runner::{
 use crate::time::{EventQueue, SimTime};
 use crate::workload::{OpKind, Operation};
 use pqs_core::system::QuorumSystem;
+use pqs_core::universe::ServerId;
 use pqs_protocols::cluster::Cluster;
 use pqs_protocols::crypto::KeyRegistry;
 use pqs_protocols::diffusion;
@@ -35,7 +36,7 @@ use pqs_protocols::server::{Behavior, VariableId};
 use pqs_protocols::value::Value;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Seed of variable `var`'s private RNG stream: a splitmix64-style mix of
 /// the run seed and the variable id, so neighbouring variables get
@@ -49,20 +50,34 @@ pub(crate) fn key_stream_seed(seed: u64, var: VariableId) -> u64 {
 }
 
 /// A digest injected by the spine, waiting for its delivery event: the
-/// sub-digest itself plus the pre-drawn latency of the answering delta
-/// (drawn on the spine so the gossip RNG stream never depends on shard
-/// outcomes).
+/// sub-digest itself, its **global** digest id (events carry slab slots,
+/// so the id used for the cross-shard one-delta-per-digest accounting
+/// rides here) and the pre-drawn latency of the answering delta (drawn on
+/// the spine so the gossip RNG stream never depends on shard outcomes).
 #[derive(Debug)]
 struct PendingDigest {
+    global_id: u64,
     digest: diffusion::GossipDigest,
     delta_rtt: SimTime,
+}
+
+/// One gossip round's cross-shard traffic bound for a single shard,
+/// accumulated by the spine during planning and bulk-scheduled by
+/// [`ShardWorld::schedule_round_batch`].  The buffers are drained each
+/// round and keep their capacity, so steady-state routing allocates
+/// nothing.
+#[derive(Debug, Default)]
+pub(crate) struct RoundBatch {
+    /// `(delivery time, push)` in plan order.
+    pub(crate) pushes: Vec<(SimTime, diffusion::GossipPush)>,
+    /// `(delivery time, global digest id, sub-digest, delta latency)` in
+    /// plan order.
+    pub(crate) digests: Vec<(SimTime, u64, diffusion::GossipDigest, SimTime)>,
 }
 
 /// One shard's complete simulation state.
 #[derive(Debug)]
 pub(crate) struct ShardWorld<'a, S: QuorumSystem + ?Sized> {
-    shard: u64,
-    num_shards: u64,
     config: SimConfig,
     queue: EventQueue<Event>,
     /// The shard's replica-cluster copy.  Per-key server records live only
@@ -70,9 +85,12 @@ pub(crate) struct ShardWorld<'a, S: QuorumSystem + ?Sized> {
     /// every shard so behaviour timelines agree everywhere.
     pub(crate) cluster: Cluster,
     registers: RegisterMap<'a, S>,
-    /// Full-size op table (indexed by global op id); only owned ops ever
-    /// progress here.
+    /// Compact op table: one entry per *owned* op, in arrival order.  A
+    /// shard never inspects other shards' op states, so a full-size table
+    /// would cost `num_shards×` the memory and cold-page time for nothing.
     states: Vec<OpState>,
+    /// Global op id → index into `states` (meaningful for owned ops only).
+    local: Vec<OpId>,
     writes: Vec<WriteLog>,
     /// Per-variable write sequence counters (authoritative for owned
     /// variables; the spine gathers them for the digest key policies).
@@ -83,14 +101,21 @@ pub(crate) struct ShardWorld<'a, S: QuorumSystem + ?Sized> {
     /// One private RNG stream per variable.
     key_rngs: Vec<ChaCha8Rng>,
     acc: ShardAccumulator,
-    pending_pushes: HashMap<u64, diffusion::GossipPush>,
-    pending_digests: HashMap<u64, PendingDigest>,
-    pending_deltas: HashMap<u64, diffusion::GossipDelta>,
+    pending_pushes: PendingSlab<diffusion::GossipPush>,
+    pending_digests: PendingSlab<PendingDigest>,
+    pending_deltas: PendingSlab<diffusion::GossipDelta>,
     /// Global ids of digests this shard answered with a non-empty delta;
     /// the spine counts the union as delta *events* (a digest's delta is
     /// one message in the sequential engine, however many shards
     /// contribute records to it).
     pub(crate) deltas_sent: BTreeSet<u64>,
+    /// `(server index, variable)` pairs whose stored record may have
+    /// changed since the last spine barrier — the write-probe, push and
+    /// delta delivery sites append here.  Marking is conservative (a write
+    /// probe to a crashed server changes nothing) but store-if-fresher is
+    /// monotone, so re-syncing an unchanged record is a no-op and the
+    /// incremental spine sync stays bit-identical to a full resync.
+    dirty: Vec<(u32, VariableId)>,
     oldest_active: usize,
 }
 
@@ -124,9 +149,23 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             RegisterMap::new(sim.system, flavor, 1).with_probe_margin(config.probe_margin as usize);
 
         let mut queue = EventQueue::new();
+        let mut local = vec![0 as OpId; ops.len()];
+        let mut states = Vec::new();
         for (i, op) in ops.iter().enumerate() {
             if op.variable % num_shards == shard {
+                local[i] = states.len() as OpId;
                 queue.schedule(op.at, Event::OpArrival { op: i as OpId });
+                states.push(OpState {
+                    kind: op.kind,
+                    variable: op.variable,
+                    start: op.at,
+                    attempt: 0,
+                    outstanding: 0,
+                    done: false,
+                    session: None,
+                    sequence: 0,
+                    window: None,
+                });
             }
         }
         for transition in &plan.crashes {
@@ -139,21 +178,6 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             );
         }
 
-        let states = ops
-            .iter()
-            .map(|op| OpState {
-                kind: op.kind,
-                variable: op.variable,
-                start: op.at,
-                attempt: 0,
-                outstanding: 0,
-                done: false,
-                session: None,
-                sequence: 0,
-                window: None,
-            })
-            .collect();
-
         let nvars = config.keyspace.keys as usize;
         let report = SimReport {
             per_variable: (0..nvars)
@@ -165,13 +189,12 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             ..SimReport::default()
         };
         ShardWorld {
-            shard,
-            num_shards,
             config,
             queue,
             cluster,
             registers,
             states,
+            local,
             writes: (0..nvars).map(|_| WriteLog::default()).collect(),
             sequences: vec![0; nvars],
             last_write_at: vec![f64::NEG_INFINITY; nvars],
@@ -182,10 +205,11 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                 report,
                 ..ShardAccumulator::default()
             },
-            pending_pushes: HashMap::new(),
-            pending_digests: HashMap::new(),
-            pending_deltas: HashMap::new(),
+            pending_pushes: PendingSlab::new(),
+            pending_digests: PendingSlab::new(),
+            pending_deltas: PendingSlab::new(),
             deltas_sent: BTreeSet::new(),
+            dirty: Vec::new(),
             oldest_active: 0,
         }
     }
@@ -208,24 +232,65 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
         }
     }
 
-    /// Spine injection: one gossip push bound for an owned variable.
-    pub(crate) fn inject_push(&mut self, at: SimTime, id: u64, push: diffusion::GossipPush) {
-        self.pending_pushes.insert(id, push);
-        self.queue.schedule(at, Event::GossipPush { push: id });
+    /// Bulk-schedules one spine-planned round of cross-shard gossip:
+    /// payloads go into the pending slabs and delivery events are inserted
+    /// in ascending-time order (an O(1) heap sift each), replacing the old
+    /// one-call-per-message injection.
+    ///
+    /// Determinism: the queue pops by `(time, insertion sequence)` and the
+    /// sort is **stable**, so equal-time messages keep their plan order —
+    /// the pop order is bit-identical to unsorted per-message injection.
+    /// The batch buffers are drained with capacity kept for the next round.
+    pub(crate) fn schedule_round_batch(&mut self, batch: &mut RoundBatch) {
+        batch
+            .pushes
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (at, push) in batch.pushes.drain(..) {
+            let slot = self.pending_pushes.insert(push);
+            self.queue.schedule(at, Event::GossipPush { push: slot });
+        }
+        batch
+            .digests
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (at, global_id, digest, delta_rtt) in batch.digests.drain(..) {
+            let slot = self.pending_digests.insert(PendingDigest {
+                global_id,
+                digest,
+                delta_rtt,
+            });
+            self.queue
+                .schedule(at, Event::GossipDigest { digest: slot });
+        }
     }
 
-    /// Spine injection: the owned-variable slice of one gossip digest,
-    /// with the answering delta's pre-drawn latency.
-    pub(crate) fn inject_digest(
-        &mut self,
-        at: SimTime,
-        id: u64,
-        digest: diffusion::GossipDigest,
-        delta_rtt: SimTime,
-    ) {
-        self.pending_digests
-            .insert(id, PendingDigest { digest, delta_rtt });
-        self.queue.schedule(at, Event::GossipDigest { digest: id });
+    /// Applies this shard's record changes since the last barrier to the
+    /// spine's planning cluster and clears the dirty list.
+    ///
+    /// The list is sorted and deduplicated first (a hot key can be marked
+    /// many times per window); each surviving `(server, variable)` pair
+    /// re-stores the shard's current record into the spine.  Because
+    /// stores are strictly-fresher-wins and shard records are monotone in
+    /// time, replaying only the dirty pairs leaves the spine bit-identical
+    /// to a from-scratch full resync — an invariant the debug builds check
+    /// at every barrier and the property suite exercises under random
+    /// interleavings.
+    pub(crate) fn sync_dirty_into(&mut self, spine: &mut Cluster, signed: bool) {
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        for &(server, var) in &self.dirty {
+            let id = ServerId::new(server);
+            let src = self.cluster.server(id);
+            if signed {
+                spine
+                    .server_mut(id)
+                    .store_signed_if_fresher(var, src.stored_signed(var));
+            } else {
+                spine
+                    .server_mut(id)
+                    .store_plain_if_fresher(var, src.stored_plain(var));
+            }
+        }
+        self.dirty.clear();
     }
 
     /// Finishes the shard: stamps the cluster-side tallies into the report
@@ -245,20 +310,18 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
         match event {
             Event::OpArrival { op } => {
                 self.acc.logical_events += 1;
-                let idx = op as usize;
+                let idx = self.local[op as usize] as usize;
                 self.acc.transitions.push(FlightTransition {
                     time: t,
                     op,
                     start: true,
                 });
-                // The pruning horizon skips ops owned by other shards —
-                // they never finish here, but their start times still
-                // lower-bound nothing this shard's write logs care about
+                // The compact table holds owned ops in arrival order, so
+                // the first not-done entry bounds the earliest start of
+                // any unfinished op this shard's write logs care about
                 // (staleness is per-variable and variables never cross
                 // shards).
-                while self.oldest_active < self.states.len()
-                    && (self.states[self.oldest_active].done
-                        || self.states[self.oldest_active].variable % self.num_shards != self.shard)
+                while self.oldest_active < self.states.len() && self.states[self.oldest_active].done
                 {
                     self.oldest_active += 1;
                 }
@@ -280,7 +343,14 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                 server,
             } => {
                 self.acc.logical_events += 1;
-                let idx = op as usize;
+                let idx = self.local[op as usize] as usize;
+                if self.states[idx].kind == OpKind::Write {
+                    // The probe's server-side store (which happens whether
+                    // or not the client still cares) may freshen this
+                    // record; non-correct receivers store nothing, but the
+                    // over-mark is harmless — see `dirty`.
+                    self.dirty.push((server.index(), self.states[idx].variable));
+                }
                 let fed =
                     deliver_probe::<S>(&mut self.states[idx], server, &mut self.cluster, attempt);
                 if fed {
@@ -305,7 +375,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             }
             Event::OpTimeout { op, attempt } => {
                 self.acc.logical_events += 1;
-                let idx = op as usize;
+                let idx = self.local[op as usize] as usize;
                 if !self.states[idx].done && self.states[idx].attempt == attempt {
                     let var = self.states[idx].variable as usize;
                     self.acc.report.timed_out_attempts += 1;
@@ -315,7 +385,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             }
             Event::RetryAttempt { op, attempt } => {
                 self.acc.logical_events += 1;
-                let idx = op as usize;
+                let idx = self.local[op as usize] as usize;
                 if !self.states[idx].done && self.states[idx].attempt == attempt {
                     self.start_attempt(op, t);
                 }
@@ -335,13 +405,14 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             }
             Event::GossipPush { push } => {
                 self.acc.logical_events += 1;
-                if let Some(p) = self.pending_pushes.remove(&push) {
+                if let Some(p) = self.pending_pushes.take(push) {
                     let var = p.variable as usize;
                     self.acc.report.gossip_pushes += 1;
                     self.acc.report.per_variable[var].gossip_pushes += 1;
                     if diffusion::deliver(&mut self.cluster, &p) {
                         self.acc.report.gossip_stores += 1;
                         self.acc.report.per_variable[var].gossip_stores += 1;
+                        self.dirty.push((p.to.index(), p.variable));
                     }
                 }
             }
@@ -349,7 +420,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                 // Digest deliveries are spine-level events (counted there:
                 // one digest may fan out to several shards but is one
                 // message); only its per-variable outcomes happen here.
-                if let Some(p) = self.pending_digests.remove(&digest) {
+                if let Some(p) = self.pending_digests.take(digest) {
                     if let Some(diff) = diffusion::diff_digest(&self.cluster, &p.digest) {
                         for &var in &diff.avoided {
                             self.acc.report.gossip_redundant_pushes_avoided += 1;
@@ -357,10 +428,10 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                                 .gossip_redundant_pushes_avoided += 1;
                         }
                         if !diff.delta.records.is_empty() {
-                            self.deltas_sent.insert(digest);
-                            self.pending_deltas.insert(digest, diff.delta);
+                            self.deltas_sent.insert(p.global_id);
+                            let slot = self.pending_deltas.insert(diff.delta);
                             self.queue
-                                .schedule(t + p.delta_rtt, Event::GossipDelta { delta: digest });
+                                .schedule(t + p.delta_rtt, Event::GossipDelta { delta: slot });
                         }
                     }
                 }
@@ -368,7 +439,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             Event::GossipDelta { delta } => {
                 // Likewise counted as one spine-level event per digest id;
                 // the per-record push/store accounting happens here.
-                if let Some(d) = self.pending_deltas.remove(&delta) {
+                if let Some(d) = self.pending_deltas.take(delta) {
                     for (var, record) in &d.records {
                         let vi = *var as usize;
                         self.acc.report.gossip_pushes += 1;
@@ -377,6 +448,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                         if diffusion::deliver_record(&mut self.cluster, d.to, *var, record) {
                             self.acc.report.gossip_stores += 1;
                             self.acc.report.per_variable[vi].gossip_stores += 1;
+                            self.dirty.push((d.to.index(), *var));
                         }
                     }
                 }
@@ -388,7 +460,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
     /// scheduling logic, drawing from the operation's variable's stream.
     fn start_attempt(&mut self, op: OpId, now: SimTime) {
         self.cluster.note_operation();
-        let state = &mut self.states[op as usize];
+        let state = &mut self.states[self.local[op as usize] as usize];
         let rng = &mut self.key_rngs[state.variable as usize];
         let probe = self.registers.sample_probe_set(rng);
         match state.kind {
@@ -435,7 +507,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
 
     /// [`Simulation::end_attempt`]'s sharded twin.
     fn end_attempt(&mut self, op: OpId, now: SimTime) {
-        let idx = op as usize;
+        let idx = self.local[op as usize] as usize;
         let responders = match self.states[idx].session.as_ref() {
             Some(OpSession::Read(s)) => s.responders(),
             Some(OpSession::Write(_, s)) => s.acks(),
@@ -482,7 +554,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
     /// by the merge); per-variable stats record directly, their order being
     /// the variable's own completion order regardless of sharding.
     fn finalize(&mut self, op: OpId, now: SimTime) {
-        let idx = op as usize;
+        let idx = self.local[op as usize] as usize;
         let state = &mut self.states[idx];
         state.done = true;
         let latency = now - state.start;

@@ -426,6 +426,64 @@ fn sharded_reports_are_identical_across_shard_and_thread_counts() {
 /// engine (the pins above); `num_shards ≥ 2` is a second deterministic
 /// family — per-variable RNG streams instead of one global stream — whose
 /// trajectory this test freezes so it can never drift silently.
+/// A second pinned fingerprint for the sharded family, captured from the
+/// PR 6 engine on an 8-shard/2-thread **full-push** run of `sharded_base`
+/// with the same mid-run crash wave.  Together with the digest/delta pin
+/// below this freezes both gossip modes of the sharded trajectory, so the
+/// hot-path work (incremental spine sync, batched routing, slab pending
+/// stores) can be proven bit-preserving, not merely plausible.
+#[test]
+#[allow(clippy::excessive_precision)]
+fn sharded_full_push_fingerprint_is_pinned() {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = sharded_base();
+    config.num_shards = 8;
+    config.threads = 2;
+    config.diffusion = Some(
+        DiffusionPolicy::full_push(0.2, 2)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+    );
+    let r = Simulation::new(&sys, ProtocolKind::Safe, config)
+        .with_failure_plan(mid_run_wave())
+        .run();
+    assert_eq!(r.completed_reads, 1256);
+    assert_eq!(r.completed_writes, 323);
+    assert_eq!(r.stale_reads, 0);
+    assert_eq!(r.empty_reads, 0);
+    assert_eq!(r.unavailable_ops, 0);
+    assert_eq!(r.concurrent_reads, 23);
+    assert_eq!(r.retries, 0);
+    assert_eq!(r.timed_out_attempts, 0);
+    assert_eq!(r.gossip_rounds, 100);
+    assert_eq!(r.gossip_digests, 0);
+    assert_eq!(r.gossip_pushes, 499250);
+    assert_eq!(r.gossip_stores, 17867);
+    assert_eq!(r.gossip_redundant_pushes_avoided, 0);
+    assert_eq!(r.events_processed, 541993);
+    assert_eq!(r.max_in_flight, 5);
+    assert_eq!(r.total_operations, 1579);
+    // Floating-point trajectories, pinned to the bit.
+    assert_eq!(r.mean_in_flight, 4.5105489249514724e-1);
+    assert_eq!(r.mean_latency(), 5.7143094013534885e-3);
+    assert_eq!(r.p99_latency(), 1.3249916559010089e-2);
+    let hash = r
+        .per_server_accesses
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &c)| {
+            acc.wrapping_mul(1000003).wrapping_add(c ^ i as u64)
+        });
+    assert_eq!(hash, 12038364402710033471);
+    // The hot key's gossip and convergence accounting, also frozen.
+    let hot = &r.per_variable[0];
+    assert_eq!(hot.gossip_pushes, 18165);
+    assert_eq!(hot.gossip_stores, 3259);
+    assert_eq!(hot.coverage_rounds_sum, 15);
+    assert_eq!(hot.coverage_events, 5);
+    assert_eq!(hot.stale_reads, 0);
+    assert_eq!(hot.completed_reads, 314);
+}
+
 #[test]
 #[allow(clippy::excessive_precision)]
 fn sharded_family_fingerprint_is_pinned() {

@@ -603,3 +603,57 @@ proptest! {
         prop_assert!(q1.intersection_size(&q2) >= (2 * b + 1) as usize);
     }
 }
+
+// The sharded-engine case below runs two full simulations (with the
+// debug-mode spine asserts engaged) per input, so it gets a smaller case
+// budget than the block above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharded engine's determinism claim, fuzzed: for random seeds,
+    /// arrival rates, gossip modes and crash waves, a 4-shard/2-thread run
+    /// produces a report bit-identical to the 2-shard/1-thread run.  In
+    /// debug builds (which tests are) every spine barrier also
+    /// `debug_assert!`s that the incremental dirty-key sync left the spine
+    /// in exactly the state a full per-server resync would have — so this
+    /// test doubles as the property check that incremental sync ≡ full
+    /// resync on arbitrary workloads.
+    #[test]
+    fn sharded_reports_are_shard_and_thread_invariant(
+        seed in 0u64..10_000,
+        rate in 40.0f64..160.0,
+        digest_mode in 0u32..2,
+        crash_wave in 0u32..2,
+    ) {
+        let sys = EpsilonIntersecting::new(49, 7).unwrap();
+        let config = |num_shards: u32, threads: u32| {
+            let policy = if digest_mode == 1 {
+                DiffusionPolicy::digest_delta(0.2, 2)
+            } else {
+                DiffusionPolicy::full_push(0.2, 2)
+            };
+            SimConfig::builder()
+                .with_duration(4.0)
+                .with_arrival_rate(rate)
+                .with_read_fraction(0.8)
+                .with_keyspace(KeySpace::zipf(16, 1.0))
+                .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+                .with_probe_margin(1)
+                .with_op_timeout(0.05)
+                .with_max_retries(2)
+                .with_crash_probability(if crash_wave == 1 { 0.15 } else { 0.0 })
+                .with_diffusion(policy.with_push_latency(LatencyModel::Exponential { mean: 2e-3 }))
+                .with_seed(seed)
+                .with_num_shards(num_shards)
+                .with_threads(threads)
+                .build()
+        };
+        let reference = Simulation::new(&sys, ProtocolKind::Safe, config(2, 1)).run();
+        let wide = Simulation::new(&sys, ProtocolKind::Safe, config(4, 2)).run();
+        prop_assert!(
+            reference.completed_reads + reference.completed_writes > 0,
+            "degenerate case: no operations completed"
+        );
+        prop_assert_eq!(reference, wide);
+    }
+}
