@@ -26,6 +26,11 @@
 //!   spine's barrier work (sync + plan + route, from
 //!   [`pqs_sim::metrics::EngineStageTimings`]); CI uses it to keep the
 //!   incremental sync and batched routing proportional to per-round work.
+//! * `PQS_BENCH_QUEUE_FLOOR=<ops/sec>` — exit nonzero if the calendar
+//!   queue's *hold* throughput (pop + reschedule at constant depth) at
+//!   10^6 pending events falls below the floor; CI uses it to pin the
+//!   O(1)-amortized scheduling claim at the depth where a binary heap's
+//!   log factor is unmistakable.
 //!
 //! Every invocation writes the measured numbers — including the per-run
 //! drain/sync/plan/route stage breakdown — to
@@ -37,6 +42,7 @@ use pqs_core::prelude::*;
 use pqs_sim::latency::LatencyModel;
 use pqs_sim::metrics::EngineStageTimings;
 use pqs_sim::runner::{DiffusionPolicy, ProtocolKind, SimConfig, Simulation};
+use pqs_sim::time::{EventQueue, QueueKind};
 use pqs_sim::workload::KeySpace;
 use std::io::Write as _;
 use std::time::Instant;
@@ -151,13 +157,105 @@ fn reference_runs(sys: &EpsilonIntersecting, threads: Option<u32>) -> Vec<Measur
     measured
 }
 
+/// One timed queue-depth cell: backend name, held depth, hold operations
+/// performed (one pop + one schedule each) and wall-clock seconds.
+struct QueueMeasured {
+    name: String,
+    depth: usize,
+    ops: u64,
+    seconds: f64,
+}
+
+impl QueueMeasured {
+    fn ops_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.ops as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// SplitMix64 step: a tiny deterministic generator so the queue microbench
+/// needs no RNG dependency and replays identically run to run.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from SplitMix64 bits.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds a queue of `kind` holding `depth` pending events with times
+/// uniform over `[0, depth)` — unit mean spacing, the density the hold
+/// loop maintains.
+fn prefilled_queue(kind: QueueKind, depth: usize, state: &mut u64) -> EventQueue<u64> {
+    let mut queue = EventQueue::with_kind(kind);
+    let span = depth as f64;
+    for i in 0..depth {
+        queue.schedule(unit_f64(state) * span, i as u64);
+    }
+    queue
+}
+
+/// The classic *hold* microbenchmark over the two `EventQueue` backends:
+/// at a constant pending depth, each operation pops the earliest event and
+/// reschedules it a uniform `[0, depth)` ahead, so the queue stays at the
+/// target depth while cycling through its buckets.  ops/sec at depth 10^6
+/// vs 10^2 is the O(1)-vs-O(log n) story in one table.
+fn queue_depth_runs() -> Vec<QueueMeasured> {
+    let mut measured = Vec::new();
+    for &depth in &[100usize, 10_000, 1_000_000] {
+        for (kind_name, kind) in [("heap", QueueKind::Heap), ("calendar", QueueKind::Calendar)] {
+            let mut state = 0x5eed_0000 + depth as u64;
+            let mut queue = prefilled_queue(kind, depth, &mut state);
+            let span = depth as f64;
+            let ops = 400_000u64;
+            // Warm the hold loop before timing so the first bucket lap and
+            // any initial resize settle out of the measurement.
+            for _ in 0..(ops / 10) {
+                let (t, ev) = queue.pop().expect("hold keeps the queue non-empty");
+                queue.schedule(t + unit_f64(&mut state) * span, ev);
+            }
+            let start = Instant::now();
+            for _ in 0..ops {
+                let (t, ev) = queue.pop().expect("hold keeps the queue non-empty");
+                queue.schedule(t + unit_f64(&mut state) * span, ev);
+            }
+            let seconds = start.elapsed().as_secs_f64();
+            let m = QueueMeasured {
+                name: format!("{kind_name}/{depth}"),
+                depth,
+                ops,
+                seconds,
+            };
+            println!(
+                "queue_depth({}): {} hold ops in {:.3}s -> {:.0} ops/sec",
+                m.name,
+                m.ops,
+                seconds,
+                m.ops_per_sec(),
+            );
+            measured.push(m);
+        }
+    }
+    measured
+}
+
 /// Serialises the measurements (and the floor verdicts) as JSON by hand —
 /// the vendored serde shim's derives are no-ops, so formatting is explicit.
 fn write_json(
     measured: &[Measured],
+    queue_measured: &[QueueMeasured],
     floor: Option<f64>,
     threads_floor: Option<f64>,
     spine_max: Option<f64>,
+    queue_floor: Option<f64>,
     pass: bool,
 ) {
     let best = measured
@@ -184,17 +282,35 @@ fn write_json(
             )
         })
         .collect();
+    let queue_runs: Vec<String> = queue_measured
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\": \"{}\", \"depth\": {}, \"ops\": {}, \
+                 \"seconds\": {:.6}, \"ops_per_sec\": {:.0}}}",
+                m.name,
+                m.depth,
+                m.ops,
+                m.seconds,
+                m.ops_per_sec(),
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"event_engine\",\n  \"floor_events_per_sec\": {},\n  \
          \"threads_floor_events_per_sec\": {},\n  \
          \"spine_max_fraction\": {},\n  \
-         \"best_events_per_sec\": {:.0},\n  \"pass\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+         \"queue_floor_ops_per_sec\": {},\n  \
+         \"best_events_per_sec\": {:.0},\n  \"pass\": {},\n  \"runs\": [\n{}\n  ],\n  \
+         \"queue_depth\": [\n{}\n  ]\n}}\n",
         floor.map_or("null".to_string(), |f| format!("{f:.0}")),
         threads_floor.map_or("null".to_string(), |f| format!("{f:.0}")),
         spine_max.map_or("null".to_string(), |f| format!("{f:.3}")),
+        queue_floor.map_or("null".to_string(), |f| format!("{f:.0}")),
         best,
         pass,
-        runs.join(",\n")
+        runs.join(",\n"),
+        queue_runs.join(",\n")
     );
     let dir = pqs_bench::output_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -227,8 +343,12 @@ fn bench_engine_throughput(c: &mut Criterion) {
         v.parse()
             .expect("PQS_BENCH_SPINE_MAX_FRACTION must be a number in 0..1")
     });
+    let queue_floor: Option<f64> = std::env::var("PQS_BENCH_QUEUE_FLOOR")
+        .ok()
+        .map(|v| v.parse().expect("PQS_BENCH_QUEUE_FLOOR must be a number"));
 
     let measured = reference_runs(&sys, threads);
+    let queue_measured = queue_depth_runs();
     let best = measured
         .iter()
         .map(Measured::events_per_sec)
@@ -252,8 +372,27 @@ fn bench_engine_throughput(c: &mut Criterion) {
         Some(f) => spine_fraction.is_some_and(|s| s <= f),
         None => true,
     };
-    let pass = serial_pass && threads_pass && spine_pass;
-    write_json(&measured, floor, threads_floor, spine_max, pass);
+    // The O(1) guarantee is what the floor pins: the calendar backend at
+    // the deepest cell (10^6 pending) must still clear the floor, where a
+    // log-depth backend visibly cannot.
+    let deep_calendar: Option<f64> = queue_measured
+        .iter()
+        .find(|m| m.name == "calendar/1000000")
+        .map(QueueMeasured::ops_per_sec);
+    let queue_pass = match queue_floor {
+        Some(f) => deep_calendar.is_some_and(|r| r >= f),
+        None => true,
+    };
+    let pass = serial_pass && threads_pass && spine_pass && queue_pass;
+    write_json(
+        &measured,
+        &queue_measured,
+        floor,
+        threads_floor,
+        spine_max,
+        queue_floor,
+        pass,
+    );
     if let Some(f) = floor {
         if serial_pass {
             println!("bench floor: best {best:.0} events/sec >= floor {f:.0} — ok");
@@ -291,6 +430,21 @@ fn bench_engine_throughput(c: &mut Criterion) {
             ),
             None => eprintln!(
                 "bench spine fraction VIOLATED: no sharded gossip cell was \
+                 measured"
+            ),
+        }
+    }
+    if let Some(f) = queue_floor {
+        match deep_calendar {
+            Some(r) if r >= f => {
+                println!("bench queue floor: calendar/1000000 {r:.0} ops/sec >= floor {f:.0} — ok");
+            }
+            Some(r) => eprintln!(
+                "bench queue floor VIOLATED: calendar/1000000 {r:.0} ops/sec \
+                 < floor {f:.0} — the calendar queue lost its O(1) hold cost"
+            ),
+            None => eprintln!(
+                "bench queue floor VIOLATED: no calendar/1000000 cell was \
                  measured"
             ),
         }
@@ -340,6 +494,28 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 bench.iter(|| Simulation::new(&sys, ProtocolKind::Safe, config).run())
             },
         );
+    }
+    group.finish();
+
+    // The event-queue hold cost in isolation, at three pending depths: the
+    // heap column grows with log(depth), the calendar column must not.
+    let mut group = c.benchmark_group("queue_depth");
+    for &depth in &[100usize, 10_000, 1_000_000] {
+        for (kind_name, kind) in [("heap", QueueKind::Heap), ("calendar", QueueKind::Calendar)] {
+            group.bench_with_input(
+                BenchmarkId::new(kind_name, depth),
+                &depth,
+                |bench, &depth| {
+                    let mut state = 0x5eed_0000 + depth as u64;
+                    let mut queue = prefilled_queue(kind, depth, &mut state);
+                    let span = depth as f64;
+                    bench.iter(|| {
+                        let (t, ev) = queue.pop().expect("hold keeps the queue non-empty");
+                        queue.schedule(t + unit_f64(&mut state) * span, ev);
+                    })
+                },
+            );
+        }
     }
     group.finish();
 

@@ -221,8 +221,7 @@ fn main() {
             / (calib_long - calib_short))
             .max(1.0);
         let ramp_offset = short.events_processed as f64 - events_per_sim_sec * calib_short;
-        let duration =
-            ((1.05 * target as f64 - ramp_offset) / events_per_sim_sec).max(calib_short);
+        let duration = ((1.05 * target as f64 - ramp_offset) / events_per_sim_sec).max(calib_short);
         println!(
             "soak: calibrated {events_per_sim_sec:.0} events/sim-sec, \
              running {duration:.1} simulated seconds for a {target}-event target"

@@ -42,6 +42,16 @@ impl Cluster {
         self.universe
     }
 
+    /// Pre-sizes every server's dense record stores for a key space of
+    /// `keys` variables ([`ReplicaServer::reserve_variables`] per
+    /// server) — a capacity hint the simulation drivers apply once at
+    /// start-up so the hot path never reallocates.
+    pub fn reserve_variables(&mut self, keys: u64) {
+        for server in &mut self.servers {
+            server.reserve_variables(keys);
+        }
+    }
+
     /// Number of servers.
     pub fn len(&self) -> usize {
         self.servers.len()

@@ -72,7 +72,7 @@ use crate::value::TaggedValue;
 use pqs_core::universe::ServerId;
 use rand::Rng;
 use rand::RngCore;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Configuration of the gossip process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +191,51 @@ pub struct VariableCoverage {
     pub holders: u32,
 }
 
+/// Dense per-variable coverage accumulator shared by the round planners.
+///
+/// Variable ids are dense (`0..keys`), so a slot vector replaces the
+/// `HashMap` the planners used to rebuild every round: no hash per
+/// (sender, key) visit, and the final snapshot falls out in ascending id
+/// order without a sort.
+struct CoverageScratch {
+    slots: Vec<(Timestamp, u32)>,
+}
+
+impl CoverageScratch {
+    fn new() -> Self {
+        CoverageScratch { slots: Vec::new() }
+    }
+
+    /// Records that one correct server holds `variable` at `ts`
+    /// (non-initial: callers skip [`Timestamp::ZERO`] records).
+    fn note(&mut self, variable: VariableId, ts: Timestamp) {
+        let idx = variable as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, (Timestamp::ZERO, 0));
+        }
+        let entry = &mut self.slots[idx];
+        if ts > entry.0 {
+            *entry = (ts, 1);
+        } else if ts == entry.0 {
+            entry.1 += 1;
+        }
+    }
+
+    /// The snapshot, sorted by variable id (slots come out ascending).
+    fn into_coverage(self) -> Vec<VariableCoverage> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, (_, holders))| holders > 0)
+            .map(|(variable, (freshest, holders))| VariableCoverage {
+                variable: variable as VariableId,
+                freshest,
+                holders,
+            })
+            .collect()
+    }
+}
+
 /// One planned engine round: the pushes of every correct server for every
 /// variable it holds, plus the coverage snapshot the planner computed on
 /// the way.
@@ -222,10 +267,12 @@ pub fn plan_cluster_round(
 ) -> RoundPlan {
     let n = cluster.len();
     let mut pushes = Vec::new();
-    let mut coverage: HashMap<VariableId, (Timestamp, u32)> = HashMap::new();
+    let mut coverage = CoverageScratch::new();
     let mut correct_servers = 0u32;
     // One key buffer reused across senders: the planner runs every gossip
     // round, so per-sender allocations would be a steady-state hot spot.
+    // The dense store yields held keys already ascending, so the visit
+    // order (and hence the RNG stream) needs no per-sender sort.
     let mut variables: Vec<VariableId> = Vec::new();
     for i in 0..n as u32 {
         let sender = cluster.server(ServerId::new(i));
@@ -239,7 +286,6 @@ pub fn plan_cluster_round(
         } else {
             variables.extend(sender.plain_variables());
         }
-        variables.sort_unstable();
         for &variable in &variables {
             let record = if signed {
                 GossipRecord::Signed(sender.stored_signed(variable))
@@ -249,13 +295,7 @@ pub fn plan_cluster_round(
             if record.is_initial() {
                 continue;
             }
-            let entry = coverage.entry(variable).or_insert((Timestamp::ZERO, 0));
-            let ts = record.timestamp();
-            if ts > entry.0 {
-                *entry = (ts, 1);
-            } else if ts == entry.0 {
-                entry.1 += 1;
-            }
+            coverage.note(variable, record.timestamp());
             for _ in 0..fanout {
                 let peer = rng.gen_range(0..n);
                 if peer == i as usize {
@@ -270,18 +310,9 @@ pub fn plan_cluster_round(
             }
         }
     }
-    let mut coverage: Vec<VariableCoverage> = coverage
-        .into_iter()
-        .map(|(variable, (freshest, holders))| VariableCoverage {
-            variable,
-            freshest,
-            holders,
-        })
-        .collect();
-    coverage.sort_unstable_by_key(|c| c.variable);
     RoundPlan {
         pushes,
-        coverage,
+        coverage: coverage.into_coverage(),
         correct_servers,
     }
 }
@@ -406,11 +437,12 @@ pub fn plan_digest(
 ) -> DigestRoundPlan {
     let n = cluster.len();
     let mut digests = Vec::new();
-    let mut coverage: HashMap<VariableId, (Timestamp, u32)> = HashMap::new();
+    let mut coverage = CoverageScratch::new();
     let mut correct_servers = 0u32;
     // Per-sender scratch buffers, reused across the whole round (the
     // per-digest `entries.clone()` below is inherent — each message owns
-    // its entry list — but the scratch itself allocates only once).
+    // its entry list — but the scratch itself allocates only once).  The
+    // dense store yields held keys already ascending — no per-sender sort.
     let mut held: Vec<VariableId> = Vec::new();
     let mut entries: Vec<(VariableId, Timestamp)> = Vec::new();
     for i in 0..n as u32 {
@@ -425,7 +457,6 @@ pub fn plan_digest(
         } else {
             held.extend(sender.plain_variables());
         }
-        held.sort_unstable();
         let timestamp_of = |v: VariableId| {
             if signed {
                 sender.stored_signed_timestamp(v)
@@ -442,12 +473,7 @@ pub fn plan_digest(
             if ts == Timestamp::ZERO {
                 continue;
             }
-            let entry = coverage.entry(variable).or_insert((Timestamp::ZERO, 0));
-            if ts > entry.0 {
-                *entry = (ts, 1);
-            } else if ts == entry.0 {
-                entry.1 += 1;
-            }
+            coverage.note(variable, ts);
             if selector.is_complete() {
                 entries.push((variable, ts));
             }
@@ -470,18 +496,9 @@ pub fn plan_digest(
             });
         }
     }
-    let mut coverage: Vec<VariableCoverage> = coverage
-        .into_iter()
-        .map(|(variable, (freshest, holders))| VariableCoverage {
-            variable,
-            freshest,
-            holders,
-        })
-        .collect();
-    coverage.sort_unstable_by_key(|c| c.variable);
     DigestRoundPlan {
         digests,
-        coverage,
+        coverage: coverage.into_coverage(),
         correct_servers,
     }
 }
@@ -542,12 +559,12 @@ pub fn diff_digest(cluster: &Cluster, digest: &GossipDigest) -> Option<DigestDif
     }
     if digest.complete {
         let advertised: BTreeSet<VariableId> = digest.entries.iter().map(|&(v, _)| v).collect();
-        let mut extra: Vec<VariableId> = if digest.signed {
+        // The dense store walks held keys in ascending order already.
+        let extra: Vec<VariableId> = if digest.signed {
             receiver.signed_variables().collect()
         } else {
             receiver.plain_variables().collect()
         };
-        extra.sort_unstable();
         for variable in extra {
             if advertised.contains(&variable) || timestamp_of(variable) == Timestamp::ZERO {
                 continue;

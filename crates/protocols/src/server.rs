@@ -19,7 +19,7 @@ use crate::crypto::SignedValue;
 use crate::timestamp::Timestamp;
 use crate::value::{TaggedValue, Value};
 use pqs_core::universe::ServerId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a replicated variable (register) held by the servers.
 pub type VariableId = u64;
@@ -61,13 +61,88 @@ pub fn forged_timestamp() -> Timestamp {
     Timestamp::new(u64::MAX / 2, u32::MAX)
 }
 
+/// Variable ids below this bound live in the dense slot tier of a
+/// [`RecordStore`]; ids at or above it (the apps hash entity names into
+/// the full `u64` space) spill into the ordered sparse tier.  2^16 slots
+/// comfortably covers every simulator key space while capping the dense
+/// tier's worst-case footprint per server.
+const DENSE_LIMIT: VariableId = 1 << 16;
+
+/// Per-variable record storage: a dense slot vector for the workload
+/// layer's ids (`0..keys`, so a direct index replaces the hash-and-probe
+/// a map would pay on every probe and gossip delivery) plus an ordered
+/// sparse overflow for hashed ids beyond [`DENSE_LIMIT`].
+///
+/// A slot is occupied exactly when it holds a record fresher than
+/// [`Timestamp::ZERO`] (the only insertion paths are the server's
+/// `store_*_if_fresher` merge rules).  Iteration is **ascending by id**
+/// by construction — dense slots scan in index order, the sparse tier is
+/// a `BTreeMap` whose keys all exceed the dense tier's — which is what
+/// lets the gossip planners drop their per-sender sorts.
+#[derive(Debug, Clone, Default)]
+struct RecordStore<T> {
+    dense: Vec<Option<T>>,
+    sparse: BTreeMap<VariableId, T>,
+}
+
+impl<T> RecordStore<T> {
+    fn new() -> Self {
+        RecordStore {
+            dense: Vec::new(),
+            sparse: BTreeMap::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, var: VariableId) -> Option<&T> {
+        if var < DENSE_LIMIT {
+            self.dense.get(var as usize).and_then(Option::as_ref)
+        } else {
+            self.sparse.get(&var)
+        }
+    }
+
+    fn set(&mut self, var: VariableId, value: T) {
+        if var < DENSE_LIMIT {
+            let idx = var as usize;
+            if idx >= self.dense.len() {
+                self.dense.resize_with(idx + 1, || None);
+            }
+            self.dense[idx] = Some(value);
+        } else {
+            self.sparse.insert(var, value);
+        }
+    }
+
+    /// Capacity hint for a key space of `keys` dense ids.
+    fn reserve(&mut self, keys: u64) {
+        let cap = keys.min(DENSE_LIMIT) as usize;
+        self.dense.reserve(cap.saturating_sub(self.dense.len()));
+    }
+
+    /// Held variable ids, ascending.
+    fn variables(&self) -> impl Iterator<Item = VariableId> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(idx, _)| idx as VariableId)
+            .chain(self.sparse.keys().copied())
+    }
+}
+
 /// A replica server.
+///
+/// Per-variable records live in a two-tier record store: dense `Vec`
+/// slots indexed directly by [`VariableId`] (with a sparse overflow tier
+/// for hashed ids), lazily grown to the highest id actually stored — see
+/// [`reserve_variables`](Self::reserve_variables) for pre-sizing.
 #[derive(Debug, Clone)]
 pub struct ReplicaServer {
     id: ServerId,
     behavior: Behavior,
-    plain: HashMap<VariableId, TaggedValue>,
-    signed: HashMap<VariableId, SignedValue>,
+    plain: RecordStore<TaggedValue>,
+    signed: RecordStore<SignedValue>,
 }
 
 impl ReplicaServer {
@@ -76,9 +151,17 @@ impl ReplicaServer {
         ReplicaServer {
             id,
             behavior: Behavior::Correct,
-            plain: HashMap::new(),
-            signed: HashMap::new(),
+            plain: RecordStore::new(),
+            signed: RecordStore::new(),
         }
+    }
+
+    /// Pre-allocates both record stores for a key space of `keys` dense
+    /// variable ids, so steady-state stores never reallocate.  Purely a
+    /// capacity hint: occupancy (and hence iteration) is unchanged.
+    pub fn reserve_variables(&mut self, keys: u64) {
+        self.plain.reserve(keys);
+        self.signed.reserve(keys);
     }
 
     /// The server's id.
@@ -96,19 +179,29 @@ impl ReplicaServer {
         self.behavior = behavior;
     }
 
+    /// The stored plain record's slot, `None` when unheld.
+    #[inline]
+    fn plain_slot(&self, var: VariableId) -> Option<&TaggedValue> {
+        self.plain.get(var)
+    }
+
+    /// The stored signed record's slot, `None` when unheld.
+    #[inline]
+    fn signed_slot(&self, var: VariableId) -> Option<&SignedValue> {
+        self.signed.get(var)
+    }
+
     /// The plain (unsigned) record the server *actually* stores for `var`,
     /// regardless of behaviour — useful for assertions and diffusion.
     pub fn stored_plain(&self, var: VariableId) -> TaggedValue {
-        self.plain
-            .get(&var)
+        self.plain_slot(var)
             .cloned()
             .unwrap_or_else(TaggedValue::initial)
     }
 
     /// The signed record the server actually stores for `var`.
     pub fn stored_signed(&self, var: VariableId) -> SignedValue {
-        self.signed
-            .get(&var)
+        self.signed_slot(var)
             .cloned()
             .unwrap_or_else(SignedValue::unsigned_initial)
     }
@@ -117,16 +210,14 @@ impl ReplicaServer {
     /// ([`Timestamp::ZERO`] when unheld) — a clone-free accessor for the
     /// digest planner's per-key version summaries.
     pub fn stored_plain_timestamp(&self, var: VariableId) -> Timestamp {
-        self.plain
-            .get(&var)
+        self.plain_slot(var)
             .map_or(Timestamp::ZERO, |tv| tv.timestamp)
     }
 
     /// Timestamp of the stored signed record for `var`
     /// ([`Timestamp::ZERO`] when unheld), without cloning the signature.
     pub fn stored_signed_timestamp(&self, var: VariableId) -> Timestamp {
-        self.signed
-            .get(&var)
+        self.signed_slot(var)
             .map_or(Timestamp::ZERO, |sv| sv.tagged.timestamp)
     }
 
@@ -186,9 +277,11 @@ impl ReplicaServer {
     /// the incoming record replaced the stored one (it was strictly
     /// fresher), which the gossip layer uses to count effective pushes.
     pub fn store_plain_if_fresher(&mut self, var: VariableId, incoming: TaggedValue) -> bool {
-        let current = self.stored_plain(var);
-        if incoming.timestamp > current.timestamp {
-            self.plain.insert(var, incoming);
+        let current = self
+            .plain_slot(var)
+            .map_or(Timestamp::ZERO, |tv| tv.timestamp);
+        if incoming.timestamp > current {
+            self.plain.set(var, incoming);
             true
         } else {
             false
@@ -198,23 +291,28 @@ impl ReplicaServer {
     /// Stores a signed record if it is fresher than the current one.
     /// Returns `true` if the incoming record replaced the stored one.
     pub fn store_signed_if_fresher(&mut self, var: VariableId, incoming: SignedValue) -> bool {
-        let current = self.stored_signed(var);
-        if incoming.tagged.timestamp > current.tagged.timestamp {
-            self.signed.insert(var, incoming);
+        let current = self
+            .signed_slot(var)
+            .map_or(Timestamp::ZERO, |sv| sv.tagged.timestamp);
+        if incoming.tagged.timestamp > current {
+            self.signed.set(var, incoming);
             true
         } else {
             false
         }
     }
 
-    /// All variables for which this server holds a plain record.
+    /// All variables for which this server holds a plain record, in
+    /// **ascending id order** — a linear scan over the dense slots, which
+    /// the gossip planners rely on to skip re-sorting per sender.
     pub fn plain_variables(&self) -> impl Iterator<Item = VariableId> + '_ {
-        self.plain.keys().copied()
+        self.plain.variables()
     }
 
-    /// All variables for which this server holds a signed record.
+    /// All variables for which this server holds a signed record, in
+    /// **ascending id order** (see [`plain_variables`](Self::plain_variables)).
     pub fn signed_variables(&self) -> impl Iterator<Item = VariableId> + '_ {
-        self.signed.keys().copied()
+        self.signed.variables()
     }
 }
 
@@ -306,6 +404,30 @@ mod tests {
     #[test]
     fn default_behavior_is_correct() {
         assert_eq!(Behavior::default(), Behavior::Correct);
+    }
+
+    #[test]
+    fn held_variables_iterate_in_ascending_id_order() {
+        // The gossip planners skip per-sender sorts on the strength of
+        // this: dense slots yield ids ascending no matter the insertion
+        // order, and unheld ids in between never appear.
+        let mut s = ReplicaServer::new(ServerId::new(0));
+        s.reserve_variables(16);
+        for var in [9u64, 2, 11, 0, 5] {
+            assert!(s.store_plain_if_fresher(var, tv(var, 1)));
+        }
+        assert!(s.plain_variables().eq([0u64, 2, 5, 9, 11]));
+        // A stale store (timestamp ZERO never beats an empty slot) does
+        // not occupy a slot.
+        assert!(!s.store_plain_if_fresher(13, TaggedValue::initial()));
+        assert!(s.plain_variables().eq([0u64, 2, 5, 9, 11]));
+        assert_eq!(s.stored_plain_timestamp(13), Timestamp::ZERO);
+        // Hashed ids (the apps namespace entities into the full u64
+        // space) land in the sparse tier, still iterated in order.
+        let huge = u64::MAX / 3;
+        assert!(s.store_plain_if_fresher(huge, tv(1, 4)));
+        assert_eq!(s.stored_plain(huge), tv(1, 4));
+        assert!(s.plain_variables().eq([0u64, 2, 5, 9, 11, huge]));
     }
 
     #[test]

@@ -112,8 +112,10 @@ impl FailurePlan {
     }
 
     fn sort_crashes(&mut self) {
-        self.crashes
-            .sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap_or(std::cmp::Ordering::Equal));
+        // `total_cmp` so a NaN transition time cannot scramble the
+        // schedule; the engine's scheduler rejects it with a clear panic
+        // instead.
+        self.crashes.sort_by(|a, b| a.at.total_cmp(&b.at));
     }
 }
 

@@ -123,6 +123,7 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
         // The spine's planning cluster: behaviour timeline plus the union
         // of every shard's per-key records, synchronised at each barrier.
         let mut spine = Cluster::new(sim.system.universe());
+        spine.reserve_variables(config.keyspace.keys);
         spine.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
         let mut gossip_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
         let gossip_signed = matches!(sim.kind, ProtocolKind::Dissemination);
@@ -343,6 +344,7 @@ fn assert_sync_matches_full_resync<S: QuorumSystem + ?Sized>(
     signed: bool,
 ) {
     let mut full = Cluster::new(sim.system.universe());
+    full.reserve_variables(sim.config.keyspace.keys);
     for world in worlds {
         let n = world.cluster.len() as u32;
         for i in 0..n {

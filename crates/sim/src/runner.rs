@@ -781,6 +781,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
         let run_start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut cluster = Cluster::new(self.system.universe());
+        cluster.reserve_variables(self.config.keyspace.keys);
 
         // Failure plan: either explicit (borrowed — crash waves can carry
         // thousands of transitions) or derived from the config.

@@ -133,6 +133,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
         let config = sim.config;
         let num_shards = config.num_shards as u64;
         let mut cluster = Cluster::new(sim.system.universe());
+        cluster.reserve_variables(config.keyspace.keys);
         cluster.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
 
         let mut registry = KeyRegistry::new();
@@ -234,24 +235,23 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
 
     /// Bulk-schedules one spine-planned round of cross-shard gossip:
     /// payloads go into the pending slabs and delivery events are inserted
-    /// in ascending-time order (an O(1) heap sift each), replacing the old
-    /// one-call-per-message injection.
+    /// in ascending-time order (an O(1) append each, whichever queue
+    /// backend serves), replacing the old one-call-per-message injection.
     ///
     /// Determinism: the queue pops by `(time, insertion sequence)` and the
     /// sort is **stable**, so equal-time messages keep their plan order —
     /// the pop order is bit-identical to unsorted per-message injection.
     /// The batch buffers are drained with capacity kept for the next round.
     pub(crate) fn schedule_round_batch(&mut self, batch: &mut RoundBatch) {
-        batch
-            .pushes
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN draw
+        // must not scramble the sort before `schedule`'s validation
+        // rejects it.
+        batch.pushes.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (at, push) in batch.pushes.drain(..) {
             let slot = self.pending_pushes.insert(push);
             self.queue.schedule(at, Event::GossipPush { push: slot });
         }
-        batch
-            .digests
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        batch.digests.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (at, global_id, digest, delta_rtt) in batch.digests.drain(..) {
             let slot = self.pending_digests.insert(PendingDigest {
                 global_id,

@@ -167,9 +167,20 @@ impl KeySpace {
         } else {
             Vec::new()
         };
+        // Memoize the hot head of the CDF: the shortest prefix holding at
+        // least half the probability mass.  Zipf mass concentrates on the
+        // first few keys, so most draws resolve with a short linear scan
+        // over a handful of cache-resident entries instead of a binary
+        // search across the whole table.
+        let head = if cdf.is_empty() {
+            0
+        } else {
+            (cdf.partition_point(|&c| c < 0.5) + 1).min(cdf.len())
+        };
         KeySampler {
             keys: self.keys,
             cdf,
+            head,
         }
     }
 }
@@ -184,6 +195,10 @@ pub struct KeySampler {
     /// Cumulative popularity for Zipf draws; empty for the uniform (and
     /// single-key) fast paths.
     cdf: Vec<f64>,
+    /// Length of the shortest CDF prefix covering ≥ 50% of the mass — the
+    /// hot-key fast path scanned linearly before falling back to binary
+    /// search.  Zero when `cdf` is empty.
+    head: usize,
 }
 
 impl KeySampler {
@@ -201,7 +216,19 @@ impl KeySampler {
             return rng.gen_range(0..self.keys);
         }
         let u: f64 = rng.gen_range(0.0..1.0);
-        let idx = self.cdf.partition_point(|&c| c <= u) as u64;
+        // Hot-key fast path: when the draw lands inside the memoized head
+        // (at least half of all draws, by construction) a short linear scan
+        // finds the key.  Both branches compute exactly
+        // `cdf.partition_point(|&c| c <= u)`, so the drawn key — and the
+        // RNG stream — are identical to the plain binary search.
+        let idx = if u < self.cdf[self.head - 1] {
+            self.cdf[..self.head]
+                .iter()
+                .position(|&c| c > u)
+                .expect("u below the head's last CDF entry") as u64
+        } else {
+            (self.head + self.cdf[self.head..].partition_point(|&c| c <= u)) as u64
+        };
         idx.min(self.keys - 1)
     }
 }
@@ -470,6 +497,33 @@ mod tests {
         let uniform = KeySpace::uniform(16).sampler();
         for _ in 0..200 {
             assert_eq!(zipf0.sample(&mut a), uniform.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn hot_head_fast_path_matches_plain_binary_search() {
+        // The memoized-head sampler must be draw-for-draw identical to the
+        // plain full-table binary search, including draws that straddle the
+        // head boundary and the u == cdf[head-1] equality case.
+        for (keys, exponent, seed) in [
+            (64u64, 1.0, 10u64),
+            (1000, 0.8, 11),
+            (7, 2.5, 12),
+            (2, 1.0, 13),
+        ] {
+            let sampler = KeySpace::zipf(keys, exponent).sampler();
+            assert!(sampler.head >= 1 && sampler.head <= sampler.cdf.len());
+            assert!(sampler.cdf[sampler.head - 1] >= 0.5);
+            let mut a = ChaCha8Rng::seed_from_u64(seed);
+            let mut b = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..20_000 {
+                let got = sampler.sample(&mut a);
+                let u: f64 = b.gen_range(0.0..1.0);
+                let want = (sampler.cdf.partition_point(|&c| c <= u) as u64).min(keys - 1);
+                assert_eq!(got, want);
+            }
+            // Identical RNG stream: both sides consumed the same draws.
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 

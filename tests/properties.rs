@@ -585,6 +585,79 @@ proptest! {
         prop_assert!(on.gossip_rounds > 0);
     }
 
+    /// The calendar-queue event list is observationally identical to the
+    /// binary-heap reference: random interleavings of `schedule`,
+    /// `schedule_batch`, `pop` and `peek_time` — over clustered (tie-heavy),
+    /// uniform, and far-future-outlier time distributions that force bucket
+    /// resizes and sparse-day scans — produce the same pop stream, clock,
+    /// and lengths, event for event.
+    #[test]
+    fn calendar_queue_matches_heap_reference(
+        seed in 0u64..10_000,
+        ops in 50usize..400,
+        mode in 0u32..3,
+    ) {
+        use probabilistic_quorums::sim::time::{EventQueue, QueueKind};
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut calendar = EventQueue::<u64>::new();
+        let mut heap = EventQueue::<u64>::with_kind(QueueKind::Heap);
+        prop_assert_eq!(calendar.kind(), QueueKind::Calendar);
+        let mut next_id = 0u64;
+        let draw_time = |rng: &mut ChaCha8Rng| -> f64 {
+            match mode {
+                // Clustered: eight distinct times, so most events tie and
+                // FIFO order within a time carries the whole contract.
+                0 => f64::from(rng.gen_range(0u32..8)) * 0.5,
+                // Uniform spread over a moderate horizon.
+                1 => rng.gen_range(0.0..100.0),
+                // Mostly near-term with rare far-future outliers: stretches
+                // the bucket span, forcing resizes and min-day jumps.
+                _ => {
+                    if rng.gen_bool(0.2) {
+                        rng.gen_range(1.0e6..1.0e9)
+                    } else {
+                        rng.gen_range(0.0..4.0)
+                    }
+                }
+            }
+        };
+        for _ in 0..ops {
+            match rng.gen_range(0u32..10) {
+                0..=3 => {
+                    let t = draw_time(&mut rng);
+                    calendar.schedule(t, next_id);
+                    heap.schedule(t, next_id);
+                    next_id += 1;
+                }
+                4..=5 => {
+                    let n = rng.gen_range(0usize..12);
+                    let mut batch: Vec<(f64, u64)> = (0..n)
+                        .map(|i| (draw_time(&mut rng), next_id + i as u64))
+                        .collect();
+                    next_id += n as u64;
+                    let mut copy = batch.clone();
+                    calendar.schedule_batch(&mut batch);
+                    heap.schedule_batch(&mut copy);
+                }
+                6..=8 => {
+                    prop_assert_eq!(calendar.pop(), heap.pop());
+                    prop_assert_eq!(calendar.now(), heap.now());
+                }
+                _ => {
+                    prop_assert_eq!(calendar.peek_time(), heap.peek_time());
+                }
+            }
+            prop_assert_eq!(calendar.len(), heap.len());
+        }
+        // Drain both: the remaining pop streams agree element for element.
+        while let Some(expect) = heap.pop() {
+            prop_assert_eq!(calendar.pop(), Some(expect));
+        }
+        prop_assert!(calendar.pop().is_none());
+        prop_assert!(calendar.is_empty());
+    }
+
     /// Byzantine strict systems: sampled quorum overlaps always meet the
     /// Definition 2.7 requirements.
     #[test]
