@@ -1,0 +1,280 @@
+//! The capacity planner CLI: solve for `(n, q, margin, gossip)` from SLOs.
+//!
+//! Inverts the validator bins' parameter sweeps: given a staleness target
+//! (`--epsilon`), a latency SLO (`--p99-slo`) and a workload shape, emit
+//! the minimal configuration the paper's tail bounds predict will meet
+//! them — as a ready-to-run `SimConfig::builder()` chain — together with
+//! the predicted report (ε band, p99, per-server load, gossip volume).
+//!
+//! Start from a named scenario preset (`--scenario directory|hotkey|lock`,
+//! see `docs/PLANNER.md`) and override any knob; the `validate_plan` bin
+//! holds every emitted plan to the tolerance bands of `docs/ANALYSIS.md`.
+//!
+//! Exit codes follow the fleet convention: 0 for a solved plan, 1 when the
+//! objectives are infeasible within `--max-universe`, 2 for bad usage.
+
+use pqs_bench::cli::{self, ExtraFlag, ValidatorCli};
+use pqs_bench::planner;
+use pqs_bench::{fmt_prob, ExperimentTable};
+use pqs_math::plan::{self, PlanInput, ProbeLatency};
+
+const BIN: &str = "plan";
+const ABOUT: &str =
+    "solves for the minimal (n, q, probe margin, gossip) meeting an epsilon target and a p99 SLO";
+
+const EXTRAS: &[ExtraFlag] = &[
+    ExtraFlag {
+        flag: "--scenario",
+        value_name: "NAME",
+        help: "preset to start from: directory, hotkey or lock (default directory)",
+    },
+    ExtraFlag {
+        flag: "--epsilon",
+        value_name: "EPS",
+        help: "target staleness bound in (0.002, 1)",
+    },
+    ExtraFlag {
+        flag: "--p99-slo",
+        value_name: "SECS",
+        help: "target 99th-percentile operation latency, seconds",
+    },
+    ExtraFlag {
+        flag: "--arrival-rate",
+        value_name: "OPS",
+        help: "offered operations per second",
+    },
+    ExtraFlag {
+        flag: "--read-fraction",
+        value_name: "FRAC",
+        help: "fraction of operations that are reads, in [0, 1]",
+    },
+    ExtraFlag {
+        flag: "--keys",
+        value_name: "N",
+        help: "number of distinct keys",
+    },
+    ExtraFlag {
+        flag: "--zipf",
+        value_name: "S",
+        help: "Zipf exponent of key popularity (0 = uniform)",
+    },
+    ExtraFlag {
+        flag: "--crash",
+        value_name: "P",
+        help: "per-server time-zero crash probability, in [0, 1)",
+    },
+    ExtraFlag {
+        flag: "--latency-mean",
+        value_name: "SECS",
+        help: "mean of the exponential per-probe latency law",
+    },
+    ExtraFlag {
+        flag: "--max-server-rate",
+        value_name: "OPS",
+        help: "per-server probe-rate cap, probes per second",
+    },
+    ExtraFlag {
+        flag: "--max-universe",
+        value_name: "N",
+        help: "ceiling for the universe-size search (default 4096)",
+    },
+];
+
+fn usage_error(msg: String) -> ! {
+    eprintln!(
+        "error: {msg}\n\n{}",
+        cli::help_text_with(BIN, ABOUT, EXTRAS)
+    );
+    std::process::exit(cli::EXIT_USAGE);
+}
+
+fn parse_f64(flag: &str, value: &str) -> f64 {
+    value
+        .parse()
+        .unwrap_or_else(|_| usage_error(format!("{flag} expects a number, got {value:?}")))
+}
+
+fn parse_u64(flag: &str, value: &str) -> u64 {
+    value.parse().unwrap_or_else(|_| {
+        usage_error(format!("{flag} expects an unsigned integer, got {value:?}"))
+    })
+}
+
+/// Folds the collected extra flags over the chosen scenario preset.
+fn build_input(extras: &[(String, String)]) -> (String, PlanInput) {
+    let scenario_name = extras
+        .iter()
+        .rev()
+        .find(|(f, _)| f == "--scenario")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "directory".to_string());
+    let scenario = planner::scenario_by_name(&scenario_name).unwrap_or_else(|| {
+        usage_error(format!(
+            "unknown scenario {scenario_name:?} (expected directory, hotkey or lock)"
+        ))
+    });
+    let mut input = scenario.input;
+    for (flag, value) in extras {
+        match flag.as_str() {
+            "--scenario" => {}
+            "--epsilon" => input.slo.epsilon = parse_f64(flag, value),
+            "--p99-slo" => input.slo.p99_latency = parse_f64(flag, value),
+            "--arrival-rate" => input.workload.arrival_rate = parse_f64(flag, value),
+            "--read-fraction" => input.workload.read_fraction = parse_f64(flag, value),
+            "--keys" => input.workload.keys = parse_u64(flag, value),
+            "--zipf" => input.workload.zipf_exponent = parse_f64(flag, value),
+            "--crash" => input.workload.crash_fraction = parse_f64(flag, value),
+            "--latency-mean" => {
+                input.latency = ProbeLatency::Exponential {
+                    mean: parse_f64(flag, value),
+                }
+            }
+            "--max-server-rate" => input.slo.max_server_rate = parse_f64(flag, value),
+            "--max-universe" => input.max_universe = parse_u64(flag, value),
+            other => usage_error(format!("unhandled flag {other:?}")),
+        }
+    }
+    (scenario_name, input)
+}
+
+fn main() {
+    let (cli_opts, extras) = ValidatorCli::from_env_with(BIN, ABOUT, EXTRAS);
+    let (scenario_name, input) = build_input(&extras);
+
+    let solved = match plan::solve(&input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{BIN}: no feasible plan for scenario {scenario_name:?}: {e}");
+            std::process::exit(cli::EXIT_VALIDATION_FAILED);
+        }
+    };
+
+    let duration = planner::duration_for(&input, &solved, cli_opts.quick);
+    let config = planner::plan_config(&input, &solved, cli_opts.seed, duration, true);
+    let p = &solved.predicted;
+
+    let mut table = ExperimentTable::new(
+        format!("plan {scenario_name}"),
+        &["quantity", "value", "meaning"],
+    );
+    let mut row = |q: &str, v: String, m: &str| table.push_row(vec![q.into(), v, m.into()]);
+    row("n", solved.n.to_string(), "universe size (servers)");
+    row(
+        "q",
+        solved.q.to_string(),
+        "quorum size (complete on first q replies)",
+    );
+    row(
+        "probe_margin",
+        solved.probe_margin.to_string(),
+        "extra servers probed per op",
+    );
+    match solved.gossip {
+        Some(g) => {
+            row(
+                "gossip_period",
+                format!("{:.3}s", g.period),
+                "seconds between rounds",
+            );
+            row(
+                "gossip_fanout",
+                g.fanout.to_string(),
+                "digest targets per round",
+            );
+            row(
+                "gossip_mode",
+                if g.digest_delta {
+                    "digest/delta".into()
+                } else {
+                    "full push".into()
+                },
+                "what rounds put on the wire",
+            );
+        }
+        None => row(
+            "gossip",
+            "off".into(),
+            "all-read workload: nothing to diffuse",
+        ),
+    }
+    row(
+        "epsilon_predicted",
+        fmt_prob(p.epsilon),
+        "point prediction of the stale-read rate",
+    );
+    row(
+        "epsilon_band",
+        format!(
+            "[{}, {}]",
+            fmt_prob(p.epsilon_lower),
+            fmt_prob(p.epsilon_upper)
+        ),
+        "tolerance band enforced by validate_plan",
+    );
+    row(
+        "epsilon_lemma_bound",
+        fmt_prob(p.epsilon_lemma_bound),
+        "closed-form e^(-l^2) at the effective l",
+    );
+    row(
+        "p99_predicted",
+        format!("{:.4}s", p.p99_latency),
+        "99th-pct op latency",
+    );
+    row(
+        "p99_bracket",
+        format!("[{:.4}s, {:.4}s]", p.p99_lower, p.p99_upper),
+        "quantile across the plausible crash draws",
+    );
+    row(
+        "timeout_probability",
+        fmt_prob(p.timeout_probability),
+        "P(cannot assemble q live replies)",
+    );
+    row(
+        "op_timeout",
+        format!("{:.4}s", p.op_timeout),
+        "recommended attempt cutoff",
+    );
+    row(
+        "load_fraction",
+        format!("{:.4}", p.load_fraction),
+        "(q+margin)/n, the Definition 2.4 load",
+    );
+    row(
+        "server_probe_rate",
+        format!("{:.2}/s", p.server_probe_rate),
+        "probes per second per server",
+    );
+    if solved.gossip.is_some() {
+        row(
+            "gossip_digest_rate",
+            format!("{:.1}/s", p.gossip_digest_rate),
+            "digests per second, live universe",
+        );
+        row(
+            "gossip_records_per_write",
+            format!("{:.0}", p.gossip_records_per_write),
+            "upper bound on delta records per write",
+        );
+        row(
+            "gossip_coverage",
+            format!("{:.3}s", p.gossip_coverage_seconds),
+            "predicted time to full live coverage",
+        );
+    }
+    table.emit();
+
+    println!(
+        "emitted SimConfig ({duration:.0}s run, seed {}):",
+        cli_opts.seed
+    );
+    println!("  {}", config.to_builder_chain());
+    println!();
+    println!(
+        "verify with: validate_plan --seed {} {}",
+        cli_opts.seed,
+        if cli_opts.quick { "--quick" } else { "" }
+    );
+    std::process::exit(cli::EXIT_OK);
+}

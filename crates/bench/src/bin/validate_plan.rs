@@ -1,0 +1,136 @@
+//! The prediction contract: every plan the capacity planner emits must
+//! survive contact with the simulator.
+//!
+//! For each scenario preset of [`pqs_bench::planner`] this validator solves
+//! the plan, renders it as a `SimConfig` (checking the builder round-trip),
+//! runs the discrete-event simulator on it, and holds the measured numbers
+//! to the tolerance bands documented in `docs/ANALYSIS.md`:
+//!
+//! * the Wilson interval of the measured stale-read rate must not exceed
+//!   the predicted `epsilon_upper` (one-sided — gossip only freshens);
+//! * a diffusion-off twin run must land *inside* the two-sided
+//!   `[epsilon_lower, epsilon_upper]` band;
+//! * the measured p99 must fall within ±25% (plus absolute slack) of the
+//!   predicted p99;
+//! * unavailability must stay inside the planner's timeout budget.
+//!
+//! Exits nonzero on any miss, which is what turns the analysis document
+//! into a CI-enforced contract rather than prose.  Accepts the shared
+//! validator flags; `--quick` runs the first scenario only, at a quarter of
+//! the sized duration (the Wilson bands widen automatically).
+
+use pqs_bench::cli::{self, ValidatorCli};
+use pqs_bench::{fmt_prob, planner, ExperimentTable};
+use pqs_core::prelude::*;
+use pqs_sim::metrics::SimReport;
+use pqs_sim::runner::{ProtocolKind, Simulation};
+
+fn p99_of(report: &SimReport) -> f64 {
+    report.p99_latency()
+}
+
+fn main() {
+    let cli = ValidatorCli::from_env(
+        "validate_plan",
+        "runs the simulator on every capacity-planner preset and enforces the \
+         documented tolerance bands on measured epsilon and p99",
+    );
+    let mut violations: Vec<String> = Vec::new();
+    let mut table = ExperimentTable::new(
+        "validate_plan_prediction_contract",
+        &[
+            "scenario",
+            "gossip",
+            "n",
+            "q",
+            "margin",
+            "eps predicted band",
+            "eps measured",
+            "p99 predicted",
+            "p99 measured",
+            "unavailability",
+        ],
+    );
+
+    let scenarios = planner::scenarios();
+    let active: &[planner::Scenario] = if cli.quick {
+        &scenarios[..1]
+    } else {
+        &scenarios
+    };
+
+    for scenario in active {
+        let solved = match pqs_math::plan::solve(&scenario.input) {
+            Ok(p) => p,
+            Err(e) => {
+                violations.push(format!(
+                    "{}: planner found no feasible plan: {e}",
+                    scenario.name
+                ));
+                continue;
+            }
+        };
+        let system = match EpsilonIntersecting::new(solved.n as u32, solved.q as u32) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(format!(
+                    "{}: emitted (n={}, q={}) rejected by EpsilonIntersecting: {e}",
+                    scenario.name, solved.n, solved.q
+                ));
+                continue;
+            }
+        };
+        let duration = planner::duration_for(&scenario.input, &solved, cli.quick);
+        let seed = cli
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(scenario.name.len() as u64);
+
+        for diffusion_on in [true, false] {
+            let config =
+                planner::plan_config(&scenario.input, &solved, seed, duration, diffusion_on);
+            if !planner::builder_round_trips(&config) {
+                violations.push(format!(
+                    "{}: emitted config does not round-trip through SimConfig::builder()",
+                    scenario.name
+                ));
+            }
+            let label = format!(
+                "{} ({})",
+                scenario.name,
+                if diffusion_on {
+                    "gossip on"
+                } else {
+                    "gossip off"
+                }
+            );
+            let report = Simulation::new(&system, ProtocolKind::Safe, config).run();
+            violations.extend(planner::check_prediction(
+                &label,
+                &solved,
+                &report,
+                diffusion_on,
+            ));
+            let p = &solved.predicted;
+            table.push_row(vec![
+                scenario.name.to_string(),
+                if diffusion_on { "on" } else { "off" }.to_string(),
+                solved.n.to_string(),
+                solved.q.to_string(),
+                solved.probe_margin.to_string(),
+                format!(
+                    "[{}, {}]",
+                    fmt_prob(p.epsilon_lower),
+                    fmt_prob(p.epsilon_upper)
+                ),
+                fmt_prob(report.eligible_stale_read_rate()),
+                format!("{:.4}s", p.p99_latency),
+                format!("{:.4}s", p99_of(&report)),
+                fmt_prob(report.unavailability()),
+            ]);
+        }
+    }
+
+    table.emit();
+    cli::finish("validate_plan", cli.seed, &violations);
+}

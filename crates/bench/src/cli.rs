@@ -71,11 +71,51 @@ pub enum Parsed {
     Help,
 }
 
+/// Declaration of one extra `--flag VALUE` option a binary accepts beyond
+/// the shared validator set (the `plan` bin's workload/SLO knobs, say).
+/// Extras always take a value; collected values come back as
+/// `(flag, value)` pairs from [`parse_with_extras`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtraFlag {
+    /// The flag spelling including the leading dashes, e.g. `"--epsilon"`.
+    pub flag: &'static str,
+    /// Placeholder shown in help text, e.g. `"EPS"`.
+    pub value_name: &'static str,
+    /// One-line help description.
+    pub help: &'static str,
+}
+
+/// What [`parse_with_extras`] produced: a run configuration plus the
+/// collected extra-flag values, or a help request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedWithExtras {
+    /// Run with these options and these `(flag, value)` extras, in the
+    /// order given on the command line (later spellings override earlier
+    /// ones by convention — the consumer folds the list).
+    Run(ValidatorCli, Vec<(String, String)>),
+    /// `--help`/`-h` was given; print usage and exit 0.
+    Help,
+}
+
 /// Parses a validator command line (testable core of
 /// [`ValidatorCli::from_env`]).  Accepts both `--flag value` and
 /// `--flag=value` spellings; unknown arguments are errors.
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> {
+    match parse_with_extras(args, &[])? {
+        ParsedWithExtras::Run(cli, _) => Ok(Parsed::Run(cli)),
+        ParsedWithExtras::Help => Ok(Parsed::Help),
+    }
+}
+
+/// Parses a command line that accepts the shared validator flags *plus* the
+/// given [`ExtraFlag`]s, keeping the fleet-wide flag semantics and exit
+/// codes uniform for binaries with bespoke knobs.
+pub fn parse_with_extras<I: IntoIterator<Item = String>>(
+    args: I,
+    extras: &[ExtraFlag],
+) -> Result<ParsedWithExtras, String> {
     let mut cli = ValidatorCli::default();
+    let mut collected: Vec<(String, String)> = Vec::new();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -91,7 +131,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> 
             }
         };
         match flag.as_str() {
-            "--help" | "-h" => return Ok(Parsed::Help),
+            "--help" | "-h" => return Ok(ParsedWithExtras::Help),
             "--quick" => {
                 if inline.is_some() {
                     return Err("--quick takes no value".to_string());
@@ -133,18 +173,42 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> 
                 }
                 cli.ops = Some(SOAK_OPS);
             }
-            other => return Err(format!("unknown argument {other:?}")),
+            other => {
+                if extras.iter().any(|e| e.flag == other) {
+                    collected.push((other.to_string(), value(&mut args)?));
+                } else {
+                    return Err(format!("unknown argument {other:?}"));
+                }
+            }
         }
     }
-    Ok(Parsed::Run(cli))
+    Ok(ParsedWithExtras::Run(cli, collected))
 }
 
 /// Renders the uniform help text for a validator binary.
 pub fn help_text(bin: &str, about: &str) -> String {
+    help_text_with(bin, about, &[])
+}
+
+/// Renders the uniform help text plus a section for the binary's
+/// [`ExtraFlag`]s (omitted when there are none).
+pub fn help_text_with(bin: &str, about: &str, extras: &[ExtraFlag]) -> String {
+    let mut extra_usage = String::new();
+    let mut extra_lines = String::new();
+    for e in extras {
+        extra_usage.push_str(&format!(" [{} {}]", e.flag, e.value_name));
+        let spelled = format!("{} {}", e.flag, e.value_name);
+        extra_lines.push_str(&format!("\x20 {spelled:<15} {}\n", e.help));
+    }
+    base_help_text(bin, about, &extra_usage, &extra_lines)
+}
+
+fn base_help_text(bin: &str, about: &str, extra_usage: &str, extra_lines: &str) -> String {
     format!(
         "{bin}: {about}\n\
          \n\
-         usage: {bin} [--seed N] [--quick] [--threads N] [--out-dir PATH] [--ops N | --soak]\n\
+         usage: {bin} [--seed N] [--quick] [--threads N] [--out-dir PATH] \
+         [--ops N | --soak]{extra_usage}\n\
          \n\
          options:\n\
          \x20 --seed N        base RNG seed mixed into every simulation (default 0)\n\
@@ -154,6 +218,7 @@ pub fn help_text(bin: &str, about: &str) -> String {
          \x20 --ops N         soak-lane engine-event target (validators without a\n\
          \x20                 soak lane ignore it)\n\
          \x20 --soak          shorthand for --ops 100000000 (a 10^8-event soak)\n\
+         {extra_lines}\
          \x20 -h, --help      print this help\n\
          \n\
          exit codes: 0 = all checks passed, 1 = a checked bound was violated,\n\
@@ -179,6 +244,32 @@ impl ValidatorCli {
             }
             Err(msg) => {
                 eprintln!("error: {msg}\n\n{}", help_text(bin, about));
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
+
+    /// Like [`ValidatorCli::from_env`], for binaries that accept
+    /// [`ExtraFlag`]s on top of the shared set; returns the collected
+    /// `(flag, value)` pairs alongside the parsed options.
+    pub fn from_env_with(
+        bin: &str,
+        about: &str,
+        extras: &[ExtraFlag],
+    ) -> (ValidatorCli, Vec<(String, String)>) {
+        match parse_with_extras(std::env::args().skip(1), extras) {
+            Ok(ParsedWithExtras::Run(cli, collected)) => {
+                if let Some(dir) = &cli.out_dir {
+                    crate::set_output_dir(dir.clone());
+                }
+                (cli, collected)
+            }
+            Ok(ParsedWithExtras::Help) => {
+                println!("{}", help_text_with(bin, about, extras));
+                std::process::exit(EXIT_OK);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{}", help_text_with(bin, about, extras));
                 std::process::exit(EXIT_USAGE);
             }
         }
@@ -281,6 +372,68 @@ mod tests {
         assert!(run(&["--ops", "0"]).is_err());
         assert!(run(&["--soak=1"]).is_err());
         assert!(run(&["--frobnicate"]).is_err());
+    }
+
+    const DEMO_EXTRAS: &[ExtraFlag] = &[
+        ExtraFlag {
+            flag: "--epsilon",
+            value_name: "EPS",
+            help: "target staleness bound",
+        },
+        ExtraFlag {
+            flag: "--p99-slo",
+            value_name: "SECS",
+            help: "target p99 latency",
+        },
+    ];
+
+    #[test]
+    fn extras_collect_in_order_and_compose_with_shared_flags() {
+        let parsed = parse_with_extras(
+            ["--epsilon", "0.01", "--seed=9", "--p99-slo=0.03", "--quick"]
+                .iter()
+                .map(|s| s.to_string()),
+            DEMO_EXTRAS,
+        )
+        .unwrap();
+        match parsed {
+            ParsedWithExtras::Run(cli, extras) => {
+                assert_eq!(cli.seed, 9);
+                assert!(cli.quick);
+                assert_eq!(
+                    extras,
+                    vec![
+                        ("--epsilon".to_string(), "0.01".to_string()),
+                        ("--p99-slo".to_string(), "0.03".to_string()),
+                    ]
+                );
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extras_still_require_values_and_unknown_flags_still_fail() {
+        assert!(
+            parse_with_extras(["--epsilon"].iter().map(|s| s.to_string()), DEMO_EXTRAS).is_err()
+        );
+        assert!(parse_with_extras(
+            ["--frobnicate", "1"].iter().map(|s| s.to_string()),
+            DEMO_EXTRAS
+        )
+        .is_err());
+        // Extras are per-binary: without the declaration the flag is unknown.
+        assert!(run(&["--epsilon", "0.01"]).is_err());
+    }
+
+    #[test]
+    fn help_text_with_extras_names_them() {
+        let text = help_text_with("plan", "solves for a capacity plan", DEMO_EXTRAS);
+        assert!(text.contains("--epsilon EPS"));
+        assert!(text.contains("target staleness bound"));
+        assert!(text.contains("[--p99-slo SECS]"));
+        // No extras: byte-identical to the classic help.
+        assert_eq!(help_text_with("v", "a", &[]), help_text("v", "a"));
     }
 
     #[test]

@@ -21,12 +21,19 @@
 //! | `validate_diffusion` | Section 1.1 write-diffusion: stale-read-rate cut on hot keys, per-key convergence |
 //! | `validate_adaptive_diffusion` | digest/delta gossip: ≥60% push-volume cut vs full-push at equal-or-better hot-key staleness and coverage speed |
 //! | `validate_parallel` | sharded multi-core engine: bit-identical reports across shard/thread counts, plus throughput |
+//! | `plan` | the capacity planner: solves for minimal (n, q, margin, gossip) from an ε target, a p99 SLO and a workload shape |
+//! | `validate_plan` | the prediction contract: simulates each emitted plan and fails unless measured ε and p99 land in the documented tolerance bands |
 //!
 //! All binaries print an aligned text table to stdout and write the same
 //! rows as CSV under `target/experiments/`.  Every `validate_*` binary
 //! speaks the shared command line of the [`cli`] module (`--seed`,
 //! `--quick`, `--threads`, `--out-dir`) with uniform help text and exit
-//! codes.
+//! codes; `plan` adds its workload/SLO knobs through the same parser
+//! ([`cli::ExtraFlag`]).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use std::fs;
 use std::io::Write as _;
@@ -34,6 +41,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 pub mod cli;
+pub mod planner;
 
 /// The universe sizes used throughout Section 6 (perfect squares so the grid
 /// constructions apply).

@@ -33,6 +33,20 @@ pub fn epsilon_intersecting_bound(ell: f64) -> f64 {
 /// `target_epsilon`, i.e. `ℓ = √(ln(1/ε))`.
 ///
 /// Returns `None` if `target_epsilon` is not in `(0, 1)`.
+///
+/// The capacity planner uses this as the closed-form seed for its exact
+/// quorum-size search: `q = ℓ√n` always meets the Lemma 3.15 bound, so the
+/// exact hypergeometric answer can only be smaller.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::bounds::{choose_ell_intersecting, epsilon_intersecting_bound};
+/// let ell = choose_ell_intersecting(1e-3).unwrap();
+/// assert!((ell - 2.6283).abs() < 1e-4);
+/// assert!(epsilon_intersecting_bound(ell) <= 1e-3);
+/// assert_eq!(choose_ell_intersecting(1.0), None);
+/// ```
 pub fn choose_ell_intersecting(target_epsilon: f64) -> Option<f64> {
     if target_epsilon <= 0.0 || target_epsilon >= 1.0 {
         return None;
@@ -42,6 +56,15 @@ pub fn choose_ell_intersecting(target_epsilon: f64) -> Option<f64> {
 
 /// Lemma 4.3 / Theorem 4.4: upper bound `2·e^{−ℓ²/6}` on
 /// `P(Q ∩ Q′ ⊆ B)` when `|B| = n/3` and quorums have size `ℓ√n`.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::bounds::dissemination_bound_one_third;
+/// // The b = n/3 exponent is 6x weaker than the crash-only Lemma 3.15 one.
+/// assert!(dissemination_bound_one_third(7.0) < 1e-3);
+/// assert_eq!(dissemination_bound_one_third(0.0), 1.0);
+/// ```
 pub fn dissemination_bound_one_third(ell: f64) -> f64 {
     (2.0 * (-ell * ell / 6.0).exp()).min(1.0)
 }
@@ -128,6 +151,16 @@ pub fn psi_two(ell: f64) -> f64 {
 /// `n` is the universe size and `q` the quorum size; `ell = q/b`.
 ///
 /// Returns `1.0` when `ℓ ≤ 2` (outside the theorem's hypothesis).
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::bounds::masking_bound;
+/// // The paper's l = 3 example: eps <= 2 e^{-q^2/48n}.
+/// let bound = masking_bound(900, 270, 3.0);
+/// assert!((bound - 2.0 * (-270.0f64 * 270.0 / (48.0 * 900.0)).exp()).abs() < 1e-12);
+/// assert_eq!(masking_bound(900, 270, 2.0), 1.0);
+/// ```
 pub fn masking_bound(n: u64, q: u64, ell: f64) -> f64 {
     let psi = psi_one(ell).min(psi_two(ell));
     if psi <= 0.0 {

@@ -32,6 +32,9 @@
 //!   and weighted choice, the building blocks of access strategies.
 //! * [`mc`] — Monte-Carlo estimation helpers: Bernoulli estimators with
 //!   Wilson / normal confidence intervals and sequential stopping.
+//! * [`plan`] — the capacity planner: inverts the tail bounds to solve for
+//!   the minimal `(n, q, probe_margin, gossip)` meeting an ε target and a
+//!   p99 SLO, with a predicted report the simulator is CI-checked against.
 //!
 //! ## Example
 //!
@@ -49,7 +52,7 @@
 //! assert!(exact <= bound);
 //! ```
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod binomial;
@@ -57,6 +60,7 @@ pub mod bounds;
 pub mod comb;
 pub mod hypergeometric;
 pub mod mc;
+pub mod plan;
 pub mod sampling;
 pub mod tail;
 

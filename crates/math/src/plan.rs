@@ -1,0 +1,1044 @@
+//! Capacity planning: invert the paper's tail bounds.
+//!
+//! The validator bins *sweep* parameter grids; this module solves the
+//! inverse problem production tuning actually asks: given a staleness
+//! target ε, a p99 latency SLO and a workload shape, find the **minimal**
+//! `(n, q, probe_margin, gossip)` configuration that the analysis predicts
+//! will meet them, together with a [`PredictedReport`] stating exactly what
+//! the analysis predicts.  The `validate_plan` bin then runs the simulator
+//! on the emitted configuration and fails CI unless the measured ε and p99
+//! land inside the tolerance bands documented in `docs/ANALYSIS.md` — the
+//! prediction is a tested contract, not prose.
+//!
+//! ## How the solver works
+//!
+//! Every screw the solver turns is monotone in the quantity it must bound,
+//! so the whole plan falls out of nested binary/bisection searches (the
+//! `find_smallest_N_binary_search` idiom):
+//!
+//! 1. **Read/write quorum `q`** — the non-intersection probability of two
+//!    uniform `q`-subsets of a `u`-server live universe is the exact
+//!    hypergeometric mass [`nonintersection_probability`] (Lemma 3.15),
+//!    strictly decreasing in `q`.  The closed-form `ℓ·√u` quorum of
+//!    [`crate::bounds::choose_ell_intersecting`] caps the search range
+//!    (Lemma 3.15 guarantees it meets the target), and the binary search
+//!    refines down to the exact minimum.
+//! 2. **Probe margin `m`** — probing `q + m` servers and completing on the
+//!    first `q` replies drives both the timeout probability
+//!    ([`timeout_probability`], decreasing in `m`) and the predicted p99
+//!    ([`predicted_quantile`], decreasing in `m`) down monotonically.
+//! 3. **Universe size `n`** — scaling `n` up relaxes the per-server probe
+//!    rate (`≈ arrival·(q+m)/n` with `q ~ ℓ√n`) and widens the feasible
+//!    margin range, so the outer search finds the smallest `n` whose inner
+//!    searches succeed.
+//! 4. **Gossip** — period and fanout are chosen so epidemic coverage
+//!    (`≈ ln u / ln(1+fanout)` rounds) completes within a fraction of the
+//!    hottest key's expected inter-write interval under the Zipf workload.
+//!
+//! Crash faults enter through the live universe: with time-zero crash
+//! probability `p`, the live count is `Binomial(n, 1−p)` and the solver
+//! brackets it at ±[`tolerance::LIVE_SIGMAS`]·σ, using the pessimistic end
+//! for every guarantee and the bracket ends for the ε tolerance band.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use pqs_math::plan::{self, PlanInput, ProbeLatency, SloTargets, WorkloadShape};
+//!
+//! let input = PlanInput {
+//!     workload: WorkloadShape {
+//!         arrival_rate: 200.0,
+//!         read_fraction: 0.9,
+//!         keys: 64,
+//!         zipf_exponent: 0.8,
+//!         crash_fraction: 0.02,
+//!     },
+//!     slo: SloTargets {
+//!         epsilon: 0.01,
+//!         p99_latency: 0.030,
+//!         max_server_rate: 40.0,
+//!     },
+//!     latency: ProbeLatency::Exponential { mean: 0.005 },
+//!     max_universe: 4096,
+//! };
+//! let plan = plan::solve(&input).unwrap();
+//! assert!(plan.predicted.epsilon_upper <= 0.01);
+//! assert!(plan.predicted.p99_latency <= 0.030);
+//! assert!(2 * plan.q <= plan.n);
+//! ```
+
+use crate::binomial::Binomial;
+use crate::hypergeometric::Hypergeometric;
+use crate::MathError;
+
+/// The tolerance constants of the prediction contract.
+///
+/// These are the single source of truth for `docs/ANALYSIS.md` and the
+/// `validate_plan` bin: every band the CI check enforces is derived from a
+/// constant here, so the documented contract and the enforced contract
+/// cannot drift apart.
+pub mod tolerance {
+    /// Probability budget for operations that cannot assemble `q` live
+    /// replies (the solver forces `P(live probed < q)` below this, and the
+    /// ε upper band absorbs it as an additive term: a degraded read that
+    /// condenses with fewer than `q` replies may be stale with probability
+    /// up to 1).
+    pub const TIMEOUT_BUDGET: f64 = 0.002;
+
+    /// The latency quantile the planner predicts and the SLO constrains.
+    pub const P99_QUANTILE: f64 = 0.99;
+
+    /// Relative tolerance on the p99 prediction: the measured p99 must lie
+    /// within `±P99_REL_TOL` of the predicted value.
+    pub const P99_REL_TOL: f64 = 0.25;
+
+    /// Absolute slack (seconds) added to the p99 band so sub-millisecond
+    /// predictions are not held to a microsecond contract.
+    pub const P99_ABS_TOL: f64 = 2e-4;
+
+    /// Critical value for the Wilson score interval of the measured stale
+    /// rate (2.576 ≈ 99% two-sided confidence): the measured interval must
+    /// intersect the predicted `[epsilon_lower, epsilon_upper]` band.
+    pub const EPS_CONFIDENCE_Z: f64 = 2.576;
+
+    /// Half-width, in standard deviations of `Binomial(n, 1−crash)`, of the
+    /// bracket placed around the expected live-server count.
+    pub const LIVE_SIGMAS: f64 = 2.0;
+
+    /// The recommended operation timeout as a multiple of the predicted
+    /// p99, far enough out that timeouts stay inside [`TIMEOUT_BUDGET`].
+    pub const OP_TIMEOUT_P99_MULTIPLE: f64 = 5.0;
+
+    /// Gossip fanout emitted by the planner (per-round push targets).
+    pub const GOSSIP_FANOUT: u32 = 3;
+
+    /// Fraction of the hottest key's expected inter-write interval within
+    /// which epidemic coverage should complete.
+    pub const GOSSIP_WINDOW_FRACTION: f64 = 0.5;
+
+    /// Clamp range (seconds) for the emitted gossip period.
+    pub const GOSSIP_PERIOD_RANGE: (f64, f64) = (0.02, 2.0);
+}
+
+/// Per-probe latency law assumed by the planner.
+///
+/// Mirrors the simulator's latency models with closed-form CDFs (the
+/// math crate deliberately does not depend on the simulator; the bench
+/// layer maps this one-to-one onto `LatencyModel`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeLatency {
+    /// Every probe takes exactly this many seconds.
+    Fixed(f64),
+    /// Uniform on `[min, max]` seconds.
+    Uniform {
+        /// Lower endpoint (seconds).
+        min: f64,
+        /// Upper endpoint (seconds).
+        max: f64,
+    },
+    /// Exponential with the given mean (seconds).
+    Exponential {
+        /// Mean latency (seconds).
+        mean: f64,
+    },
+    /// Pareto (heavy tail) with minimum `scale` and tail index `shape`.
+    Pareto {
+        /// Minimum value (seconds).
+        scale: f64,
+        /// Tail index; larger is lighter-tailed.
+        shape: f64,
+    },
+}
+
+impl ProbeLatency {
+    /// The cumulative distribution function `P(latency ≤ t)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pqs_math::plan::ProbeLatency;
+    /// let l = ProbeLatency::Exponential { mean: 2.0 };
+    /// assert!((l.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    /// assert_eq!(ProbeLatency::Fixed(1.0).cdf(0.5), 0.0);
+    /// assert_eq!(ProbeLatency::Fixed(1.0).cdf(1.0), 1.0);
+    /// ```
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t.is_nan() {
+            return 0.0;
+        }
+        match *self {
+            ProbeLatency::Fixed(v) => {
+                if t >= v {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ProbeLatency::Uniform { min, max } => {
+                if t <= min {
+                    0.0
+                } else if t >= max {
+                    1.0
+                } else {
+                    (t - min) / (max - min)
+                }
+            }
+            ProbeLatency::Exponential { mean } => {
+                if t <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-t / mean).exp()
+                }
+            }
+            ProbeLatency::Pareto { scale, shape } => {
+                if t <= scale {
+                    0.0
+                } else {
+                    1.0 - (scale / t).powf(shape)
+                }
+            }
+        }
+    }
+
+    /// Mean latency in seconds (infinite for Pareto with `shape ≤ 1`).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ProbeLatency::Fixed(v) => v,
+            ProbeLatency::Uniform { min, max } => 0.5 * (min + max),
+            ProbeLatency::Exponential { mean } => mean,
+            ProbeLatency::Pareto { scale, shape } => {
+                if shape <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    scale * shape / (shape - 1.0)
+                }
+            }
+        }
+    }
+
+    fn validate(&self) -> crate::Result<()> {
+        let ok = match *self {
+            ProbeLatency::Fixed(v) => v > 0.0 && v.is_finite(),
+            ProbeLatency::Uniform { min, max } => min >= 0.0 && max > min && max.is_finite(),
+            ProbeLatency::Exponential { mean } => mean > 0.0 && mean.is_finite(),
+            ProbeLatency::Pareto { scale, shape } => {
+                scale > 0.0 && scale.is_finite() && shape > 1.0 && shape.is_finite()
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(MathError::invalid(format!(
+                "probe latency parameters out of range: {self:?} \
+                 (Pareto requires shape > 1 for a finite mean)"
+            )))
+        }
+    }
+}
+
+/// Shape of the offered workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadShape {
+    /// Total operation arrival rate (operations per second).
+    pub arrival_rate: f64,
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// Number of distinct keys.
+    pub keys: u64,
+    /// Zipf exponent of key popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Probability that each server is crashed for the whole run.
+    pub crash_fraction: f64,
+}
+
+impl WorkloadShape {
+    /// Write arrivals per second, `arrival_rate · (1 − read_fraction)`.
+    pub fn write_rate(&self) -> f64 {
+        self.arrival_rate * (1.0 - self.read_fraction)
+    }
+
+    /// Probability that a key draw hits the most popular key.
+    ///
+    /// Under Zipf(s) over `k` keys this is `1 / H_k(s)` where
+    /// `H_k(s) = Σ i^−s`; for `s = 0` it degenerates to `1/k`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pqs_math::plan::WorkloadShape;
+    /// let mut w = WorkloadShape {
+    ///     arrival_rate: 100.0,
+    ///     read_fraction: 0.9,
+    ///     keys: 4,
+    ///     zipf_exponent: 0.0,
+    ///     crash_fraction: 0.0,
+    /// };
+    /// assert!((w.hottest_key_share() - 0.25).abs() < 1e-12);
+    /// w.zipf_exponent = 1.0;
+    /// // H_4(1) = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+    /// assert!((w.hottest_key_share() - 12.0 / 25.0).abs() < 1e-12);
+    /// ```
+    pub fn hottest_key_share(&self) -> f64 {
+        if self.keys <= 1 {
+            return 1.0;
+        }
+        let s = self.zipf_exponent;
+        let k = self.keys;
+        // Exact harmonic sum for practical key counts; integral
+        // approximation beyond (the tail contributes ~i^−s·di).
+        const EXACT_LIMIT: u64 = 1_000_000;
+        let exact_upper = k.min(EXACT_LIMIT);
+        let mut h = 0.0f64;
+        for i in 1..=exact_upper {
+            h += (i as f64).powf(-s);
+        }
+        if k > EXACT_LIMIT {
+            let a = EXACT_LIMIT as f64;
+            let b = k as f64;
+            h += if (s - 1.0).abs() < 1e-9 {
+                (b / a).ln()
+            } else {
+                (b.powf(1.0 - s) - a.powf(1.0 - s)) / (1.0 - s)
+            };
+        }
+        1.0 / h
+    }
+
+    fn validate(&self) -> crate::Result<()> {
+        if !(self.arrival_rate > 0.0 && self.arrival_rate.is_finite()) {
+            return Err(MathError::invalid("arrival_rate must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err(MathError::invalid("read_fraction must be in [0, 1]"));
+        }
+        if self.keys == 0 {
+            return Err(MathError::invalid("keys must be at least 1"));
+        }
+        if !(self.zipf_exponent >= 0.0 && self.zipf_exponent.is_finite()) {
+            return Err(MathError::invalid("zipf_exponent must be finite and >= 0"));
+        }
+        if !(0.0..1.0).contains(&self.crash_fraction) {
+            return Err(MathError::invalid("crash_fraction must be in [0, 1)"));
+        }
+        Ok(())
+    }
+}
+
+/// The service-level objectives the plan must meet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTargets {
+    /// Target staleness bound: the predicted ε upper band must not exceed
+    /// this.  Must exceed [`tolerance::TIMEOUT_BUDGET`], which the band
+    /// absorbs as an additive term.
+    pub epsilon: f64,
+    /// Target 99th-percentile operation latency in seconds.
+    pub p99_latency: f64,
+    /// Per-server probe-rate cap (probes per second per server) — the
+    /// capacity side of the plan.
+    pub max_server_rate: f64,
+}
+
+impl SloTargets {
+    fn validate(&self) -> crate::Result<()> {
+        if !(self.epsilon > tolerance::TIMEOUT_BUDGET && self.epsilon < 1.0) {
+            return Err(MathError::invalid(format!(
+                "epsilon target must be in ({}, 1); got {}",
+                tolerance::TIMEOUT_BUDGET,
+                self.epsilon
+            )));
+        }
+        if !(self.p99_latency > 0.0 && self.p99_latency.is_finite()) {
+            return Err(MathError::invalid("p99_latency must be positive"));
+        }
+        if self.max_server_rate <= 0.0 || self.max_server_rate.is_nan() {
+            return Err(MathError::invalid("max_server_rate must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Complete input to [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanInput {
+    /// Offered workload shape.
+    pub workload: WorkloadShape,
+    /// Objectives the configuration must meet.
+    pub slo: SloTargets,
+    /// Per-probe latency law.
+    pub latency: ProbeLatency,
+    /// Ceiling for the universe-size search (the solver reports
+    /// infeasibility rather than exceeding it).
+    pub max_universe: u64,
+}
+
+/// The gossip schedule emitted alongside the quorum parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipPlan {
+    /// Seconds between gossip rounds.
+    pub period: f64,
+    /// Push targets per server per round.
+    pub fanout: u32,
+    /// Whether to use digest/delta gossip (always true for emitted plans;
+    /// full push is strictly more traffic at equal coverage).
+    pub digest_delta: bool,
+}
+
+/// What the analysis predicts for the emitted configuration.
+///
+/// The ε fields bracket the measurable stale-read rate: `epsilon_upper`
+/// assumes a write is visible only on the `q` servers that completed it
+/// (plus the timeout budget); `epsilon_lower` assumes every live probed
+/// server eventually stores it (late probes land after completion).  The
+/// simulator without gossip must land inside `[epsilon_lower,
+/// epsilon_upper]`; with gossip it must stay below `epsilon_upper`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedReport {
+    /// Point prediction of the stale-read rate (expected live write
+    /// coverage against the expected live universe).
+    pub epsilon: f64,
+    /// Upper band: coverage exactly `q` in the largest plausible live
+    /// universe, plus [`tolerance::TIMEOUT_BUDGET`] for degraded reads.
+    pub epsilon_upper: f64,
+    /// Lower band: coverage `q + margin` in the smallest plausible live
+    /// universe.
+    pub epsilon_lower: f64,
+    /// The closed-form Lemma 3.15 bound `e^{−ℓ²}` at the effective
+    /// `ℓ = q/√u` (always ≥ the exact `epsilon_upper` component).
+    pub epsilon_lemma_bound: f64,
+    /// Predicted 99th-percentile operation latency (seconds), at the
+    /// expected live-universe size.
+    pub p99_latency: f64,
+    /// Optimistic p99: the same quantile when the crash draw is lucky
+    /// (live universe at +[`tolerance::LIVE_SIGMAS`]σ).
+    pub p99_lower: f64,
+    /// Pessimistic p99: the quantile when the crash draw is unlucky
+    /// (live universe at −[`tolerance::LIVE_SIGMAS`]σ).  The solver holds
+    /// *this* value to the SLO, so the plan meets its latency target across
+    /// the plausible crash outcomes, and the validation band is anchored on
+    /// `[p99_lower, p99_upper]` rather than the point prediction.
+    pub p99_upper: f64,
+    /// Probability an operation cannot assemble `q` live replies.
+    pub timeout_probability: f64,
+    /// Recommended operation timeout (seconds),
+    /// [`tolerance::OP_TIMEOUT_P99_MULTIPLE`] × the pessimistic p99.
+    pub op_timeout: f64,
+    /// Fraction of the universe each operation touches, `(q + margin)/n`.
+    pub load_fraction: f64,
+    /// Probes per second arriving at each server,
+    /// `arrival · (q + margin)/n`.
+    pub server_probe_rate: f64,
+    /// Gossip digests sent per second across the live universe
+    /// (0 without gossip).
+    pub gossip_digest_rate: f64,
+    /// Upper bound on record transfers per write needed for full coverage
+    /// (live universe minus expected foreground coverage).
+    pub gossip_records_per_write: f64,
+    /// Predicted wall-clock seconds for a write to reach the full live
+    /// universe via gossip (0 without gossip).
+    pub gossip_coverage_seconds: f64,
+}
+
+/// A solved capacity plan: the minimal configuration plus its prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPlan {
+    /// Universe size (number of servers).
+    pub n: u64,
+    /// Read/write quorum size (complete on the first `q` replies).
+    pub q: u64,
+    /// Extra servers probed beyond `q` (hedging margin).
+    pub probe_margin: u64,
+    /// Gossip schedule, or `None` for an all-read workload.
+    pub gossip: Option<GossipPlan>,
+    /// What the analysis predicts for this configuration.
+    pub predicted: PredictedReport,
+}
+
+impl CapacityPlan {
+    /// Total servers probed per operation, `q + probe_margin`.
+    pub fn probes_per_op(&self) -> u64 {
+        self.q + self.probe_margin
+    }
+}
+
+/// Returns the smallest `x` in `[lo, hi]` with `pred(x)` true, assuming
+/// `pred` is monotone (false … false true … true), or `None` if `pred(hi)`
+/// is false.
+///
+/// This is the `find_smallest_N_binary_search` idiom: keep the invariant
+/// that `best` is the smallest index seen to satisfy the predicate, and
+/// halve the bracket around the false→true boundary.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::plan::smallest_u64_where;
+/// assert_eq!(smallest_u64_where(0, 100, |x| x * x >= 50), Some(8));
+/// assert_eq!(smallest_u64_where(0, 100, |x| x >= 1000), None);
+/// assert_eq!(smallest_u64_where(5, 5, |x| x >= 5), Some(5));
+/// ```
+pub fn smallest_u64_where(lo: u64, hi: u64, mut pred: impl FnMut(u64) -> bool) -> Option<u64> {
+    if lo > hi || !pred(hi) {
+        return None;
+    }
+    let mut best = hi;
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            best = mid;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(best)
+}
+
+/// Exact probability that a uniform `reads`-subset of a `universe`-server
+/// set misses a fixed `coverage`-subset entirely (Lemma 3.15: the
+/// hypergeometric pmf at 0).
+///
+/// `coverage` is clamped to the universe; zero draws or zero coverage miss
+/// with certainty.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::bounds::epsilon_intersecting_bound;
+/// use pqs_math::plan::nonintersection_probability;
+/// // ℓ = 22/√100 = 2.2 ⇒ the exact mass respects the e^{−ℓ²} bound.
+/// let exact = nonintersection_probability(100, 22, 22);
+/// assert!(exact > 0.0 && exact <= epsilon_intersecting_bound(2.2));
+/// // Overlap is forced once coverage + reads exceed the universe.
+/// assert_eq!(nonintersection_probability(10, 6, 5), 0.0);
+/// ```
+pub fn nonintersection_probability(universe: u64, coverage: u64, reads: u64) -> f64 {
+    if reads == 0 || coverage == 0 {
+        return 1.0;
+    }
+    let coverage = coverage.min(universe);
+    let reads = reads.min(universe);
+    match Hypergeometric::new(universe, coverage, reads) {
+        Ok(h) => h.pmf(0),
+        Err(_) => 1.0,
+    }
+}
+
+/// Probability that an operation probing `quorum + margin` of `n` servers
+/// (of which `n_live` are live) finds fewer than `quorum` live servers —
+/// i.e. can never assemble a full quorum of replies.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::plan::timeout_probability;
+/// // All servers live: a quorum is always reachable.
+/// assert_eq!(timeout_probability(100, 100, 10, 0), 0.0);
+/// // Margin monotonically drives the timeout probability down.
+/// let tight = timeout_probability(100, 80, 10, 0);
+/// let hedged = timeout_probability(100, 80, 10, 6);
+/// assert!(hedged < tight);
+/// ```
+pub fn timeout_probability(n: u64, n_live: u64, quorum: u64, margin: u64) -> f64 {
+    let probes = (quorum + margin).min(n);
+    match Hypergeometric::new(n, n_live.min(n), probes) {
+        Ok(h) => h.less_than(quorum),
+        Err(_) => 1.0,
+    }
+}
+
+/// Probability that an operation completes within `t` seconds: the chance
+/// that at least `quorum` of its live probed servers have replied by `t`.
+///
+/// The live probe count `L` is hypergeometric over the universe and the
+/// reply count given `L = l` is `Binomial(l, F(t))` with `F` the per-probe
+/// latency CDF, so
+/// `P(done ≤ t) = Σ_{l ≥ q} P(L = l) · P(Bin(l, F(t)) ≥ q)`.
+pub fn completion_cdf(
+    n: u64,
+    n_live: u64,
+    quorum: u64,
+    margin: u64,
+    latency: &ProbeLatency,
+    t: f64,
+) -> f64 {
+    let probes = (quorum + margin).min(n);
+    let Ok(live) = Hypergeometric::new(n, n_live.min(n), probes) else {
+        return 0.0;
+    };
+    let f = latency.cdf(t).clamp(0.0, 1.0);
+    let mut acc = 0.0f64;
+    let lo = live.min_value().max(quorum);
+    for l in lo..=live.max_value() {
+        let weight = live.pmf(l);
+        if weight == 0.0 {
+            continue;
+        }
+        let Ok(replies) = Binomial::new(l, f) else {
+            continue;
+        };
+        acc += weight * replies.at_least(quorum);
+    }
+    acc.min(1.0)
+}
+
+/// The predicted latency quantile of quorum completion: the smallest `t`
+/// with [`completion_cdf`] `≥ quantile`, or `None` when the completion
+/// probability can never reach the quantile (too many probes land on
+/// crashed servers).
+pub fn predicted_quantile(
+    n: u64,
+    n_live: u64,
+    quorum: u64,
+    margin: u64,
+    latency: &ProbeLatency,
+    quantile: f64,
+) -> Option<f64> {
+    if !(0.0..1.0).contains(&quantile) {
+        return None;
+    }
+    // The t → ∞ limit is P(L ≥ quorum); if that cannot reach the quantile,
+    // no finite t can.
+    let ceiling = completion_cdf(n, n_live, quorum, margin, latency, f64::MAX);
+    if ceiling < quantile {
+        return None;
+    }
+    let mut hi = latency.mean();
+    if !hi.is_finite() || hi <= 0.0 {
+        hi = 1e-3;
+    }
+    let mut doubles = 0;
+    while completion_cdf(n, n_live, quorum, margin, latency, hi) < quantile {
+        hi *= 2.0;
+        doubles += 1;
+        if doubles > 200 {
+            return None;
+        }
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if completion_cdf(n, n_live, quorum, margin, latency, mid) >= quantile {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Pessimistic/expected/optimistic live-server counts for a universe of
+/// `n` with time-zero crash probability `crash`: the realized live count is
+/// `Binomial(n, 1 − crash)`, bracketed at ±[`tolerance::LIVE_SIGMAS`]·σ.
+fn live_universe_bracket(n: u64, crash: f64) -> (u64, u64, u64) {
+    let live = 1.0 - crash;
+    let mean = n as f64 * live;
+    let sigma = (n as f64 * live * crash).sqrt();
+    let lo = (mean - tolerance::LIVE_SIGMAS * sigma).floor().max(1.0) as u64;
+    let hi = ((mean + tolerance::LIVE_SIGMAS * sigma).ceil() as u64).min(n);
+    let mid = (mean.round().max(1.0) as u64).min(n);
+    (lo.min(n), mid, hi)
+}
+
+/// A feasible `(q, margin, p99)` at universe size `n`, or `None`.
+fn feasible_at(input: &PlanInput, n: u64) -> Option<(u64, u64, f64)> {
+    let (u_lo, u_mid, u_hi) = live_universe_bracket(n, input.workload.crash_fraction);
+    // The ε upper band must meet the target with the timeout budget folded
+    // in; reads intersect against the *largest* plausible live universe.
+    let eps_target = input.slo.epsilon - tolerance::TIMEOUT_BUDGET;
+    let eps_ok = |q: u64| nonintersection_probability(u_hi, q, q) <= eps_target;
+    // Lemma 3.15: ℓ·√u_hi with ℓ = √ln(1/ε) meets the bound, so it caps
+    // the search; the exact pmf refines below it.
+    let ell_seed = crate::bounds::choose_ell_intersecting(eps_target).unwrap_or(f64::INFINITY);
+    let closed_form = ((ell_seed * (u_hi as f64).sqrt()).ceil() as u64).saturating_add(1);
+    let q_cap = closed_form.clamp(1, u_lo);
+    let q = smallest_u64_where(1, q_cap, eps_ok)
+        .or_else(|| smallest_u64_where(q_cap.saturating_add(1), u_lo, eps_ok))?;
+    // Margin: timeouts *and* p99 measured against the smallest plausible
+    // live universe, so the plan meets its SLOs even when the crash draw
+    // lands LIVE_SIGMAS below the mean; both shrink as m grows.
+    // Hedging past a few quorums' worth of probes never pays, so cap the
+    // range there (a larger n re-opens it) and gallop 0, 1, 2, 4, … so the
+    // p99 bisection only runs near the typically-small answer.
+    let margin_ok = |m: u64| {
+        timeout_probability(n, u_lo, q, m) <= tolerance::TIMEOUT_BUDGET
+            && predicted_quantile(n, u_lo, q, m, &input.latency, tolerance::P99_QUANTILE)
+                .is_some_and(|p99| p99 <= input.slo.p99_latency)
+    };
+    let m_cap = (n - q).min(3 * q + 32);
+    let margin = {
+        let mut lo = 0u64;
+        let mut probe = 0u64;
+        let hi = loop {
+            if margin_ok(probe) {
+                break probe;
+            }
+            if probe >= m_cap {
+                return None;
+            }
+            lo = probe + 1;
+            probe = (probe.max(1) * 2).min(m_cap);
+        };
+        smallest_u64_where(lo, hi, margin_ok)?
+    };
+    let per_server = input.workload.arrival_rate * (q + margin) as f64 / n as f64;
+    if per_server > input.slo.max_server_rate {
+        return None;
+    }
+    let p99 = predicted_quantile(n, u_mid, q, margin, &input.latency, tolerance::P99_QUANTILE)?;
+    Some((q, margin, p99))
+}
+
+/// Solves for the minimal `(n, q, probe_margin, gossip)` meeting the SLOs.
+///
+/// # Errors
+///
+/// [`MathError::InvalidParameter`] when the input fails validation, and
+/// [`MathError::Degenerate`] when no universe size up to
+/// `input.max_universe` can meet the objectives (e.g. a p99 SLO below the
+/// latency law's floor).
+pub fn solve(input: &PlanInput) -> crate::Result<CapacityPlan> {
+    input.workload.validate()?;
+    input.slo.validate()?;
+    input.latency.validate()?;
+    if input.max_universe < 2 {
+        return Err(MathError::invalid("max_universe must be at least 2"));
+    }
+
+    let feasible = |n: u64| feasible_at(input, n).is_some();
+    let mut n = smallest_u64_where(2, input.max_universe, feasible).ok_or_else(|| {
+        MathError::degenerate(format!(
+            "no universe size up to {} meets epsilon {} / p99 {}s / {} probes/s per server \
+             under the given workload and latency law",
+            input.max_universe, input.slo.epsilon, input.slo.p99_latency, input.slo.max_server_rate
+        ))
+    })?;
+    // The feasibility frontier is monotone in n up to integer jitter from
+    // the live-universe bracket; a bounded walk-down absorbs the jitter so
+    // the reported n is a true local minimum.
+    let mut walk = 0;
+    while n > 2 && walk < 128 && feasible(n - 1) {
+        n -= 1;
+        walk += 1;
+    }
+    let (q, probe_margin, p99) = feasible_at(input, n).expect("n was verified feasible");
+
+    let (u_lo, u_mid, u_hi) = live_universe_bracket(n, input.workload.crash_fraction);
+    let probes = q + probe_margin;
+    // Expected live coverage of a completed write: live probed servers all
+    // store the record eventually (late probes still land).
+    let live_frac = u_mid as f64 / n as f64;
+    let w_mid = ((probes as f64 * live_frac).round() as u64).clamp(q.min(u_mid), u_mid);
+    let ell = q as f64 / (u_mid.max(1) as f64).sqrt();
+
+    let gossip = if input.workload.write_rate() > 0.0 {
+        let fanout = tolerance::GOSSIP_FANOUT;
+        let rounds = ((u_mid.max(2) as f64).ln() / (1.0 + fanout as f64).ln()).ceil();
+        let hot_interval = 1.0 / (input.workload.write_rate() * input.workload.hottest_key_share());
+        let (p_min, p_max) = tolerance::GOSSIP_PERIOD_RANGE;
+        let period = (tolerance::GOSSIP_WINDOW_FRACTION * hot_interval / rounds.max(1.0))
+            .clamp(p_min, p_max);
+        Some(GossipPlan {
+            period,
+            fanout,
+            digest_delta: true,
+        })
+    } else {
+        None
+    };
+
+    let (digest_rate, coverage_seconds) = match gossip {
+        Some(g) => {
+            let rounds = ((u_mid.max(2) as f64).ln() / (1.0 + g.fanout as f64).ln()).ceil();
+            (u_mid as f64 * g.fanout as f64 / g.period, rounds * g.period)
+        }
+        None => (0.0, 0.0),
+    };
+
+    let quantile = |live: u64| {
+        predicted_quantile(
+            n,
+            live,
+            q,
+            probe_margin,
+            &input.latency,
+            tolerance::P99_QUANTILE,
+        )
+    };
+    let p99_lower = quantile(u_hi).unwrap_or(p99).min(p99);
+    let p99_upper = quantile(u_lo).unwrap_or(p99).max(p99);
+
+    let predicted = PredictedReport {
+        epsilon: nonintersection_probability(u_mid, w_mid, q),
+        epsilon_upper: nonintersection_probability(u_hi, q, q) + tolerance::TIMEOUT_BUDGET,
+        epsilon_lower: nonintersection_probability(u_lo, probes.min(u_lo), q),
+        epsilon_lemma_bound: crate::bounds::epsilon_intersecting_bound(ell),
+        p99_latency: p99,
+        p99_lower,
+        p99_upper,
+        timeout_probability: timeout_probability(n, u_lo, q, probe_margin),
+        op_timeout: tolerance::OP_TIMEOUT_P99_MULTIPLE * p99_upper,
+        load_fraction: probes as f64 / n as f64,
+        server_probe_rate: input.workload.arrival_rate * probes as f64 / n as f64,
+        gossip_digest_rate: digest_rate,
+        gossip_records_per_write: (u_mid.saturating_sub(w_mid)) as f64,
+        gossip_coverage_seconds: coverage_seconds,
+    };
+
+    Ok(CapacityPlan {
+        n,
+        q,
+        probe_margin,
+        gossip,
+        predicted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_input() -> PlanInput {
+        PlanInput {
+            workload: WorkloadShape {
+                arrival_rate: 200.0,
+                read_fraction: 0.9,
+                keys: 64,
+                zipf_exponent: 0.8,
+                crash_fraction: 0.02,
+            },
+            slo: SloTargets {
+                epsilon: 0.01,
+                p99_latency: 0.030,
+                max_server_rate: 40.0,
+            },
+            latency: ProbeLatency::Exponential { mean: 0.005 },
+            max_universe: 4096,
+        }
+    }
+
+    #[test]
+    fn smallest_where_finds_boundary() {
+        assert_eq!(smallest_u64_where(0, 10, |x| x >= 7), Some(7));
+        assert_eq!(smallest_u64_where(0, 10, |_| true), Some(0));
+        assert_eq!(smallest_u64_where(0, 10, |_| false), None);
+        assert_eq!(smallest_u64_where(3, 3, |x| x == 3), Some(3));
+        assert_eq!(smallest_u64_where(4, 3, |_| true), None);
+    }
+
+    #[test]
+    fn nonintersection_monotone_in_quorum() {
+        let mut prev = 1.0;
+        for q in 1..=40u64 {
+            let eps = nonintersection_probability(100, q, q);
+            assert!(eps <= prev + 1e-12, "q={q}");
+            prev = eps;
+        }
+        // Forced intersection once 2q > u.
+        assert_eq!(nonintersection_probability(100, 51, 51), 0.0);
+    }
+
+    #[test]
+    fn completion_cdf_monotone_in_time_and_margin() {
+        let lat = ProbeLatency::Exponential { mean: 0.004 };
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let t = i as f64 * 1e-3;
+            let c = completion_cdf(100, 95, 12, 4, &lat, t);
+            assert!(c + 1e-12 >= prev, "t={t}");
+            prev = c;
+        }
+        let narrow = completion_cdf(100, 95, 12, 0, &lat, 0.01);
+        let hedged = completion_cdf(100, 95, 12, 8, &lat, 0.01);
+        assert!(hedged > narrow);
+    }
+
+    #[test]
+    fn fixed_latency_quantile_is_the_fixed_value() {
+        let lat = ProbeLatency::Fixed(0.007);
+        let p99 = predicted_quantile(64, 64, 8, 2, &lat, 0.99).unwrap();
+        assert!((p99 - 0.007).abs() < 1e-6, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_unreachable_when_crashes_dominate() {
+        // 10 live of 100, quorum 30: L can never reach 30.
+        let lat = ProbeLatency::Fixed(0.001);
+        assert_eq!(predicted_quantile(100, 10, 30, 0, &lat, 0.99), None);
+    }
+
+    #[test]
+    fn solve_meets_its_own_targets() {
+        let input = reference_input();
+        let plan = solve(&input).unwrap();
+        assert!(plan.predicted.epsilon_upper <= input.slo.epsilon + 1e-12);
+        assert!(plan.predicted.p99_latency <= input.slo.p99_latency + 1e-12);
+        assert!(plan.predicted.server_probe_rate <= input.slo.max_server_rate + 1e-9);
+        assert!(plan.predicted.timeout_probability <= tolerance::TIMEOUT_BUDGET + 1e-12);
+        assert!(2 * plan.q <= plan.n);
+        assert!(plan.probes_per_op() <= plan.n);
+        // Band ordering: lower ≤ point ≤ upper ≤ closed form + budget.
+        let p = &plan.predicted;
+        assert!(p.epsilon_lower <= p.epsilon + 1e-12);
+        assert!(p.epsilon <= p.epsilon_upper + 1e-12);
+        assert!(p.epsilon_upper <= p.epsilon_lemma_bound + tolerance::TIMEOUT_BUDGET + 1e-12);
+        let g = plan.gossip.expect("write workload plans gossip");
+        assert!(g.period >= tolerance::GOSSIP_PERIOD_RANGE.0);
+        assert!(g.period <= tolerance::GOSSIP_PERIOD_RANGE.1);
+        assert!(g.digest_delta);
+    }
+
+    #[test]
+    fn solve_minimality_walkdown() {
+        let input = reference_input();
+        let plan = solve(&input).unwrap();
+        // One server fewer must be infeasible (local minimality).
+        assert!(feasible_at(&input, plan.n - 1).is_none());
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_bigger_quorum() {
+        let mut input = reference_input();
+        input.slo.max_server_rate = 1e9; // isolate the ε constraint
+        let loose = solve(&input).unwrap();
+        input.slo.epsilon = 0.004;
+        let tight = solve(&input).unwrap();
+        assert!(
+            tight.q >= loose.q,
+            "tight.q={} loose.q={}",
+            tight.q,
+            loose.q
+        );
+        assert!(tight.n >= loose.n);
+    }
+
+    #[test]
+    fn relaxed_p99_never_raises_the_plan() {
+        let mut input = reference_input();
+        let tight = solve(&input).unwrap();
+        input.slo.p99_latency *= 4.0;
+        let relaxed = solve(&input).unwrap();
+        assert!(relaxed.n <= tight.n);
+        assert!(relaxed.probes_per_op() <= tight.probes_per_op());
+    }
+
+    #[test]
+    fn all_read_workload_plans_no_gossip() {
+        let mut input = reference_input();
+        input.workload.read_fraction = 1.0;
+        let plan = solve(&input).unwrap();
+        assert!(plan.gossip.is_none());
+        assert_eq!(plan.predicted.gossip_digest_rate, 0.0);
+    }
+
+    #[test]
+    fn infeasible_slo_reports_degenerate() {
+        let mut input = reference_input();
+        // SLO below the latency floor: Fixed(5ms) can never meet 1ms p99.
+        input.latency = ProbeLatency::Fixed(0.005);
+        input.slo.p99_latency = 0.001;
+        match solve(&input) {
+            Err(MathError::Degenerate(msg)) => assert!(msg.contains("no universe size")),
+            other => panic!("expected Degenerate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut input = reference_input();
+        input.slo.epsilon = tolerance::TIMEOUT_BUDGET / 2.0;
+        assert!(matches!(solve(&input), Err(MathError::InvalidParameter(_))));
+        let mut input = reference_input();
+        input.workload.crash_fraction = 1.0;
+        assert!(solve(&input).is_err());
+        let mut input = reference_input();
+        input.latency = ProbeLatency::Pareto {
+            scale: 1e-3,
+            shape: 0.9,
+        };
+        assert!(solve(&input).is_err());
+    }
+
+    #[test]
+    fn crash_fraction_widens_the_margin() {
+        let mut input = reference_input();
+        input.workload.crash_fraction = 0.0;
+        let clean = solve(&input).unwrap();
+        input.workload.crash_fraction = 0.2;
+        let crashy = solve(&input).unwrap();
+        assert!(crashy.probe_margin > clean.probe_margin);
+        assert!(crashy.predicted.epsilon_upper <= input.slo.epsilon + 1e-12);
+    }
+
+    #[test]
+    fn hottest_key_share_degenerate_cases() {
+        let mut w = reference_input().workload;
+        w.keys = 1;
+        assert_eq!(w.hottest_key_share(), 1.0);
+        w.keys = 10;
+        w.zipf_exponent = 0.0;
+        assert!((w.hottest_key_share() - 0.1).abs() < 1e-12);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn input_with(eps_millis: u64, p99_millis: u64, crash_pct: u64) -> PlanInput {
+            PlanInput {
+                workload: WorkloadShape {
+                    arrival_rate: 150.0,
+                    read_fraction: 0.9,
+                    keys: 32,
+                    zipf_exponent: 1.0,
+                    crash_fraction: crash_pct as f64 / 100.0,
+                },
+                slo: SloTargets {
+                    epsilon: eps_millis as f64 / 1000.0,
+                    p99_latency: p99_millis as f64 / 1000.0,
+                    max_server_rate: 1e6,
+                },
+                latency: ProbeLatency::Exponential { mean: 0.004 },
+                max_universe: 2048,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            // Tightening ε can only grow the plan.
+            #[test]
+            fn monotone_in_epsilon(eps in 5u64..120, delta in 1u64..60, crash in 0u64..15) {
+                let loose = solve(&input_with(eps + delta, 40, crash)).unwrap();
+                let tight = solve(&input_with(eps, 40, crash)).unwrap();
+                prop_assert!(tight.q >= loose.q);
+                prop_assert!(tight.n >= loose.n);
+            }
+
+            // Relaxing the p99 SLO can only shrink the probe footprint.
+            #[test]
+            fn monotone_in_p99(p99 in 8u64..40, extra in 1u64..80, crash in 0u64..15) {
+                let tight = solve(&input_with(20, p99, crash)).unwrap();
+                let relaxed = solve(&input_with(20, p99 + extra, crash)).unwrap();
+                prop_assert!(relaxed.probes_per_op() <= tight.probes_per_op());
+                prop_assert!(relaxed.n <= tight.n);
+            }
+
+            // Every solved plan honors its own contract.
+            #[test]
+            fn solved_plans_meet_targets(eps in 5u64..100, p99 in 8u64..60, crash in 0u64..20) {
+                let input = input_with(eps, p99, crash);
+                let plan = solve(&input).unwrap();
+                prop_assert!(plan.predicted.epsilon_upper <= input.slo.epsilon + 1e-12);
+                prop_assert!(plan.predicted.p99_latency <= input.slo.p99_latency + 1e-12);
+                prop_assert!(plan.predicted.timeout_probability
+                    <= tolerance::TIMEOUT_BUDGET + 1e-12);
+                prop_assert!(plan.predicted.epsilon_lower <= plan.predicted.epsilon_upper + 1e-12);
+                // With no rate cap the minimal n can be small enough that
+                // quorums overlap by pigeonhole (a strict-quorum degenerate
+                // with ε = 0) — only probes ≤ n is a universal invariant.
+                prop_assert!(plan.probes_per_op() <= plan.n);
+            }
+        }
+    }
+}

@@ -38,6 +38,14 @@ pub fn hoeffding_upper(n: u64, t: f64) -> f64 {
 
 /// Additive Hoeffding bound for the lower tail:
 /// `P(X/n ≤ p − t) ≤ exp(−2 n t²)`; identical exponent by symmetry.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::tail::{hoeffding_lower, hoeffding_upper};
+/// assert_eq!(hoeffding_lower(100, 0.2), hoeffding_upper(100, 0.2));
+/// assert_eq!(hoeffding_lower(100, -0.1), 1.0);
+/// ```
 pub fn hoeffding_lower(n: u64, t: f64) -> f64 {
     hoeffding_upper(n, t)
 }
@@ -48,6 +56,16 @@ pub fn hoeffding_lower(n: u64, t: f64) -> f64 {
 /// `P(#fail > n − q) ≤ exp(−2 n (1 − q/n − p)²)` whenever `p ≤ 1 − q/n`.
 ///
 /// Returns `1.0` if `p > 1 − q/n` (the bound does not apply).
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::tail::r_system_failure_bound;
+/// // n = 100, q = 10, p = 0.2: gamma = 0.7, bound = e^{-2*100*0.49}.
+/// assert!(r_system_failure_bound(100, 10, 0.2) < 1e-42);
+/// // The bound is vacuous once crashes can wipe out every quorum.
+/// assert_eq!(r_system_failure_bound(100, 10, 0.95), 1.0);
+/// ```
 pub fn r_system_failure_bound(n: u64, q: u64, p: f64) -> f64 {
     let gamma = 1.0 - q as f64 / n as f64 - p;
     if gamma <= 0.0 {
@@ -66,6 +84,16 @@ pub fn r_system_failure_bound(n: u64, q: u64, p: f64) -> f64 {
 /// (citing Motwani–Raghavan, p. 72).
 ///
 /// Returns `1.0` for `γ ≤ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::tail::chernoff_upper_multiplicative;
+/// // Small deviations use the e^{-mu gamma^2/4} branch...
+/// assert!((chernoff_upper_multiplicative(16.0, 1.0) - (-4.0f64).exp()).abs() < 1e-12);
+/// // ...huge ones switch to the 2^{-(1+gamma)mu} branch.
+/// assert!((chernoff_upper_multiplicative(1.0, 7.0) - 2f64.powf(-8.0)).abs() < 1e-12);
+/// ```
 pub fn chernoff_upper_multiplicative(mu: f64, gamma: f64) -> f64 {
     if gamma <= 0.0 || mu <= 0.0 {
         return 1.0;
@@ -84,6 +112,14 @@ pub fn chernoff_upper_multiplicative(mu: f64, gamma: f64) -> f64 {
 /// This is the form used in the proof of Lemma 5.9.
 ///
 /// Returns `1.0` for `δ` outside `(0, 1]` or non-positive `μ`.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::tail::chernoff_lower_multiplicative;
+/// assert!((chernoff_lower_multiplicative(8.0, 0.5) - (-1.0f64).exp()).abs() < 1e-12);
+/// assert_eq!(chernoff_lower_multiplicative(8.0, 1.5), 1.0);
+/// ```
 pub fn chernoff_lower_multiplicative(mu: f64, delta: f64) -> f64 {
     if delta <= 0.0 || delta > 1.0 || mu <= 0.0 {
         return 1.0;
@@ -118,6 +154,15 @@ pub fn chernoff_kl_lower(n: u64, p: f64, a: f64) -> f64 {
 
 /// Binary Kullback–Leibler divergence `D(a ‖ p)` between Bernoulli(a) and
 /// Bernoulli(p), with the usual conventions at the endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use pqs_math::tail::kl_bernoulli;
+/// assert_eq!(kl_bernoulli(0.3, 0.3), 0.0);
+/// assert!(kl_bernoulli(0.5, 0.1) > 0.0);
+/// assert!(kl_bernoulli(0.5, 0.0).is_infinite());
+/// ```
 pub fn kl_bernoulli(a: f64, p: f64) -> f64 {
     debug_assert!((0.0..=1.0).contains(&a));
     debug_assert!((0.0..=1.0).contains(&p));

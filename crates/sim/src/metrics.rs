@@ -117,6 +117,10 @@ pub struct VariableReport {
     pub stale_reads: u64,
     /// Reads of this key that returned ⊥ despite a completed write.
     pub empty_reads: u64,
+    /// Reads of this key that completed before any write of the key had —
+    /// nothing exists to be stale against, so they are structurally
+    /// ineligible for the staleness accounting.
+    pub unwritten_reads: u64,
     /// Operations on this key that failed outright.
     pub unavailable_ops: u64,
     /// Reads of this key concurrent with a write of the same key.
@@ -207,6 +211,15 @@ pub struct SimReport {
     /// Reads that returned ⊥ (no acceptable value) even though a write had
     /// completed.
     pub empty_reads: u64,
+    /// Reads that completed before any write of their key had: there is
+    /// nothing to be stale against, so they can never count as stale or
+    /// empty.  [`stale_read_rate`](Self::stale_read_rate) keeps them in its
+    /// denominator (the workload-level rate every validator sweeps);
+    /// [`eligible_stale_read_rate`](Self::eligible_stale_read_rate)
+    /// excludes them, which is the per-read probability the analytic
+    /// bounds — and the capacity planner's prediction contract — speak
+    /// about.
+    pub unwritten_reads: u64,
     /// Operations that failed because no probed server answered within any
     /// attempt.
     pub unavailable_ops: u64,
@@ -261,6 +274,26 @@ impl SimReport {
     /// the empirical counterpart of ε.
     pub fn stale_read_rate(&self) -> f64 {
         let eligible = self.completed_reads.saturating_sub(self.concurrent_reads);
+        if eligible == 0 {
+            0.0
+        } else {
+            (self.stale_reads + self.empty_reads) as f64 / eligible as f64
+        }
+    }
+
+    /// Fraction of *eligible* reads — non-concurrent reads of keys with at
+    /// least one completed predecessor write — that were stale or empty.
+    /// This is the empirical counterpart of the analytic per-read ε (the
+    /// Lemma 3.15 nonintersection probability): each eligible read is one
+    /// Bernoulli trial of "did my quorum miss the latest write's probe
+    /// set".  Reads of never-written keys are excluded, since they cannot
+    /// miss anything; [`stale_read_rate`](Self::stale_read_rate) keeps
+    /// them and therefore dilutes toward 0 on sparse key spaces.
+    pub fn eligible_stale_read_rate(&self) -> f64 {
+        let eligible = self
+            .completed_reads
+            .saturating_sub(self.concurrent_reads)
+            .saturating_sub(self.unwritten_reads);
         if eligible == 0 {
             0.0
         } else {
@@ -473,6 +506,7 @@ pub(crate) fn merge_shard_reports(shards: Vec<ShardAccumulator>) -> SimReport {
         merged.completed_writes += r.completed_writes;
         merged.stale_reads += r.stale_reads;
         merged.empty_reads += r.empty_reads;
+        merged.unwritten_reads += r.unwritten_reads;
         merged.unavailable_ops += r.unavailable_ops;
         merged.concurrent_reads += r.concurrent_reads;
         merged.retries += r.retries;

@@ -453,6 +453,142 @@ impl SimConfig {
             config: SimConfig::default(),
         }
     }
+
+    /// Renders this configuration as the `SimConfig::builder()` chain that
+    /// reconstructs it — one `with_*` call per field that differs from
+    /// [`SimConfig::default`], floats printed in round-trip form.
+    ///
+    /// This is the capacity planner's serialization format: the `plan` bin
+    /// emits a ready-to-paste chain alongside its predicted report, and
+    /// `validate_plan` rebuilds the configuration through the builder and
+    /// checks the rendering agrees with the struct before running it.
+    ///
+    /// ```rust
+    /// use pqs_sim::runner::SimConfig;
+    ///
+    /// assert_eq!(
+    ///     SimConfig::default().to_builder_chain(),
+    ///     "SimConfig::builder().build()"
+    /// );
+    /// let config = SimConfig::builder()
+    ///     .with_arrival_rate(200.0)
+    ///     .with_seed(7)
+    ///     .build();
+    /// assert_eq!(
+    ///     config.to_builder_chain(),
+    ///     "SimConfig::builder().with_arrival_rate(200.0).with_seed(7).build()"
+    /// );
+    /// ```
+    pub fn to_builder_chain(&self) -> String {
+        fn latency(model: &LatencyModel) -> String {
+            match *model {
+                LatencyModel::Fixed(v) => format!("LatencyModel::Fixed({v:?})"),
+                LatencyModel::Uniform { min, max } => {
+                    format!("LatencyModel::Uniform {{ min: {min:?}, max: {max:?} }}")
+                }
+                LatencyModel::Exponential { mean } => {
+                    format!("LatencyModel::Exponential {{ mean: {mean:?} }}")
+                }
+                LatencyModel::Pareto { scale, shape } => {
+                    format!("LatencyModel::Pareto {{ scale: {scale:?}, shape: {shape:?} }}")
+                }
+            }
+        }
+        fn keyspace(ks: &KeySpace) -> String {
+            match ks.skew {
+                crate::workload::Skew::Uniform if ks.keys == 1 => "KeySpace::single()".into(),
+                crate::workload::Skew::Uniform => format!("KeySpace::uniform({})", ks.keys),
+                crate::workload::Skew::Zipf { exponent } => {
+                    format!("KeySpace::zipf({}, {exponent:?})", ks.keys)
+                }
+            }
+        }
+        fn diffusion_policy(p: &DiffusionPolicy) -> String {
+            let defaults = DiffusionPolicy::default();
+            let mut out = match p.mode {
+                GossipMode::PushAll => {
+                    format!("DiffusionPolicy::full_push({:?}, {})", p.period, p.fanout)
+                }
+                GossipMode::DigestDelta => {
+                    format!(
+                        "DiffusionPolicy::digest_delta({:?}, {})",
+                        p.period, p.fanout
+                    )
+                }
+            };
+            if p.push_latency != defaults.push_latency {
+                out.push_str(&format!(".with_push_latency({})", latency(&p.push_latency)));
+            }
+            match p.key_policy {
+                KeyGossipPolicy::Uniform => {}
+                KeyGossipPolicy::HotFirst {
+                    hot_keys,
+                    cold_every,
+                } => out.push_str(&format!(
+                    ".with_key_policy(KeyGossipPolicy::HotFirst {{ \
+                     hot_keys: {hot_keys}, cold_every: {cold_every} }})"
+                )),
+                KeyGossipPolicy::RecentWrites { window, cold_every } => out.push_str(&format!(
+                    ".with_key_policy(KeyGossipPolicy::RecentWrites {{ \
+                     window: {window:?}, cold_every: {cold_every} }})"
+                )),
+            }
+            out
+        }
+
+        let defaults = SimConfig::default();
+        let mut chain = String::from("SimConfig::builder()");
+        if self.duration != defaults.duration {
+            chain.push_str(&format!(".with_duration({:?})", self.duration));
+        }
+        if self.arrival_rate != defaults.arrival_rate {
+            chain.push_str(&format!(".with_arrival_rate({:?})", self.arrival_rate));
+        }
+        if self.read_fraction != defaults.read_fraction {
+            chain.push_str(&format!(".with_read_fraction({:?})", self.read_fraction));
+        }
+        if self.keyspace != defaults.keyspace {
+            chain.push_str(&format!(".with_keyspace({})", keyspace(&self.keyspace)));
+        }
+        if self.latency != defaults.latency {
+            chain.push_str(&format!(".with_latency({})", latency(&self.latency)));
+        }
+        if self.crash_probability != defaults.crash_probability {
+            chain.push_str(&format!(
+                ".with_crash_probability({:?})",
+                self.crash_probability
+            ));
+        }
+        if self.byzantine != defaults.byzantine {
+            chain.push_str(&format!(".with_byzantine({})", self.byzantine));
+        }
+        if self.probe_margin != defaults.probe_margin {
+            chain.push_str(&format!(".with_probe_margin({})", self.probe_margin));
+        }
+        if self.op_timeout != defaults.op_timeout {
+            chain.push_str(&format!(".with_op_timeout({:?})", self.op_timeout));
+        }
+        if self.max_retries != defaults.max_retries {
+            chain.push_str(&format!(".with_max_retries({})", self.max_retries));
+        }
+        if self.retry_backoff != defaults.retry_backoff {
+            chain.push_str(&format!(".with_retry_backoff({:?})", self.retry_backoff));
+        }
+        if let Some(policy) = &self.diffusion {
+            chain.push_str(&format!(".with_diffusion({})", diffusion_policy(policy)));
+        }
+        if self.seed != defaults.seed {
+            chain.push_str(&format!(".with_seed({})", self.seed));
+        }
+        if self.num_shards != defaults.num_shards {
+            chain.push_str(&format!(".with_num_shards({})", self.num_shards));
+        }
+        if self.threads != defaults.threads {
+            chain.push_str(&format!(".with_threads({})", self.threads));
+        }
+        chain.push_str(".build()");
+        chain
+    }
 }
 
 /// Fluent builder for [`SimConfig`], following the [`DiffusionPolicy`]
@@ -1342,7 +1478,10 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     // this read started is the expected result.
                     let expected = writes[var].latest_completed_before(read_start);
                     match (expected, result) {
-                        (None, _) => {}
+                        (None, _) => {
+                            report.unwritten_reads += 1;
+                            report.per_variable[var].unwritten_reads += 1;
+                        }
                         (Some(seq), Some(tv)) => {
                             let got = tv.value.as_u64().unwrap_or(0);
                             if got < seq {
@@ -2141,6 +2280,129 @@ mod tests {
             "factor 8 unavailable {} must beat factor 1 {}",
             unavailable[1],
             unavailable[0]
+        );
+    }
+
+    #[test]
+    fn builder_chain_renders_only_non_default_fields() {
+        assert_eq!(
+            SimConfig::default().to_builder_chain(),
+            "SimConfig::builder().build()"
+        );
+        let chain = SimConfig::builder()
+            .with_duration(30.0)
+            .with_keyspace(KeySpace::zipf(64, 1.2))
+            .with_probe_margin(4)
+            .build()
+            .to_builder_chain();
+        assert_eq!(
+            chain,
+            "SimConfig::builder().with_duration(30.0)\
+             .with_keyspace(KeySpace::zipf(64, 1.2)).with_probe_margin(4).build()"
+        );
+        assert!(!chain.contains("with_seed"), "default seed must not render");
+    }
+
+    #[test]
+    fn builder_chain_round_trips_a_planner_style_config() {
+        let config = SimConfig::builder()
+            .with_duration(45.0)
+            .with_arrival_rate(200.0)
+            .with_read_fraction(0.9)
+            .with_keyspace(KeySpace::zipf(64, 0.8))
+            .with_latency(LatencyModel::Exponential { mean: 5e-3 })
+            .with_crash_probability(0.02)
+            .with_probe_margin(6)
+            .with_op_timeout(0.08)
+            .with_diffusion(
+                DiffusionPolicy::digest_delta(0.05, 3)
+                    .with_push_latency(LatencyModel::Exponential { mean: 5e-3 }),
+            )
+            .with_seed(42)
+            .build();
+        let chain = config.to_builder_chain();
+        // The rendered chain names exactly the non-default knobs…
+        for needle in [
+            ".with_duration(45.0)",
+            ".with_arrival_rate(200.0)",
+            ".with_keyspace(KeySpace::zipf(64, 0.8))",
+            ".with_latency(LatencyModel::Exponential { mean: 0.005 })",
+            ".with_crash_probability(0.02)",
+            ".with_probe_margin(6)",
+            ".with_op_timeout(0.08)",
+            ".with_diffusion(DiffusionPolicy::digest_delta(0.05, 3)\
+             .with_push_latency(LatencyModel::Exponential { mean: 0.005 }))",
+            ".with_seed(42)",
+        ] {
+            assert!(chain.contains(needle), "missing {needle} in {chain}");
+        }
+        // …and rebuilding from the struct's own fields reproduces both the
+        // config and its rendering (the round-trip contract validate_plan
+        // re-checks on every emitted plan).
+        let rebuilt = SimConfig::builder()
+            .with_duration(config.duration)
+            .with_arrival_rate(config.arrival_rate)
+            .with_read_fraction(config.read_fraction)
+            .with_keyspace(config.keyspace)
+            .with_latency(config.latency)
+            .with_crash_probability(config.crash_probability)
+            .with_probe_margin(config.probe_margin)
+            .with_op_timeout(config.op_timeout)
+            .with_diffusion(config.diffusion.unwrap())
+            .with_seed(config.seed)
+            .build();
+        assert_eq!(rebuilt, config);
+        assert_eq!(rebuilt.to_builder_chain(), chain);
+    }
+
+    #[test]
+    fn builder_chain_renders_every_latency_and_policy_shape() {
+        let uniform = SimConfig::builder()
+            .with_latency(LatencyModel::Uniform {
+                min: 1e-4,
+                max: 2e-3,
+            })
+            .build()
+            .to_builder_chain();
+        assert!(uniform.contains("LatencyModel::Uniform { min: 0.0001, max: 0.002 }"));
+        let pareto = SimConfig::builder()
+            .with_latency(LatencyModel::Pareto {
+                scale: 1e-3,
+                shape: 2.5,
+            })
+            .build()
+            .to_builder_chain();
+        assert!(pareto.contains("LatencyModel::Pareto { scale: 0.001, shape: 2.5 }"));
+        let push = SimConfig::builder()
+            .with_diffusion(DiffusionPolicy::full_push(0.1, 2).with_key_policy(
+                KeyGossipPolicy::HotFirst {
+                    hot_keys: 4,
+                    cold_every: 8,
+                },
+            ))
+            .build()
+            .to_builder_chain();
+        assert!(push.contains(
+            "DiffusionPolicy::full_push(0.1, 2)\
+             .with_key_policy(KeyGossipPolicy::HotFirst { hot_keys: 4, cold_every: 8 })"
+        ));
+        let recent = SimConfig::builder()
+            .with_diffusion(DiffusionPolicy::digest_delta(0.25, 2).with_key_policy(
+                KeyGossipPolicy::RecentWrites {
+                    window: 1.5,
+                    cold_every: 4,
+                },
+            ))
+            .build()
+            .to_builder_chain();
+        assert!(recent.contains("KeyGossipPolicy::RecentWrites { window: 1.5, cold_every: 4 }"));
+        assert!(
+            KeySpace::uniform(16) == KeySpace::uniform(16)
+                && SimConfig::builder()
+                    .with_keyspace(KeySpace::uniform(16))
+                    .build()
+                    .to_builder_chain()
+                    .contains(".with_keyspace(KeySpace::uniform(16))")
         );
     }
 }

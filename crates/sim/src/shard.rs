@@ -597,7 +597,10 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                 } else {
                     let expected = self.writes[var].latest_completed_before(read_start);
                     match (expected, result) {
-                        (None, _) => {}
+                        (None, _) => {
+                            self.acc.report.unwritten_reads += 1;
+                            self.acc.report.per_variable[var].unwritten_reads += 1;
+                        }
                         (Some(seq), Some(tv)) => {
                             let got = tv.value.as_u64().unwrap_or(0);
                             if got < seq {
