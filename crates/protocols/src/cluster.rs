@@ -78,6 +78,16 @@ impl Cluster {
         self.servers[id.as_usize()].set_behavior(behavior);
     }
 
+    /// Brings a server (back) into membership with freshly reset record
+    /// stores sized for `keys` variables: the joiner comes up correct and
+    /// must bootstrap its state through gossip (see
+    /// [`ReplicaServer::reset_stores`]).
+    pub fn join_server(&mut self, id: ServerId, keys: u64) {
+        let server = self.server_mut(id);
+        server.reset_stores(keys);
+        server.set_behavior(Behavior::Correct);
+    }
+
     /// Crashes every server in `ids`.
     pub fn crash_all<I: IntoIterator<Item = ServerId>>(&mut self, ids: I) {
         for id in ids {

@@ -164,6 +164,16 @@ impl ReplicaServer {
         self.signed.reserve(keys);
     }
 
+    /// Wipes both record stores and re-reserves capacity for `keys` dense
+    /// variable ids: the state of a server (re)joining the cluster, which
+    /// must bootstrap everything it once held back through gossip rather
+    /// than resurrect pre-departure records.
+    pub fn reset_stores(&mut self, keys: u64) {
+        self.plain = RecordStore::new();
+        self.signed = RecordStore::new();
+        self.reserve_variables(keys);
+    }
+
     /// The server's id.
     pub fn id(&self) -> ServerId {
         self.id

@@ -91,6 +91,17 @@ pub enum Event {
         /// `true` for a crash, `false` for a recovery.
         crash: bool,
     },
+    /// A scheduled membership transition: a joining server comes up
+    /// correct with freshly reset record stores (it bootstraps through
+    /// gossip); a leaving server goes dark like a crash.  When the
+    /// schedule is non-empty the engines also recompute the probe margin
+    /// online against the ε budget for the new cluster size.
+    MembershipTransition {
+        /// The server.
+        server: ServerId,
+        /// `true` for a join, `false` for a leave.
+        join: bool,
+    },
     /// A periodic write-diffusion round fires: the scheduler snapshots
     /// every correct server's stored records and turns them into
     /// individually scheduled [`Event::GossipPush`] messages.  Only

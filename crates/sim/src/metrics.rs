@@ -267,6 +267,39 @@ pub struct SimReport {
     /// Per-key breakdown, one entry per key of the run's
     /// [`KeySpace`](crate::workload::KeySpace) (index == key id).
     pub per_variable: Vec<VariableReport>,
+    /// Probe replies dropped because an active partition window separated
+    /// the probed server from the operation's component (0 without a
+    /// partition schedule; the dropped probe behaves like a silent server).
+    pub dropped_probes: u64,
+    /// Gossip messages (pushes, digests, deltas) whose delivery an active
+    /// partition window blocked at the component border.
+    pub partition_blocked_gossip: u64,
+    /// Probe replies on which an adaptive-adversary sleeper's predicate
+    /// fired and the reply was answered stale (0 under
+    /// [`ByzantineStrategy::Static`](crate::failure::ByzantineStrategy)).
+    pub adaptive_activations: u64,
+    /// Membership transitions (joins + leaves) the run executed.
+    pub membership_events: u64,
+    /// Stale + empty reads finalized *during* an active partition window,
+    /// bucketed by the component of the read's key (`key % components`);
+    /// sized to the largest component count over all windows, empty
+    /// without a partition schedule.
+    pub per_component_stale_reads: Vec<u64>,
+    /// Partition windows whose heal time the gossip spine observed (a
+    /// round at or after `heals_at` fired while diffusion was on).
+    pub heals_observed: u64,
+    /// Summed gossip rounds from each observed heal until every key's
+    /// freshest-at-heal record reached the coverage target — the
+    /// re-convergence debt a healed partition leaves behind.
+    pub post_heal_rounds_to_coverage: u64,
+    /// Number of observed heals whose post-heal coverage completed before
+    /// the run ended (the denominator for the mean of the sum above).
+    pub post_heal_coverage_completions: u64,
+    /// For the *first* observed heal: the cumulative number of keys whose
+    /// freshest-at-heal record had reached the coverage target, one entry
+    /// per gossip round after the heal.  Monotone by construction — the
+    /// property tests assert it.
+    pub post_heal_coverage: Vec<u64>,
 }
 
 impl SimReport {
@@ -514,8 +547,23 @@ pub(crate) fn merge_shard_reports(shards: Vec<ShardAccumulator>) -> SimReport {
         merged.gossip_pushes += r.gossip_pushes;
         merged.gossip_stores += r.gossip_stores;
         merged.gossip_redundant_pushes_avoided += r.gossip_redundant_pushes_avoided;
+        merged.dropped_probes += r.dropped_probes;
+        merged.partition_blocked_gossip += r.partition_blocked_gossip;
+        merged.adaptive_activations += r.adaptive_activations;
         merged.events_processed += acc.logical_events;
         merged.total_operations += r.total_operations;
+        if merged.per_component_stale_reads.len() < r.per_component_stale_reads.len() {
+            merged
+                .per_component_stale_reads
+                .resize(r.per_component_stale_reads.len(), 0);
+        }
+        for (m, s) in merged
+            .per_component_stale_reads
+            .iter_mut()
+            .zip(&r.per_component_stale_reads)
+        {
+            *m += s;
+        }
         if merged.per_server_accesses.is_empty() {
             merged.per_server_accesses = vec![0; r.per_server_accesses.len()];
         }

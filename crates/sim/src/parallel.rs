@@ -36,7 +36,8 @@
 use crate::failure::FailurePlan;
 use crate::metrics::{merge_shard_reports, EngineStageTimings, SimReport};
 use crate::runner::{
-    digest_selector, ConvergenceTracker, GossipMode, ProtocolKind, Simulation, COVERAGE_TARGET,
+    digest_selector, ConvergenceTracker, GossipMode, HealTracking, ProtocolKind, Simulation,
+    COVERAGE_TARGET,
 };
 use crate::shard::{RoundBatch, ShardWorld};
 use crate::time::SimTime;
@@ -112,6 +113,10 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
     let mut coverage_events = vec![0u64; nvars];
     let mut rounds: u64 = 0;
     let mut digests_planned: u64 = 0;
+    let mut digests_blocked: u64 = 0;
+    // Post-heal re-convergence accounting, spine-level like the coverage
+    // trackers (no-op without partition windows).
+    let mut heals = HealTracking::default();
 
     if let Some(policy) = config.diffusion {
         assert!(
@@ -125,10 +130,14 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
         let mut spine = Cluster::new(sim.system.universe());
         spine.reserve_variables(config.keyspace.keys);
         spine.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
+        for absent in plan.initially_absent() {
+            spine.set_behavior(absent, Behavior::Crashed);
+        }
         let mut gossip_rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
         let gossip_signed = matches!(sim.kind, ProtocolKind::Dissemination);
         let mut trackers: Vec<ConvergenceTracker> = vec![ConvergenceTracker::default(); nvars];
         let mut crash_cursor = 0usize;
+        let mut membership_cursor = 0usize;
         let mut next_gossip_id: u64 = 0;
 
         // Round-scoped buffers, all reused across barriers: per-shard
@@ -163,6 +172,23 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
                 };
                 spine.set_behavior(c.server, behavior);
                 crash_cursor += 1;
+            }
+            // Membership transitions use a *strict* cursor (`at < t`, not
+            // `<= t`): a join resets the spine's copy of the joiner, and
+            // the strict bound guarantees every shard has already replayed
+            // the event — so the dirty-pair replay below reads the shards'
+            // *post-reset* records and the incremental sync stays
+            // bit-identical to a full resync (debug builds assert it).
+            while membership_cursor < plan.memberships.len()
+                && plan.memberships[membership_cursor].at < t
+            {
+                let m = &plan.memberships[membership_cursor];
+                if m.join {
+                    spine.join_server(m.server, config.keyspace.keys);
+                } else {
+                    spine.set_behavior(m.server, Behavior::Crashed);
+                }
+                membership_cursor += 1;
             }
             for world in worlds.iter_mut() {
                 world.sync_dirty_into(&mut spine, gossip_signed);
@@ -209,6 +235,17 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
                         digests_planned += 1;
                         let id = next_gossip_id;
                         next_gossip_id += 1;
+                        // Partition gating for digests happens here on the
+                        // spine (one digest fans out to sub-digests on
+                        // several shards but is one message), evaluated at
+                        // the digest's *delivery* time — the same predicate
+                        // the sequential engine applies at delivery.  Both
+                        // latencies are already drawn, so the gossip RNG
+                        // stream is unaffected.
+                        if plan.blocks_link(t + digest_rtt, digest.from, digest.to) {
+                            digests_blocked += 1;
+                            continue;
+                        }
                         // One pass buckets the advertised entries by
                         // owning shard — O(entries + shards) per digest
                         // instead of a per-shard scan of the full list.
@@ -255,6 +292,7 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
                     coverage_events[cov.variable as usize] += 1;
                 }
             }
+            heals.on_round(plan, t, round, &coverage, target, nvars);
             stages.plan_seconds += plan_start.elapsed().as_secs_f64();
 
             let route_start = Instant::now();
@@ -278,10 +316,13 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
     stages.drain_seconds += drain_start.elapsed().as_secs_f64();
 
     // One delta *event* per digest id that produced any records, matching
-    // the sequential engine's one-delta-per-digest message count.
+    // the sequential engine's one-delta-per-digest message count; blocked
+    // deltas likewise deduplicate to one dropped message per id.
     let mut delta_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut blocked_delta_ids: BTreeSet<u64> = BTreeSet::new();
     for world in &worlds {
         delta_ids.extend(world.deltas_sent.iter().copied());
+        blocked_delta_ids.extend(world.deltas_blocked.iter().copied());
     }
 
     let mut report = merge_shard_reports(
@@ -291,11 +332,20 @@ pub(crate) fn run_sharded<S: QuorumSystem + ?Sized>(
             .collect(),
     );
     report.gossip_rounds = rounds;
-    report.gossip_digests = digests_planned;
-    // Spine-level events: crash transitions (replayed per shard but one
-    // event each), rounds, digest deliveries and delta deliveries.
-    report.events_processed +=
-        plan.crashes.len() as u64 + rounds + digests_planned + delta_ids.len() as u64;
+    // Like the sequential engine, a digest a partition blocked was planned
+    // but never delivered.
+    report.gossip_digests = digests_planned - digests_blocked;
+    report.partition_blocked_gossip += digests_blocked + blocked_delta_ids.len() as u64;
+    report.membership_events = plan.memberships.len() as u64;
+    heals.finish_into(&mut report);
+    // Spine-level events: crash and membership transitions (replayed per
+    // shard but one event each), rounds, digest deliveries and delta
+    // deliveries.
+    report.events_processed += plan.crashes.len() as u64
+        + plan.memberships.len() as u64
+        + rounds
+        + digests_planned
+        + delta_ids.len() as u64;
     for v in 0..nvars {
         report.per_variable[v].coverage_rounds_sum = coverage_rounds_sum[v];
         report.per_variable[v].coverage_events = coverage_events[v];

@@ -66,6 +66,24 @@
 //! rates meaningful.  `diffusion: None` (the default) schedules no gossip event
 //! at all and is bit-identical to the pre-diffusion engine.
 //!
+//! ## The scenario engine
+//!
+//! Beyond fail-stop crashes, a [`FailurePlan`] can schedule **membership
+//! churn** ([`Event::MembershipTransition`]: joiners come up with wiped
+//! record stores and bootstrap through gossip, and the probe margin is
+//! re-solved against the ε budget for the new present count), **healing
+//! partitions** (component windows that gate probe and gossip *delivery*
+//! — never planning, so every RNG draw of the unpartitioned same-seed run
+//! still happens and its trajectory is undisturbed; post-heal
+//! re-convergence is tracked per gossip round into
+//! [`SimReport::post_heal_coverage`]), and an adaptive
+//! [`ByzantineStrategy`] (sleeper servers
+//! that serve stale data for exactly one probe delivery when a
+//! foreground-statistics predicate fires — a pure read-side overlay, so
+//! the diffusion-off adaptive run replays its static twin's foreground
+//! exactly and staleness is provably monotone).  All scenario machinery
+//! defaults off and adds no events or draws to existing configurations.
+//!
 //! ## The parallel engine
 //!
 //! With [`SimConfig::num_shards`] ≥ 2 the run executes on the sharded
@@ -83,13 +101,14 @@
 //! barrier protocol.
 
 use crate::event::{Event, EventEngine, OpId, PendingSlab};
-use crate::failure::FailurePlan;
+use crate::failure::{ByzantineStrategy, FailurePlan};
 use crate::latency::LatencyModel;
 use crate::metrics::{EngineStageTimings, SimReport, VariableReport};
 use crate::time::SimTime;
 use crate::workload::{KeySpace, OpKind, WorkloadConfig};
 use pqs_core::system::QuorumSystem;
 use pqs_core::universe::ServerId;
+use pqs_math::plan::{smallest_u64_where, timeout_probability, tolerance};
 use pqs_protocols::cluster::Cluster;
 use pqs_protocols::crypto::KeyRegistry;
 use pqs_protocols::diffusion;
@@ -323,6 +342,169 @@ impl Default for ConvergenceTracker {
             birth_round: 0,
             covered: true,
         }
+    }
+}
+
+/// Online quorum-parameter recompute for membership churn: the smallest
+/// probe margin at (or above) the configured one that keeps the
+/// hypergeometric timeout probability within the planner's ε budget
+/// ([`tolerance::TIMEOUT_BUDGET`]) for the current count of present
+/// servers.  Falls back to probing everything beyond the quorum when no
+/// margin satisfies the budget.  Pure arithmetic — both engines (and every
+/// shard) call it with identical inputs at identical simulated times, so
+/// churn runs stay deterministic.
+pub(crate) fn churn_probe_margin(base_margin: u64, n: u64, quorum: u64, present: u64) -> usize {
+    let hi = n.saturating_sub(quorum);
+    let lo = base_margin.min(hi);
+    smallest_u64_where(lo, hi, |m| {
+        timeout_probability(n, present, quorum, m) <= tolerance::TIMEOUT_BUDGET
+    })
+    .unwrap_or(hi) as usize
+}
+
+/// Whether an adaptive-adversary sleeper fires for this probe: evaluated at
+/// probe-reply time from **foreground-only** statistics (per-variable write
+/// sequence counters and last-write arrival times — the same state the
+/// digest policies read), so the decision never touches any RNG stream and
+/// diffusion-off replay invariants survive.  A firing sleeper answers this
+/// one probe as [`Behavior::ByzantineStale`] (ack-without-storing, stale
+/// replies) — the strongest *undetectable* deviation, and one that leaves
+/// the event flow of the same-seed static run untouched.
+pub(crate) fn strategy_fires(
+    strategy: &ByzantineStrategy,
+    server: ServerId,
+    variable: VariableId,
+    now: SimTime,
+    sequences: &[u64],
+    last_write_at: &[SimTime],
+) -> bool {
+    match strategy {
+        ByzantineStrategy::Static => false,
+        ByzantineStrategy::HotKeyTargeting {
+            sleepers,
+            min_writes,
+        } => sequences[variable as usize] >= *min_writes && sleepers.contains(&server),
+        ByzantineStrategy::StaleSigned { sleepers, window } => {
+            sequences[variable as usize] > 0
+                && now - last_write_at[variable as usize] <= *window
+                && sleepers.contains(&server)
+        }
+    }
+}
+
+/// One healed partition window being watched back to convergence: the
+/// per-variable freshest timestamps snapshotted at the first gossip round
+/// at (or after) the heal, and which of them the whole cluster has since
+/// re-covered.
+#[derive(Debug)]
+struct HealWatch {
+    /// Whether this is the first heal of the run (only the first heal
+    /// records the round-by-round [`SimReport::post_heal_coverage`] curve).
+    is_first: bool,
+    /// The gossip round at which the heal was observed.
+    start_round: u64,
+    /// Per-variable snapshot timestamp, `None` once re-covered (or never
+    /// written).  Covered bits latch, so the curve is monotone.
+    pending: Vec<Option<Timestamp>>,
+    /// Variables still awaiting re-coverage.
+    remaining: usize,
+    /// Variables the snapshot started tracking.
+    total: usize,
+}
+
+/// Spine-level post-heal re-convergence accounting, shared verbatim by the
+/// sequential engine's `GossipRound` arm and the sharded engine's spine
+/// loop: after each partition window heals, watch the gossip coverage
+/// snapshots until every variable written before the heal is again held at
+/// its heal-time freshness by [`COVERAGE_TARGET`] of the correct servers.
+/// Pure function of the (deterministic) round coverage snapshots, so it
+/// never perturbs any RNG stream.
+#[derive(Debug, Default)]
+pub(crate) struct HealTracking {
+    /// Next partition window whose heal is awaiting observation.
+    cursor: usize,
+    /// The window currently being watched (one at a time; a window healing
+    /// while another is watched is observed at a later round).
+    active: Option<HealWatch>,
+    /// Whether the first-heal coverage curve has been claimed.
+    first_used: bool,
+    /// Heals observed by a gossip round so far.
+    pub(crate) heals_observed: u64,
+    /// Sum over completed watches of rounds-to-full-recoverage.
+    pub(crate) rounds_sum: u64,
+    /// Number of watches that reached full re-coverage.
+    pub(crate) completions: u64,
+    /// Cumulative re-covered-variable count per round for the first heal.
+    pub(crate) curve: Vec<u64>,
+}
+
+impl HealTracking {
+    /// Feeds one gossip round's coverage snapshot into the tracker.
+    pub(crate) fn on_round(
+        &mut self,
+        plan: &FailurePlan,
+        t: SimTime,
+        round: u64,
+        coverage: &[diffusion::VariableCoverage],
+        target: u32,
+        nvars: usize,
+    ) {
+        if plan.partitions.is_empty() {
+            return;
+        }
+        if self.active.is_none()
+            && self.cursor < plan.partitions.len()
+            && plan.partitions[self.cursor].heals_at <= t
+        {
+            self.cursor += 1;
+            self.heals_observed += 1;
+            let mut pending = vec![None; nvars];
+            let mut remaining = 0;
+            for cov in coverage {
+                if cov.freshest > Timestamp::ZERO {
+                    pending[cov.variable as usize] = Some(cov.freshest);
+                    remaining += 1;
+                }
+            }
+            let is_first = !self.first_used;
+            self.first_used = true;
+            self.active = Some(HealWatch {
+                is_first,
+                start_round: round,
+                pending,
+                remaining,
+                total: remaining,
+            });
+        }
+        let Some(watch) = self.active.as_mut() else {
+            return;
+        };
+        for cov in coverage {
+            if let Some(slot) = watch.pending.get_mut(cov.variable as usize) {
+                if let Some(snap) = *slot {
+                    if cov.freshest >= snap && cov.holders >= target {
+                        *slot = None;
+                        watch.remaining -= 1;
+                    }
+                }
+            }
+        }
+        if watch.is_first {
+            self.curve.push((watch.total - watch.remaining) as u64);
+        }
+        if watch.remaining == 0 {
+            self.rounds_sum += round - watch.start_round;
+            self.completions += 1;
+            self.active = None;
+        }
+    }
+
+    /// Copies the accumulated post-heal statistics into the report.
+    pub(crate) fn finish_into(self, report: &mut SimReport) {
+        report.heals_observed = self.heals_observed;
+        report.post_heal_rounds_to_coverage = self.rounds_sum;
+        report.post_heal_coverage_completions = self.completions;
+        report.post_heal_coverage = self.curve;
     }
 }
 
@@ -953,6 +1135,11 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
             _ => Behavior::ByzantineForge,
         };
         cluster.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
+        // Servers whose first membership event is a join have not joined
+        // yet: they start dark and bootstrap through gossip when they do.
+        for absent in plan.initially_absent() {
+            cluster.set_behavior(absent, Behavior::Crashed);
+        }
 
         // Workload, sharded over the key space.
         let ops = WorkloadConfig {
@@ -991,6 +1178,29 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     crash: transition.crash,
                 },
             );
+        }
+        for membership in &plan.memberships {
+            engine.schedule(
+                membership.at,
+                Event::MembershipTransition {
+                    server: membership.server,
+                    join: membership.join,
+                },
+            );
+        }
+        // Membership churn recomputes the probe margin online against the
+        // ε budget; the present-server mask tracks the inputs.  Empty when
+        // the schedule is empty, so churn-free runs never touch the margin.
+        let universe_n = self.system.universe().size() as u64;
+        let min_quorum = self.system.min_quorum_size() as u64;
+        let mut present: Vec<bool> = Vec::new();
+        let mut present_count = 0u64;
+        if !plan.memberships.is_empty() {
+            present = vec![true; universe_n as usize];
+            for absent in plan.initially_absent() {
+                present[absent.index() as usize] = false;
+            }
+            present_count = present.iter().filter(|&&p| p).count() as u64;
         }
 
         // Write diffusion: gossip draws come from their own RNG stream so a
@@ -1039,8 +1249,20 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     ..VariableReport::default()
                 })
                 .collect(),
+            // Sized to the widest partition window upfront so the
+            // per-component attribution in `finalize` can index directly.
+            per_component_stale_reads: vec![
+                0;
+                plan.partitions
+                    .iter()
+                    .map(|w| w.components as usize)
+                    .max()
+                    .unwrap_or(0)
+            ],
             ..SimReport::default()
         };
+        // Post-heal re-convergence accounting (no-op without partitions).
+        let mut heals = HealTracking::default();
         // One write log and sequence counter per variable: staleness and
         // write ordering are per-key properties.
         let mut writes: Vec<WriteLog> = (0..nvars).map(|_| WriteLog::default()).collect();
@@ -1090,9 +1312,42 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                     server,
                 } => {
                     let idx = op as usize;
-                    // The probe's server-side effect happens regardless of
-                    // whether the client still cares: the message was sent.
-                    let fed = deliver_probe::<S>(&mut states[idx], server, &mut cluster, attempt);
+                    let fed = if plan.blocks_probe(t, states[idx].variable, server) {
+                        // The message never crossed the partition: no
+                        // server-side effect, and the client sees one more
+                        // silent server (exactly like a crashed replier).
+                        report.dropped_probes += 1;
+                        !states[idx].done && states[idx].attempt == attempt
+                    } else {
+                        // An adaptive sleeper answers exactly this probe as
+                        // a stale replier when its foreground predicate
+                        // fires; the behavior swap is scoped to the one
+                        // delivery, so the event flow (and every RNG
+                        // stream) matches the same-seed static run.
+                        let flip = !matches!(plan.strategy, ByzantineStrategy::Static)
+                            && cluster.server(server).behavior() == Behavior::Correct
+                            && strategy_fires(
+                                &plan.strategy,
+                                server,
+                                states[idx].variable,
+                                t,
+                                &sequences,
+                                &last_write_at,
+                            );
+                        if flip {
+                            cluster.set_behavior(server, Behavior::ByzantineStale);
+                            report.adaptive_activations += 1;
+                        }
+                        // The probe's server-side effect happens regardless
+                        // of whether the client still cares: the message
+                        // was sent.
+                        let fed =
+                            deliver_probe::<S>(&mut states[idx], server, &mut cluster, attempt);
+                        if flip {
+                            cluster.set_behavior(server, Behavior::Correct);
+                        }
+                        fed
+                    };
                     if fed {
                         let state = &mut states[idx];
                         state.outstanding -= 1;
@@ -1160,6 +1415,31 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                         Behavior::Correct
                     };
                     cluster.set_behavior(server, behavior);
+                }
+                Event::MembershipTransition { server, join } => {
+                    report.membership_events += 1;
+                    let si = server.index() as usize;
+                    if join {
+                        cluster.join_server(server, self.config.keyspace.keys);
+                        if !present[si] {
+                            present[si] = true;
+                            present_count += 1;
+                        }
+                    } else {
+                        cluster.set_behavior(server, Behavior::Crashed);
+                        if present[si] {
+                            present[si] = false;
+                            present_count -= 1;
+                        }
+                    }
+                    // Recompute the quorum access parameters online against
+                    // the ε budget for the new cluster size.
+                    registers.set_probe_margin(churn_probe_margin(
+                        self.config.probe_margin as u64,
+                        universe_n,
+                        min_quorum,
+                        present_count,
+                    ));
                 }
                 Event::GossipRound { round } => {
                     let policy = self
@@ -1235,6 +1515,9 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                             pv.coverage_events += 1;
                         }
                     }
+                    // Post-heal re-convergence accounting against the same
+                    // coverage snapshot (no-op without partition windows).
+                    heals.on_round(plan, t, round, &coverage, target, nvars);
                     // Rounds stop with the foreground arrivals; in-flight
                     // pushes still drain.
                     if t + policy.period <= self.config.duration {
@@ -1243,6 +1526,12 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                 }
                 Event::GossipPush { push } => {
                     if let Some(p) = pending_pushes.take(push) {
+                        // Partitions gate gossip at delivery time only, so
+                        // planning (and the gossip RNG stream) is untouched.
+                        if plan.blocks_link(t, p.from, p.to) {
+                            report.partition_blocked_gossip += 1;
+                            continue;
+                        }
                         let var = p.variable as usize;
                         report.gossip_pushes += 1;
                         report.per_variable[var].gossip_pushes += 1;
@@ -1254,6 +1543,10 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                 }
                 Event::GossipDigest { digest } => {
                     if let Some(d) = pending_digests.take(digest) {
+                        if plan.blocks_link(t, d.from, d.to) {
+                            report.partition_blocked_gossip += 1;
+                            continue;
+                        }
                         let policy = self
                             .config
                             .diffusion
@@ -1280,6 +1573,12 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                 }
                 Event::GossipDelta { delta } => {
                     if let Some(d) = pending_deltas.take(delta) {
+                        // Re-checked at delivery: the delta may cross a
+                        // window boundary its digest did not.
+                        if plan.blocks_link(t, d.from, d.to) {
+                            report.partition_blocked_gossip += 1;
+                            continue;
+                        }
                         // Each delta record counts into the push volume, so
                         // gossip_pushes compares across modes; the original
                         // digest sender is evaluated at delivery time.
@@ -1298,6 +1597,7 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
             }
         }
 
+        heals.finish_into(&mut report);
         report.events_processed = engine.events_processed();
         report.max_in_flight = engine.max_in_flight();
         report.mean_in_flight = engine.mean_in_flight();
@@ -1487,17 +1787,34 @@ impl<'a, S: QuorumSystem + ?Sized> Simulation<'a, S> {
                             if got < seq {
                                 report.stale_reads += 1;
                                 report.per_variable[var].stale_reads += 1;
+                                self.note_component_staleness(now, var, report);
                             }
                         }
                         (Some(_), None) => {
                             report.empty_reads += 1;
                             report.per_variable[var].empty_reads += 1;
+                            self.note_component_staleness(now, var, report);
                         }
                     }
                 }
             }
             None => unreachable!("finalized operation must have a session"),
         }
+    }
+
+    /// Attributes one stale/empty read finalized inside an active partition
+    /// window to its client's component (`variable % components`), so
+    /// reports break consistency loss down by partition side.  A no-op
+    /// outside partition windows (and for derived plans, which never carry
+    /// partitions).
+    fn note_component_staleness(&self, now: SimTime, var: usize, report: &mut SimReport) {
+        let Some(plan) = self.plan.as_ref() else {
+            return;
+        };
+        let Some(window) = plan.active_partition(now) else {
+            return;
+        };
+        report.per_component_stale_reads[(var as u64 % window.components as u64) as usize] += 1;
     }
 }
 

@@ -17,11 +17,12 @@
 //! counts.
 
 use crate::event::{Event, OpId, PendingSlab};
-use crate::failure::FailurePlan;
+use crate::failure::{ByzantineStrategy, FailurePlan};
 use crate::metrics::VariableReport;
 use crate::metrics::{CompletionRecord, FlightTransition, ShardAccumulator, SimReport};
 use crate::runner::{
-    deliver_probe, retry_delay, OpSession, OpState, ProtocolKind, SimConfig, Simulation, WriteLog,
+    churn_probe_margin, deliver_probe, retry_delay, strategy_fires, OpSession, OpState,
+    ProtocolKind, SimConfig, Simulation, WriteLog,
 };
 use crate::time::{EventQueue, SimTime};
 use crate::workload::{OpKind, Operation};
@@ -103,12 +104,32 @@ pub(crate) struct ShardWorld<'a, S: QuorumSystem + ?Sized> {
     acc: ShardAccumulator,
     pending_pushes: PendingSlab<diffusion::GossipPush>,
     pending_digests: PendingSlab<PendingDigest>,
-    pending_deltas: PendingSlab<diffusion::GossipDelta>,
+    /// Answering deltas in flight, each carrying its global digest id so
+    /// blocked deliveries can be attributed once per message.
+    pending_deltas: PendingSlab<(u64, diffusion::GossipDelta)>,
     /// Global ids of digests this shard answered with a non-empty delta;
     /// the spine counts the union as delta *events* (a digest's delta is
     /// one message in the sequential engine, however many shards
     /// contribute records to it).
     pub(crate) deltas_sent: BTreeSet<u64>,
+    /// Global ids of deltas whose delivery a partition window blocked;
+    /// the spine counts the union once per id (a blocked delta is one
+    /// dropped message, however many shards its records span).
+    pub(crate) deltas_blocked: BTreeSet<u64>,
+    /// Scenario state the shard consults at delivery time: the partition
+    /// windows and adversary strategy.  Crash, Byzantine and membership
+    /// entries are applied or seeded at construction and left empty here.
+    plan: FailurePlan,
+    /// Present-server mask for the membership-churn margin recompute
+    /// (empty when the membership schedule is — churn-free runs never
+    /// touch the probe margin).
+    present: Vec<bool>,
+    /// Count of `true` entries in `present`.
+    present_count: u64,
+    /// Universe size, for the margin recompute.
+    universe_n: u64,
+    /// The system's minimum quorum size, for the margin recompute.
+    min_quorum: u64,
     /// `(server index, variable)` pairs whose stored record may have
     /// changed since the last spine barrier — the write-probe, push and
     /// delta delivery sites append here.  Marking is conservative (a write
@@ -135,6 +156,12 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
         let mut cluster = Cluster::new(sim.system.universe());
         cluster.reserve_variables(config.keyspace.keys);
         cluster.corrupt_all(plan.byzantine.iter().copied(), byz_behavior);
+        // Servers whose first membership event is a join start dark and
+        // bootstrap through gossip when they do (same as the sequential
+        // engine's setup).
+        for absent in plan.initially_absent() {
+            cluster.set_behavior(absent, Behavior::Crashed);
+        }
 
         let mut registry = KeyRegistry::new();
         let signing_key = registry.register(1, config.seed ^ 0xabcdef);
@@ -178,6 +205,29 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                 },
             );
         }
+        // Membership transitions are replayed in every shard, like crash
+        // transitions: each shard applies them to its own cluster copy and
+        // recomputes the same probe margin from the same pure inputs.
+        for membership in &plan.memberships {
+            queue.schedule(
+                membership.at,
+                Event::MembershipTransition {
+                    server: membership.server,
+                    join: membership.join,
+                },
+            );
+        }
+        let universe_n = sim.system.universe().size() as u64;
+        let min_quorum = sim.system.min_quorum_size() as u64;
+        let mut present: Vec<bool> = Vec::new();
+        let mut present_count = 0u64;
+        if !plan.memberships.is_empty() {
+            present = vec![true; universe_n as usize];
+            for absent in plan.initially_absent() {
+                present[absent.index() as usize] = false;
+            }
+            present_count = present.iter().filter(|&&p| p).count() as u64;
+        }
 
         let nvars = config.keyspace.keys as usize;
         let report = SimReport {
@@ -187,6 +237,14 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                     ..VariableReport::default()
                 })
                 .collect(),
+            per_component_stale_reads: vec![
+                0;
+                plan.partitions
+                    .iter()
+                    .map(|w| w.components as usize)
+                    .max()
+                    .unwrap_or(0)
+            ],
             ..SimReport::default()
         };
         ShardWorld {
@@ -210,6 +268,16 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             pending_digests: PendingSlab::new(),
             pending_deltas: PendingSlab::new(),
             deltas_sent: BTreeSet::new(),
+            deltas_blocked: BTreeSet::new(),
+            plan: FailurePlan {
+                partitions: plan.partitions.clone(),
+                strategy: plan.strategy.clone(),
+                ..FailurePlan::none()
+            },
+            present,
+            present_count,
+            universe_n,
+            min_quorum,
             dirty: Vec::new(),
             oldest_active: 0,
         }
@@ -344,15 +412,50 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             } => {
                 self.acc.logical_events += 1;
                 let idx = self.local[op as usize] as usize;
-                if self.states[idx].kind == OpKind::Write {
-                    // The probe's server-side store (which happens whether
-                    // or not the client still cares) may freshen this
-                    // record; non-correct receivers store nothing, but the
-                    // over-mark is harmless — see `dirty`.
-                    self.dirty.push((server.index(), self.states[idx].variable));
-                }
-                let fed =
-                    deliver_probe::<S>(&mut self.states[idx], server, &mut self.cluster, attempt);
+                let fed = if self.plan.blocks_probe(t, self.states[idx].variable, server) {
+                    // The message never crossed the partition: no
+                    // server-side effect, and the client sees one more
+                    // silent server (exactly like a crashed replier).
+                    self.acc.report.dropped_probes += 1;
+                    !self.states[idx].done && self.states[idx].attempt == attempt
+                } else {
+                    if self.states[idx].kind == OpKind::Write {
+                        // The probe's server-side store (which happens
+                        // whether or not the client still cares) may
+                        // freshen this record; non-correct receivers store
+                        // nothing, but the over-mark is harmless — see
+                        // `dirty`.
+                        self.dirty.push((server.index(), self.states[idx].variable));
+                    }
+                    // An adaptive sleeper answers exactly this probe as a
+                    // stale replier when its foreground predicate fires —
+                    // `sequences`/`last_write_at` are authoritative here,
+                    // on the variable's owning shard.
+                    let flip = !matches!(self.plan.strategy, ByzantineStrategy::Static)
+                        && self.cluster.server(server).behavior() == Behavior::Correct
+                        && strategy_fires(
+                            &self.plan.strategy,
+                            server,
+                            self.states[idx].variable,
+                            t,
+                            &self.sequences,
+                            &self.last_write_at,
+                        );
+                    if flip {
+                        self.cluster.set_behavior(server, Behavior::ByzantineStale);
+                        self.acc.report.adaptive_activations += 1;
+                    }
+                    let fed = deliver_probe::<S>(
+                        &mut self.states[idx],
+                        server,
+                        &mut self.cluster,
+                        attempt,
+                    );
+                    if flip {
+                        self.cluster.set_behavior(server, Behavior::Correct);
+                    }
+                    fed
+                };
                 if fed {
                     let state = &mut self.states[idx];
                     state.outstanding -= 1;
@@ -400,12 +503,48 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                 };
                 self.cluster.set_behavior(server, behavior);
             }
+            Event::MembershipTransition { server, join } => {
+                // Replayed in every shard, like crash transitions (and
+                // counted once, by the spine): a joiner comes up correct
+                // with reset stores, a leaver goes dark, and the probe
+                // margin is recomputed online against the ε budget — pure
+                // arithmetic, so every shard lands on the same margin at
+                // the same simulated time.
+                let si = server.index() as usize;
+                if join {
+                    self.cluster.join_server(server, self.config.keyspace.keys);
+                    if !self.present[si] {
+                        self.present[si] = true;
+                        self.present_count += 1;
+                    }
+                } else {
+                    self.cluster.set_behavior(server, Behavior::Crashed);
+                    if self.present[si] {
+                        self.present[si] = false;
+                        self.present_count -= 1;
+                    }
+                }
+                self.registers.set_probe_margin(churn_probe_margin(
+                    self.config.probe_margin as u64,
+                    self.universe_n,
+                    self.min_quorum,
+                    self.present_count,
+                ));
+            }
             Event::GossipRound { .. } => {
                 unreachable!("the sharded engine plans gossip rounds on the spine")
             }
             Event::GossipPush { push } => {
                 self.acc.logical_events += 1;
                 if let Some(p) = self.pending_pushes.take(push) {
+                    // Partitions gate gossip at delivery time only, so
+                    // spine planning (and the gossip RNG stream) is
+                    // untouched.  A push is one message on one shard, so
+                    // the per-shard counter sums exactly.
+                    if self.plan.blocks_link(t, p.from, p.to) {
+                        self.acc.report.partition_blocked_gossip += 1;
+                        return;
+                    }
                     let var = p.variable as usize;
                     self.acc.report.gossip_pushes += 1;
                     self.acc.report.per_variable[var].gossip_pushes += 1;
@@ -429,7 +568,7 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                         }
                         if !diff.delta.records.is_empty() {
                             self.deltas_sent.insert(p.global_id);
-                            let slot = self.pending_deltas.insert(diff.delta);
+                            let slot = self.pending_deltas.insert((p.global_id, diff.delta));
                             self.queue
                                 .schedule(t + p.delta_rtt, Event::GossipDelta { delta: slot });
                         }
@@ -439,7 +578,14 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             Event::GossipDelta { delta } => {
                 // Likewise counted as one spine-level event per digest id;
                 // the per-record push/store accounting happens here.
-                if let Some(d) = self.pending_deltas.take(delta) {
+                if let Some((global_id, d)) = self.pending_deltas.take(delta) {
+                    // Re-checked at delivery (the delta may cross a window
+                    // boundary its digest did not); blocked ids are
+                    // deduplicated on the spine into one dropped message.
+                    if self.plan.blocks_link(t, d.from, d.to) {
+                        self.deltas_blocked.insert(global_id);
+                        return;
+                    }
                     for (var, record) in &d.records {
                         let vi = *var as usize;
                         self.acc.report.gossip_pushes += 1;
@@ -606,11 +752,18 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
                             if got < seq {
                                 self.acc.report.stale_reads += 1;
                                 self.acc.report.per_variable[var].stale_reads += 1;
+                                note_component_staleness(
+                                    &self.plan,
+                                    now,
+                                    var,
+                                    &mut self.acc.report,
+                                );
                             }
                         }
                         (Some(_), None) => {
                             self.acc.report.empty_reads += 1;
                             self.acc.report.per_variable[var].empty_reads += 1;
+                            note_component_staleness(&self.plan, now, var, &mut self.acc.report);
                         }
                     }
                 }
@@ -618,6 +771,17 @@ impl<'a, S: QuorumSystem + ?Sized> ShardWorld<'a, S> {
             None => unreachable!("finalized operation must have a session"),
         }
     }
+}
+
+/// The sequential engine's per-component staleness attribution, as a free
+/// function so the shard's `finalize` can call it while its op state is
+/// borrowed: a stale/empty read finalized inside an active partition window
+/// counts against its client's component (`variable % components`).
+fn note_component_staleness(plan: &FailurePlan, now: SimTime, var: usize, report: &mut SimReport) {
+    let Some(window) = plan.active_partition(now) else {
+        return;
+    };
+    report.per_component_stale_reads[(var as u64 % window.components as u64) as usize] += 1;
 }
 
 #[cfg(test)]

@@ -10,8 +10,9 @@
 //! trajectory, same aggregates.
 
 use probabilistic_quorums::core::prelude::*;
-use probabilistic_quorums::sim::failure::FailurePlan;
+use probabilistic_quorums::sim::failure::{ByzantineStrategy, FailurePlan};
 use probabilistic_quorums::sim::latency::LatencyModel;
+use probabilistic_quorums::sim::metrics::SimReport;
 use probabilistic_quorums::sim::runner::{
     DiffusionPolicy, KeyGossipPolicy, ProtocolKind, SimConfig, Simulation,
 };
@@ -34,6 +35,17 @@ fn hostile_config(seed: u64) -> SimConfig {
         .with_max_retries(2)
         .with_seed(seed)
         .build()
+}
+
+/// Order-sensitive hash of the per-server access vector, the idiom shared
+/// by every pinned fingerprint below.
+fn server_access_hash(r: &SimReport) -> u64 {
+    r.per_server_accesses
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &c)| {
+            acc.wrapping_mul(1000003).wrapping_add(c ^ i as u64)
+        })
 }
 
 #[test]
@@ -482,6 +494,215 @@ fn sharded_full_push_fingerprint_is_pinned() {
     assert_eq!(hot.coverage_events, 5);
     assert_eq!(hot.stale_reads, 0);
     assert_eq!(hot.completed_reads, 314);
+}
+
+/// The scenario engine's membership-churn schedule: one initially-absent
+/// joiner, two mid-run leaves, two rejoins.  Shared by the sequential and
+/// sharded churn fingerprints below.
+fn churn_schedule() -> FailurePlan {
+    FailurePlan::none()
+        .with_join(3.0, ServerId::new(92)) // first event is a join: initially absent
+        .with_leave(6.0, ServerId::new(90))
+        .with_leave(7.0, ServerId::new(91))
+        .with_join(14.0, ServerId::new(90))
+        .with_join(15.0, ServerId::new(91))
+}
+
+/// An adaptive hot-key adversary over eight static Byzantine servers and
+/// six sleepers, shared by the adaptive fingerprints below.
+fn adaptive_schedule() -> FailurePlan {
+    let mut plan = FailurePlan::none();
+    plan.byzantine = (0..8).map(ServerId::new).collect();
+    plan.with_strategy(ByzantineStrategy::HotKeyTargeting {
+        sleepers: (8..14).map(ServerId::new).collect(),
+        min_writes: 2,
+    })
+}
+
+/// Membership churn, frozen: the `sharded_base` workload under
+/// `churn_schedule`, captured once from the scenario engine in both
+/// families.  Joins bootstrap through `Cluster::join_server` (stores wiped,
+/// variables re-reserved) and the probe margin is re-solved against the
+/// ε budget at every membership event, so any drift in that machinery
+/// breaks these pins.
+#[test]
+#[allow(clippy::excessive_precision)]
+fn churn_fingerprint_is_pinned() {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = sharded_base();
+    config.seed = 1001;
+    let r = Simulation::new(&sys, ProtocolKind::Safe, config)
+        .with_failure_plan(churn_schedule())
+        .run();
+    assert_eq!(r.completed_reads, 1217);
+    assert_eq!(r.completed_writes, 375);
+    assert_eq!(r.stale_reads, 0);
+    assert_eq!(r.empty_reads, 0);
+    assert_eq!(r.unavailable_ops, 0);
+    assert_eq!(r.concurrent_reads, 23);
+    assert_eq!(r.retries, 0);
+    assert_eq!(r.timed_out_attempts, 0);
+    assert_eq!(r.events_processed, 42989);
+    assert_eq!(r.total_operations, 1592);
+    assert_eq!(r.membership_events, 5);
+    assert_eq!(r.dropped_probes, 0);
+    assert_eq!(r.adaptive_activations, 0);
+    assert_eq!(r.mean_in_flight, 0.39578804683831786);
+    assert_eq!(r.mean_latency(), 0.004970877864242638);
+    assert_eq!(r.p99_latency(), 0.009815626145138978);
+    assert_eq!(server_access_hash(&r), 7198128187310013422);
+
+    // The sharded family's own churn pin, invariant across shard/thread
+    // counts.
+    let mut cs = config;
+    cs.num_shards = 4;
+    cs.threads = 2;
+    let rs = Simulation::new(&sys, ProtocolKind::Safe, cs)
+        .with_failure_plan(churn_schedule())
+        .run();
+    let mut cs2 = config;
+    cs2.num_shards = 2;
+    cs2.threads = 1;
+    let rs2 = Simulation::new(&sys, ProtocolKind::Safe, cs2)
+        .with_failure_plan(churn_schedule())
+        .run();
+    assert_eq!(rs, rs2, "churn must be shard- and thread-invariant");
+    assert_eq!(rs.completed_reads, 1217);
+    assert_eq!(rs.completed_writes, 375);
+    assert_eq!(rs.events_processed, 42989);
+    assert_eq!(rs.membership_events, 5);
+    assert_eq!(rs.mean_in_flight, 0.38882578667847545);
+    assert_eq!(rs.mean_latency(), 0.004883960487292785);
+    assert_eq!(server_access_hash(&rs), 17532421316546503462);
+}
+
+/// A healing partition under full-push diffusion, frozen in both families:
+/// probes and gossip cross components only after the heal, the heal is
+/// observed by the coverage tracker, and the post-heal coverage curve
+/// re-converges in a pinned number of rounds.
+#[test]
+#[allow(clippy::excessive_precision)]
+fn partition_heal_fingerprint_is_pinned() {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = sharded_base();
+    config.seed = 1002;
+    config.diffusion = Some(
+        DiffusionPolicy::full_push(0.2, 2)
+            .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+    );
+    let plan = FailurePlan::none().with_partition(5.0, 12.0, 2);
+    let r = Simulation::new(&sys, ProtocolKind::Safe, config)
+        .with_failure_plan(plan.clone())
+        .run();
+    assert_eq!(r.completed_reads, 1290);
+    assert_eq!(r.completed_writes, 332);
+    assert_eq!(r.stale_reads, 1);
+    assert_eq!(r.empty_reads, 0);
+    assert_eq!(r.gossip_rounds, 100);
+    assert_eq!(r.gossip_pushes, 398891);
+    assert_eq!(r.gossip_stores, 17739);
+    assert_eq!(r.events_processed, 529246);
+    assert_eq!(r.total_operations, 1622);
+    assert_eq!(r.dropped_probes, 7208);
+    assert_eq!(r.partition_blocked_gossip, 86461);
+    assert_eq!(r.heals_observed, 1);
+    assert_eq!(r.post_heal_rounds_to_coverage, 4);
+    assert_eq!(r.post_heal_coverage_completions, 1);
+    assert_eq!(r.post_heal_coverage, vec![2, 19, 25, 28, 30]);
+    assert_eq!(r.per_component_stale_reads, vec![1, 0]);
+    assert_eq!(r.mean_in_flight, 0.4543579319033427);
+    assert_eq!(r.mean_latency(), 0.005603017952703035);
+    assert_eq!(r.p99_latency(), 0.013027126992800397);
+    assert_eq!(server_access_hash(&r), 5754154602802211032);
+
+    // The sharded family's partition pin: spine-planned digest gating and
+    // global-id delta dedup keep the counts shard-layout-invariant.
+    let mut cs = config;
+    cs.num_shards = 4;
+    cs.threads = 2;
+    let rs = Simulation::new(&sys, ProtocolKind::Safe, cs)
+        .with_failure_plan(plan.clone())
+        .run();
+    let mut cs2 = config;
+    cs2.num_shards = 2;
+    cs2.threads = 1;
+    let rs2 = Simulation::new(&sys, ProtocolKind::Safe, cs2)
+        .with_failure_plan(plan)
+        .run();
+    assert_eq!(
+        rs, rs2,
+        "partition heal must be shard- and thread-invariant"
+    );
+    assert_eq!(rs.completed_reads, 1290);
+    assert_eq!(rs.gossip_pushes, 399201);
+    assert_eq!(rs.gossip_stores, 17691);
+    assert_eq!(rs.events_processed, 529455);
+    assert_eq!(rs.dropped_probes, 7144);
+    assert_eq!(rs.partition_blocked_gossip, 86360);
+    assert_eq!(rs.heals_observed, 1);
+    assert_eq!(rs.post_heal_rounds_to_coverage, 4);
+    assert_eq!(rs.post_heal_coverage, vec![2, 20, 26, 28, 30]);
+    assert_eq!(rs.mean_in_flight, 0.45921389786412087);
+    assert_eq!(server_access_hash(&rs), 16193927228281797792);
+}
+
+/// The adaptive hot-key adversary, frozen in both families — and checked
+/// against its same-seed static twin: foreground trajectory identical,
+/// staleness never lower (the sleeper flip is a pure read-side overlay).
+#[test]
+#[allow(clippy::excessive_precision)]
+fn adaptive_adversary_fingerprint_is_pinned() {
+    let sys = EpsilonIntersecting::with_target_epsilon(100, 1e-3).unwrap();
+    let mut config = sharded_base();
+    config.seed = 1003;
+    let r = Simulation::new(&sys, ProtocolKind::Safe, config)
+        .with_failure_plan(adaptive_schedule())
+        .run();
+    assert_eq!(r.completed_reads, 1327);
+    assert_eq!(r.completed_writes, 303);
+    assert_eq!(r.stale_reads, 1044);
+    assert_eq!(r.empty_reads, 0);
+    assert_eq!(r.events_processed, 44010);
+    assert_eq!(r.total_operations, 1630);
+    assert_eq!(r.adaptive_activations, 2029);
+    assert_eq!(r.mean_in_flight, 0.3770511800161219);
+    assert_eq!(r.mean_latency(), 0.0046173290417031105);
+    assert_eq!(r.p99_latency(), 0.008083236852614362);
+    assert_eq!(server_access_hash(&r), 1996866369899425760);
+
+    // Same-seed static twin: identical foreground, never fresher reads.
+    let stat = Simulation::new(&sys, ProtocolKind::Safe, config)
+        .with_failure_plan(adaptive_schedule().with_strategy(ByzantineStrategy::Static))
+        .run();
+    assert_eq!(stat.completed_reads, r.completed_reads);
+    assert_eq!(stat.completed_writes, r.completed_writes);
+    assert_eq!(stat.events_processed, r.events_processed);
+    assert_eq!(stat.per_server_accesses, r.per_server_accesses);
+    assert_eq!(stat.adaptive_activations, 0);
+    assert!(stat.stale_reads + stat.empty_reads <= r.stale_reads + r.empty_reads);
+
+    // The sharded family's adaptive pin, invariant across shard/thread
+    // counts (per-variable streams make its trajectory a distinct family).
+    let mut cs = config;
+    cs.num_shards = 4;
+    cs.threads = 2;
+    let rs = Simulation::new(&sys, ProtocolKind::Safe, cs)
+        .with_failure_plan(adaptive_schedule())
+        .run();
+    let mut cs2 = config;
+    cs2.num_shards = 2;
+    cs2.threads = 1;
+    let rs2 = Simulation::new(&sys, ProtocolKind::Safe, cs2)
+        .with_failure_plan(adaptive_schedule())
+        .run();
+    assert_eq!(rs, rs2, "adaptive runs must be shard- and thread-invariant");
+    assert_eq!(rs.completed_reads, 1327);
+    assert_eq!(rs.completed_writes, 303);
+    assert_eq!(rs.stale_reads, 1030);
+    assert_eq!(rs.events_processed, 44010);
+    assert_eq!(rs.adaptive_activations, 1930);
+    assert_eq!(rs.mean_in_flight, 0.3774505017038662);
+    assert_eq!(server_access_hash(&rs), 5134640556423834096);
 }
 
 #[test]

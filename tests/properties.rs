@@ -729,4 +729,168 @@ proptest! {
         );
         prop_assert_eq!(reference, wide);
     }
+
+    /// The scenario engine keeps the sharded determinism claim: random
+    /// membership-churn and partition schedules (joins, leaves, an
+    /// initially-absent server, healing windows with random component
+    /// counts) replay bit-identically across shard and thread counts, for
+    /// both gossip modes — including the spine-planned digest gating and
+    /// the global-id delta dedup that make blocked-gossip accounting
+    /// layout-invariant.
+    #[test]
+    fn sharded_reports_are_invariant_under_churn_and_partitions(
+        seed in 0u64..10_000,
+        rate in 40.0f64..160.0,
+        digest_mode in 0u32..2,
+        leave_at in 0.5f64..2.0,
+        heal_at in 1.5f64..3.5,
+    ) {
+        use probabilistic_quorums::sim::failure::FailurePlan;
+        let sys = EpsilonIntersecting::new(49, 7).unwrap();
+        let plan = || {
+            FailurePlan::none()
+                .with_join(0.3, ServerId::new(45)) // initially absent
+                .with_leave(leave_at, ServerId::new(40))
+                .with_leave(leave_at + 0.4, ServerId::new(41))
+                .with_join(leave_at + 1.2, ServerId::new(40))
+                .with_partition(heal_at * 0.4, heal_at, 2 + (seed % 2) as u32)
+        };
+        let config = |num_shards: u32, threads: u32| {
+            let policy = if digest_mode == 1 {
+                DiffusionPolicy::digest_delta(0.2, 2)
+            } else {
+                DiffusionPolicy::full_push(0.2, 2)
+            };
+            SimConfig::builder()
+                .with_duration(4.0)
+                .with_arrival_rate(rate)
+                .with_read_fraction(0.8)
+                .with_keyspace(KeySpace::zipf(16, 1.0))
+                .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+                .with_probe_margin(1)
+                .with_op_timeout(0.05)
+                .with_max_retries(2)
+                .with_diffusion(policy.with_push_latency(LatencyModel::Exponential { mean: 2e-3 }))
+                .with_seed(seed)
+                .with_num_shards(num_shards)
+                .with_threads(threads)
+                .build()
+        };
+        let reference = Simulation::new(&sys, ProtocolKind::Safe, config(2, 1))
+            .with_failure_plan(plan())
+            .run();
+        let wide = Simulation::new(&sys, ProtocolKind::Safe, config(4, 2))
+            .with_failure_plan(plan())
+            .run();
+        prop_assert!(
+            reference.completed_reads + reference.completed_writes > 0,
+            "degenerate case: no operations completed"
+        );
+        prop_assert_eq!(&reference, &wide);
+        prop_assert_eq!(reference.membership_events, 4);
+    }
+
+    /// An adaptive adversary is a pure read-side overlay: because sleepers
+    /// flip to stale-serving only around a single probe delivery (and a
+    /// stale server acknowledges writes like a correct one), the
+    /// diffusion-off adaptive run replays its static twin's foreground
+    /// trajectory exactly — and can only ever *raise* the combined
+    /// stale + empty failure count, never lower it.
+    #[test]
+    fn adaptive_adversary_never_improves_consistency(
+        seed in 0u64..10_000,
+        rate in 40.0f64..120.0,
+        min_writes in 1u64..4,
+        strategy_kind in 0u32..2,
+    ) {
+        use probabilistic_quorums::sim::failure::{ByzantineStrategy, FailurePlan};
+        let sys = EpsilonIntersecting::new(49, 7).unwrap();
+        let sleepers: Vec<ServerId> = (4..10).map(ServerId::new).collect();
+        let strategy = if strategy_kind == 1 {
+            ByzantineStrategy::StaleSigned { sleepers, window: 0.5 }
+        } else {
+            ByzantineStrategy::HotKeyTargeting { sleepers, min_writes }
+        };
+        let plan = |strategy: ByzantineStrategy| {
+            let mut plan = FailurePlan::none();
+            plan.byzantine = (0..4).map(ServerId::new).collect();
+            plan.with_strategy(strategy)
+        };
+        let config = SimConfig::builder()
+            .with_duration(6.0)
+            .with_arrival_rate(rate)
+            .with_read_fraction(0.8)
+            .with_keyspace(KeySpace::zipf(8, 1.0))
+            .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+            .with_probe_margin(1)
+            .with_op_timeout(0.05)
+            .with_max_retries(2)
+            .with_seed(seed)
+            .build();
+        let stat = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(plan(ByzantineStrategy::Static))
+            .run();
+        let adaptive = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(plan(strategy))
+            .run();
+        prop_assert_eq!(adaptive.completed_reads, stat.completed_reads);
+        prop_assert_eq!(adaptive.completed_writes, stat.completed_writes);
+        prop_assert_eq!(adaptive.events_processed, stat.events_processed);
+        prop_assert_eq!(&adaptive.per_server_accesses, &stat.per_server_accesses);
+        prop_assert_eq!(stat.adaptive_activations, 0);
+        prop_assert!(
+            adaptive.stale_reads + adaptive.empty_reads
+                >= stat.stale_reads + stat.empty_reads,
+            "adaptive adversary lowered staleness: {} < {}",
+            adaptive.stale_reads + adaptive.empty_reads,
+            stat.stale_reads + stat.empty_reads
+        );
+    }
+
+    /// After a partition heals, diffusion re-converges: the heal is
+    /// observed by the coverage tracker and the recorded post-heal coverage
+    /// curve (covered keys per round) is monotone non-decreasing and never
+    /// exceeds the key count — on both engine families.
+    #[test]
+    fn post_heal_coverage_curve_is_monotone(
+        seed in 0u64..10_000,
+        rate in 40.0f64..120.0,
+        components in 2u32..4,
+        sharded in 0u32..2,
+    ) {
+        use probabilistic_quorums::sim::failure::FailurePlan;
+        let sys = EpsilonIntersecting::new(49, 7).unwrap();
+        let plan = FailurePlan::none().with_partition(0.8, 2.0, components);
+        let mut config = SimConfig::builder()
+            .with_duration(4.0)
+            .with_arrival_rate(rate)
+            .with_read_fraction(0.8)
+            .with_keyspace(KeySpace::zipf(16, 1.0))
+            .with_latency(LatencyModel::Exponential { mean: 2e-3 })
+            .with_probe_margin(1)
+            .with_op_timeout(0.05)
+            .with_max_retries(2)
+            .with_diffusion(
+                DiffusionPolicy::full_push(0.2, 2)
+                    .with_push_latency(LatencyModel::Exponential { mean: 2e-3 }),
+            )
+            .with_seed(seed)
+            .build();
+        if sharded == 1 {
+            config.num_shards = 4;
+            config.threads = 2;
+        }
+        let r = Simulation::new(&sys, ProtocolKind::Safe, config)
+            .with_failure_plan(plan)
+            .run();
+        prop_assert_eq!(r.heals_observed, 1);
+        prop_assert!(r.post_heal_coverage_completions <= r.heals_observed);
+        prop_assert!(r.post_heal_coverage.iter().all(|&c| c <= 16));
+        prop_assert!(
+            r.post_heal_coverage.windows(2).all(|w| w[1] >= w[0]),
+            "post-heal coverage curve regressed: {:?}",
+            r.post_heal_coverage
+        );
+        prop_assert!(r.partition_blocked_gossip > 0);
+    }
 }
